@@ -1,0 +1,100 @@
+//! ASN-based clustering.
+//!
+//! "ASN-based clustering relies on the hypothesis that nodes located in
+//! the same autonomous system are nearby in a networking sense. […] any
+//! node belonging to the same ASN is grouped into the same cluster"
+//! (§V-B). The original used RouteViews BGP data to map addresses to
+//! ASNs; in the reproduction the topology itself knows each host's AS.
+
+use crp_core::Clustering;
+use crp_netsim::{HostId, Network};
+use std::collections::BTreeMap;
+
+/// Clusters `nodes` by autonomous system: every host in the same AS
+/// lands in the same cluster. Hosts alone in their AS come out as
+/// singletons (unclustered, in the paper's accounting).
+///
+/// # Panics
+///
+/// Panics if any host id does not belong to `net`.
+///
+/// # Example
+///
+/// ```
+/// use crp_baselines::asn_clustering;
+/// use crp_netsim::{NetworkBuilder, PopulationSpec};
+///
+/// let mut net = NetworkBuilder::new(1).build();
+/// let nodes = net.add_population(&PopulationSpec::dns_servers(50));
+/// let clustering = asn_clustering(&net, &nodes);
+/// assert_eq!(clustering.total_nodes(), 50);
+/// ```
+pub fn asn_clustering(net: &Network, nodes: &[HostId]) -> Clustering<HostId> {
+    let mut groups: BTreeMap<u32, Vec<HostId>> = BTreeMap::new();
+    for &h in nodes {
+        groups.entry(net.host(h).asn().asn()).or_default().push(h);
+    }
+    Clustering::from_groups(groups.into_values())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_netsim::{NetworkBuilder, PopulationSpec};
+
+    fn net_and_nodes(n: usize) -> (Network, Vec<HostId>) {
+        let mut net = NetworkBuilder::new(17)
+            .tier1_count(3)
+            .transit_per_region(2)
+            .stubs_per_region(4)
+            .build();
+        let nodes = net.add_population(&PopulationSpec::dns_servers(n));
+        (net, nodes)
+    }
+
+    #[test]
+    fn partition_covers_all_nodes() {
+        let (net, nodes) = net_and_nodes(80);
+        let clustering = asn_clustering(&net, &nodes);
+        assert_eq!(clustering.total_nodes(), nodes.len());
+    }
+
+    #[test]
+    fn members_share_an_asn() {
+        let (net, nodes) = net_and_nodes(80);
+        let clustering = asn_clustering(&net, &nodes);
+        for cluster in clustering.multi_clusters() {
+            let asn = net.host(*cluster.center()).asn();
+            for m in cluster.members() {
+                assert_eq!(net.host(*m).asn(), asn);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_asns_never_merge() {
+        let (net, nodes) = net_and_nodes(80);
+        let clustering = asn_clustering(&net, &nodes);
+        for (i, a) in clustering.clusters().iter().enumerate() {
+            for b in clustering.clusters().iter().skip(i + 1) {
+                assert_ne!(
+                    net.host(*a.center()).asn(),
+                    net.host(*b.center()).asn()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_gives_empty_clustering() {
+        let (net, _) = net_and_nodes(1);
+        let clustering = asn_clustering(&net, &[]);
+        assert_eq!(clustering.total_nodes(), 0);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let (net, nodes) = net_and_nodes(40);
+        assert_eq!(asn_clustering(&net, &nodes), asn_clustering(&net, &nodes));
+    }
+}

@@ -1,0 +1,205 @@
+//! Landmark binning (Ratnasamy et al., INFOCOM 2002).
+//!
+//! The paper positions CRP directly against this scheme: "Our focus is
+//! instead on supporting a relative network positioning system as that
+//! proposed by Ratnasamy et al., but without requiring landmark
+//! selection or additional measurements." Binning is the original
+//! relative-positioning technique: every node measures its RTT to a
+//! small fixed set of landmarks, orders the landmarks by latency, and
+//! annotates each with a coarse latency level; nodes with equal bins are
+//! deemed close. It needs landmark infrastructure and O(#landmarks)
+//! probes per node — exactly the costs CRP eliminates.
+
+use crp_core::Clustering;
+use crp_netsim::{HostId, Network, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Latency-level boundaries in milliseconds (the INFOCOM paper's
+/// three-level scheme).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BinningConfig {
+    /// Upper bounds of each latency level; RTTs beyond the last bound
+    /// fall in the final level.
+    pub level_bounds_ms: Vec<f64>,
+}
+
+impl Default for BinningConfig {
+    fn default() -> Self {
+        BinningConfig {
+            // The canonical 3-level split used in the binning paper.
+            level_bounds_ms: vec![100.0, 200.0],
+        }
+    }
+}
+
+impl BinningConfig {
+    fn validate(&self) {
+        assert!(
+            !self.level_bounds_ms.is_empty(),
+            "need at least one level bound"
+        );
+        assert!(
+            self.level_bounds_ms.windows(2).all(|w| w[0] < w[1]),
+            "level bounds must increase"
+        );
+    }
+
+    fn level_of(&self, ms: f64) -> u8 {
+        self.level_bounds_ms
+            .iter()
+            .position(|b| ms <= *b)
+            .unwrap_or(self.level_bounds_ms.len()) as u8
+    }
+}
+
+/// A node's bin: the landmark indices ordered by increasing RTT, each
+/// annotated with its latency level.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Bin {
+    ordered_landmarks: Vec<(u8, u8)>, // (landmark index, latency level)
+}
+
+/// Computes the bin of `node` against `landmarks` at time `t` — this
+/// costs one direct RTT measurement per landmark, the probing bill CRP
+/// never pays.
+pub fn bin_of(
+    net: &Network,
+    node: HostId,
+    landmarks: &[HostId],
+    cfg: &BinningConfig,
+    t: SimTime,
+) -> Bin {
+    cfg.validate();
+    assert!(!landmarks.is_empty(), "need landmarks");
+    assert!(landmarks.len() <= u8::MAX as usize, "too many landmarks");
+    let mut measured: Vec<(u8, f64)> = landmarks
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (i as u8, net.rtt(node, l, t).millis()))
+        .collect();
+    measured.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+    Bin {
+        ordered_landmarks: measured
+            .into_iter()
+            .map(|(i, ms)| (i, cfg.level_of(ms)))
+            .collect(),
+    }
+}
+
+/// Clusters `nodes` by identical bins — the binning paper's grouping
+/// rule. Returns a partition in the same shape as CRP's and ASN's
+/// clusterings so the quality metrics apply unchanged.
+pub fn binning_clustering(
+    net: &Network,
+    nodes: &[HostId],
+    landmarks: &[HostId],
+    cfg: &BinningConfig,
+    t: SimTime,
+) -> Clustering<HostId> {
+    let mut groups: BTreeMap<Bin, Vec<HostId>> = BTreeMap::new();
+    for &n in nodes {
+        groups
+            .entry(bin_of(net, n, landmarks, cfg, t))
+            .or_default()
+            .push(n);
+    }
+    Clustering::from_groups(groups.into_values())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_netsim::{NetworkBuilder, PopulationSpec};
+
+    fn world() -> (Network, Vec<HostId>, Vec<HostId>) {
+        let mut net = NetworkBuilder::new(91)
+            .tier1_count(3)
+            .transit_per_region(2)
+            .stubs_per_region(5)
+            .build();
+        let landmarks = net.add_population(&PopulationSpec::planetlab(8));
+        let nodes = net.add_population(&PopulationSpec::dns_servers(60));
+        (net, landmarks, nodes)
+    }
+
+    #[test]
+    fn bins_are_deterministic_and_complete() {
+        let (net, landmarks, nodes) = world();
+        let cfg = BinningConfig::default();
+        let t = SimTime::from_mins(5);
+        let b1 = bin_of(&net, nodes[0], &landmarks, &cfg, t);
+        let b2 = bin_of(&net, nodes[0], &landmarks, &cfg, t);
+        assert_eq!(b1, b2);
+        assert_eq!(b1.ordered_landmarks.len(), landmarks.len());
+    }
+
+    #[test]
+    fn clustering_partitions_all_nodes() {
+        let (net, landmarks, nodes) = world();
+        let clustering = binning_clustering(
+            &net,
+            &nodes,
+            &landmarks,
+            &BinningConfig::default(),
+            SimTime::ZERO,
+        );
+        assert_eq!(clustering.total_nodes(), nodes.len());
+    }
+
+    #[test]
+    fn same_bin_nodes_are_closer_than_average() {
+        let (net, landmarks, nodes) = world();
+        let clustering = binning_clustering(
+            &net,
+            &nodes,
+            &landmarks,
+            &BinningConfig::default(),
+            SimTime::ZERO,
+        );
+        let mut intra = Vec::new();
+        for c in clustering.multi_clusters() {
+            let ms = c.members();
+            for (i, a) in ms.iter().enumerate() {
+                for b in &ms[i + 1..] {
+                    intra.push(net.baseline_rtt(*a, *b).millis());
+                }
+            }
+        }
+        if intra.is_empty() {
+            return; // binning found no multi-node groups at this scale
+        }
+        let mut all = Vec::new();
+        for (i, a) in nodes.iter().enumerate() {
+            for b in &nodes[i + 1..] {
+                all.push(net.baseline_rtt(*a, *b).millis());
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&intra) < mean(&all),
+            "binning groups should be closer than random: {:.0} vs {:.0}",
+            mean(&intra),
+            mean(&all)
+        );
+    }
+
+    #[test]
+    fn level_boundaries_are_inclusive_upper() {
+        let cfg = BinningConfig::default();
+        assert_eq!(cfg.level_of(50.0), 0);
+        assert_eq!(cfg.level_of(100.0), 0);
+        assert_eq!(cfg.level_of(150.0), 1);
+        assert_eq!(cfg.level_of(500.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "level bounds must increase")]
+    fn bad_bounds_rejected() {
+        let (net, landmarks, nodes) = world();
+        let cfg = BinningConfig {
+            level_bounds_ms: vec![200.0, 100.0],
+        };
+        let _ = bin_of(&net, nodes[0], &landmarks, &cfg, SimTime::ZERO);
+    }
+}

@@ -1,0 +1,63 @@
+//! Benchmarks for the CDN substrate's hot path: authoritative answers
+//! (the cost of every simulated probe) and the underlying RTT model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crp_cdn::{Cdn, DeploymentSpec, MappingConfig};
+use crp_dns::{AuthoritativeServer, RecursiveResolver};
+use crp_netsim::{NetworkBuilder, PopulationSpec, SimTime};
+use std::hint::black_box;
+
+fn fixture() -> (Cdn, crp_netsim::HostId, crp_dns::DomainName) {
+    let mut net = NetworkBuilder::new(5).build();
+    let client = net.add_population(&PopulationSpec::dns_servers(1))[0];
+    let mut cdn = Cdn::deploy(net, &DeploymentSpec::akamai_like(1.0), MappingConfig::default());
+    let name = cdn.add_customer("us.i1.yimg.com").expect("valid name");
+    (cdn, client, name)
+}
+
+fn bench_authoritative_answer(c: &mut Criterion) {
+    let (cdn, client, name) = fixture();
+    // Warm the shortlist memo, then measure the steady-state cost.
+    let _ = cdn.authoritative_answer(&name, client, SimTime::ZERO);
+    let mut t = 0u64;
+    c.bench_function("cdn_authoritative_answer_warm", |bench| {
+        bench.iter(|| {
+            t += 20_000;
+            cdn.authoritative_answer(black_box(&name), client, SimTime::from_millis(t))
+        });
+    });
+}
+
+fn bench_resolver_roundtrip(c: &mut Criterion) {
+    let (cdn, client, name) = fixture();
+    let mut resolver = RecursiveResolver::new(client);
+    let mut t = 0u64;
+    c.bench_function("recursive_resolve_uncached", |bench| {
+        bench.iter(|| {
+            t += 20_000;
+            resolver
+                .resolve_uncached(black_box(&name), &cdn, SimTime::from_millis(t))
+                .expect("cdn answers")
+        });
+    });
+}
+
+fn bench_rtt_model(c: &mut Criterion) {
+    let mut net = NetworkBuilder::new(6).build();
+    let hosts = net.add_population(&PopulationSpec::dns_servers(2));
+    let mut t = 0u64;
+    c.bench_function("network_rtt_query", |bench| {
+        bench.iter(|| {
+            t += 1_000;
+            net.rtt(hosts[0], hosts[1], SimTime::from_millis(t))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_authoritative_answer,
+    bench_resolver_roundtrip,
+    bench_rtt_model
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Benchmarks for SMF clustering: scaling in node count and threshold,
+//! plus the center-strategy ablation's cost side.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crp_bench::synthetic_maps;
+use crp_core::{CenterStrategy, Clustering, SmfConfig};
+use std::hint::black_box;
+
+fn bench_smf_by_node_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("smf_nodes");
+    for n in [50usize, 177, 400] {
+        let nodes = synthetic_maps(n, 8, (n as u64) * 3);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &nodes, |bench, nodes| {
+            bench.iter(|| Clustering::smf(black_box(nodes), &SmfConfig::paper(0.1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_smf_by_threshold(c: &mut Criterion) {
+    let nodes = synthetic_maps(177, 8, 500);
+    let mut group = c.benchmark_group("smf_threshold");
+    for t in [0.01, 0.1, 0.5] {
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bench, t| {
+            bench.iter(|| Clustering::smf(black_box(&nodes), &SmfConfig::paper(*t)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_center_strategies(c: &mut Criterion) {
+    let nodes = synthetic_maps(177, 8, 500);
+    let mut group = c.benchmark_group("smf_center_strategy");
+    group.bench_function("strongest_mappings", |bench| {
+        bench.iter(|| Clustering::smf(black_box(&nodes), &SmfConfig::paper(0.1)));
+    });
+    group.bench_function("random_40", |bench| {
+        let cfg = SmfConfig {
+            center_strategy: CenterStrategy::Random { count: 40 },
+            ..SmfConfig::paper(0.1)
+        };
+        bench.iter(|| Clustering::smf(black_box(&nodes), &cfg));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_smf_by_node_count,
+    bench_smf_by_threshold,
+    bench_center_strategies
+);
+criterion_main!(benches);

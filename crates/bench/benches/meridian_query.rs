@@ -1,0 +1,43 @@
+//! Benchmarks for the Meridian baseline: overlay construction and
+//! closest-node queries — the probing cost CRP exists to avoid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crp_meridian::{FaultPlan, MeridianConfig, MeridianOverlay};
+use crp_netsim::{NetworkBuilder, PopulationSpec, SimTime};
+
+fn bench_overlay_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("meridian_build");
+    group.sample_size(10);
+    for n in [60usize, 240] {
+        let mut net = NetworkBuilder::new(7).build();
+        let members = net.add_population(&PopulationSpec::planetlab(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &members, |bench, members| {
+            bench.iter(|| {
+                MeridianOverlay::build(&net, members, MeridianConfig::default(), FaultPlan::none())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_closest_query(c: &mut Criterion) {
+    let mut net = NetworkBuilder::new(8).build();
+    let members = net.add_population(&PopulationSpec::planetlab(240));
+    let clients = net.add_population(&PopulationSpec::dns_servers(32));
+    let overlay = MeridianOverlay::build(&net, &members, MeridianConfig::default(), FaultPlan::none());
+    let mut i = 0usize;
+    c.bench_function("meridian_closest_query_240_members", |bench| {
+        bench.iter(|| {
+            i += 1;
+            overlay.closest_node_query(
+                &net,
+                members[i % members.len()],
+                clients[i % clients.len()],
+                SimTime::from_mins(i as u64),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_overlay_build, bench_closest_query);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks for closest-node selection: ranking a candidate set by
+//! similarity, at the paper's 240-candidate scale and beyond.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crp_bench::{synthetic_map, synthetic_maps};
+use crp_core::{Ranking, SimilarityMetric};
+use std::hint::black_box;
+
+fn bench_rank_by_candidates(c: &mut Criterion) {
+    let client = synthetic_map(0xC11E47, 10, 1_000);
+    let mut group = c.benchmark_group("rank_candidates");
+    for n in [60usize, 240, 1_000] {
+        let candidates = synthetic_maps(n, 10, 1_000);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &candidates, |bench, cands| {
+            bench.iter(|| {
+                Ranking::rank(
+                    black_box(&client),
+                    cands.iter().map(|(n, m)| (*n, m)),
+                    SimilarityMetric::Cosine,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_service_closest(c: &mut Criterion) {
+    let (scenario, service, end) = crp_bench::observed_scenario(9, 60, 8);
+    let client = scenario.clients()[0];
+    c.bench_function("service_closest_60_candidates_live_maps", |bench| {
+        bench.iter(|| {
+            service
+                .closest(black_box(&client), scenario.candidates().to_vec(), end)
+                .expect("client observed")
+        });
+    });
+}
+
+criterion_group!(benches, bench_rank_by_candidates, bench_service_closest);
+criterion_main!(benches);

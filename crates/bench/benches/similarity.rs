@@ -1,0 +1,41 @@
+//! Microbenchmarks for ratio-map similarity — the innermost loop of
+//! every CRP query (a selection over N candidates costs N of these).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crp_bench::synthetic_map;
+use crp_core::SimilarityMetric;
+use std::hint::black_box;
+
+fn bench_cosine_by_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cosine_similarity");
+    for entries in [4usize, 8, 16, 32] {
+        let a = synthetic_map(1, entries, 1_000);
+        let b = synthetic_map(2, entries, 1_000);
+        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |bench, _| {
+            bench.iter(|| black_box(&a).cosine_similarity(black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let a = synthetic_map(3, 12, 200);
+    let b = synthetic_map(4, 12, 200);
+    let mut group = c.benchmark_group("metrics_12_entries");
+    for metric in SimilarityMetric::ALL {
+        group.bench_function(metric.to_string(), |bench| {
+            bench.iter(|| metric.compare(black_box(&a), black_box(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_map_construction(c: &mut Criterion) {
+    let counts: Vec<(u32, u64)> = (0..30u32).map(|i| (i % 12, 1 + i as u64)).collect();
+    c.bench_function("ratio_map_from_counts_30_events", |bench| {
+        bench.iter(|| crp_core::RatioMap::from_counts(black_box(counts.clone())));
+    });
+}
+
+criterion_group!(benches, bench_cosine_by_size, bench_metrics, bench_map_construction);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benchmarks for the redirection tracker: the per-probe bookkeeping a
+//! deployed CRP client pays, and ratio-map derivation under each window
+//! policy (Fig. 9's sweep, as a cost question).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crp_core::{CountingTracker, RedirectionTracker, WindowPolicy};
+use crp_netsim::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn full_tracker(probes: usize) -> RedirectionTracker<u32> {
+    let mut t = RedirectionTracker::new();
+    for i in 0..probes {
+        t.record(
+            SimTime::from_mins(10 * i as u64),
+            vec![(i % 7) as u32, ((i * 3) % 7) as u32],
+        );
+    }
+    t
+}
+
+fn bench_record(c: &mut Criterion) {
+    c.bench_function("tracker_record_bounded_1000", |bench| {
+        bench.iter_batched(
+            || RedirectionTracker::<u32>::with_capacity(30),
+            |mut t| {
+                for i in 0..1_000u64 {
+                    t.record(SimTime::from_mins(i), vec![(i % 9) as u32]);
+                }
+                t
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_ratio_map_windows(c: &mut Criterion) {
+    let tracker = full_tracker(720); // 5 days at 10-minute probes
+    let now = SimTime::from_mins(7_200);
+    let mut group = c.benchmark_group("ratio_map_window");
+    for (label, window) in [
+        ("all_720", WindowPolicy::All),
+        ("last_30", WindowPolicy::LastProbes(30)),
+        ("last_10", WindowPolicy::LastProbes(10)),
+        ("max_age_6h", WindowPolicy::MaxAge(SimDuration::from_hours(6))),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &window, |bench, w| {
+            bench.iter(|| black_box(&tracker).ratio_map(*w, now).expect("non-empty"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lifetime_map(c: &mut Criterion) {
+    // Six months of 10-minute probes: the rescan cost the counting
+    // tracker eliminates.
+    let probes = 26_000usize;
+    let mut rescan = RedirectionTracker::new();
+    let mut counting = CountingTracker::new(30);
+    for i in 0..probes {
+        let servers = vec![(i % 9) as u32, ((i * 5) % 11) as u32];
+        rescan.record(SimTime::from_mins(10 * i as u64), servers.clone());
+        counting.record(SimTime::from_mins(10 * i as u64), servers);
+    }
+    let now = SimTime::from_mins(10 * probes as u64);
+    let mut group = c.benchmark_group("lifetime_ratio_map_26k_probes");
+    group.bench_function("rescan", |bench| {
+        bench.iter(|| black_box(&rescan).ratio_map(WindowPolicy::All, now).expect("non-empty"));
+    });
+    group.bench_function("counting", |bench| {
+        bench.iter(|| black_box(&counting).lifetime_ratio_map().expect("non-empty"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_record, bench_ratio_map_windows, bench_lifetime_map);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches measure the cost of every moving part of the
+//! reproduction: similarity math, tracker updates, SMF clustering, the
+//! CDN mapping hot path, Meridian queries, and the per-figure experiment
+//! kernels at reduced scale.
+
+use crp::{Scenario, ScenarioConfig};
+use crp_cdn::ReplicaId;
+use crp_core::{CrpService, RatioMap, SimilarityMetric, WindowPolicy};
+use crp_netsim::{noise, HostId, SimDuration, SimTime};
+
+/// A deterministic ratio map with `entries` replicas drawn from a key
+/// space of `universe`, seeded by `seed`.
+pub fn synthetic_map(seed: u64, entries: usize, universe: u64) -> RatioMap<u32> {
+    let weights = (0..entries).map(|i| {
+        let key = (noise::mix(&[seed, i as u64]) % universe) as u32;
+        let w = 1.0 + noise::uniform(&[seed, 0xF00D, i as u64]) * 9.0;
+        (key, w)
+    });
+    RatioMap::from_weights(weights).expect("positive weights")
+}
+
+/// A batch of synthetic ratio maps for clustering/selection benches.
+pub fn synthetic_maps(count: usize, entries: usize, universe: u64) -> Vec<(usize, RatioMap<u32>)> {
+    (0..count)
+        .map(|i| (i, synthetic_map(i as u64, entries, universe)))
+        .collect()
+}
+
+/// A small but fully real world: scenario + 6 hours of observations.
+pub fn observed_scenario(
+    seed: u64,
+    candidates: usize,
+    clients: usize,
+) -> (Scenario, CrpService<HostId, ReplicaId>, SimTime) {
+    let scenario = Scenario::build(ScenarioConfig {
+        seed,
+        candidate_servers: candidates,
+        clients,
+        cdn_scale: 0.4,
+        ..ScenarioConfig::default()
+    });
+    let end = SimTime::from_hours(6);
+    let service = scenario.observe_all(
+        SimTime::ZERO,
+        end,
+        SimDuration::from_mins(10),
+        WindowPolicy::LastProbes(30),
+        SimilarityMetric::Cosine,
+    );
+    (scenario, service, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_maps_are_valid_and_deterministic() {
+        let a = synthetic_map(5, 8, 100);
+        let b = synthetic_map(5, 8, 100);
+        assert_eq!(a, b);
+        assert!(a.len() <= 8);
+    }
+
+    #[test]
+    fn observed_scenario_is_usable() {
+        let (scenario, service, _end) = observed_scenario(1, 4, 2);
+        assert_eq!(scenario.candidates().len(), 4);
+        assert!(service.node_count() > 0);
+    }
+}

@@ -1,0 +1,46 @@
+//! CDN customers ("CDN names" in the paper).
+//!
+//! A customer is a DNS name accelerated by the CDN (the paper used the
+//! Yahoo image server `us.i1.yimg.com` and `www.foxnews.com`). Each
+//! customer is served from its own subset of the replica fleet — real
+//! CDNs partition capacity per contract — which is why probing two
+//! customer names gives a CRP client a richer redirection view than one.
+
+use crate::replica::ReplicaId;
+use crp_dns::DomainName;
+use serde::{Deserialize, Serialize};
+
+/// A customer name hosted on the CDN.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Customer {
+    domain: DomainName,
+    edge_name: DomainName,
+    eligible: Vec<ReplicaId>,
+}
+
+impl Customer {
+    pub(crate) fn new(domain: DomainName, edge_name: DomainName, eligible: Vec<ReplicaId>) -> Self {
+        assert!(!eligible.is_empty(), "customer needs at least one replica");
+        Customer {
+            domain,
+            edge_name,
+            eligible,
+        }
+    }
+
+    /// The public name content providers hand out (`www.foxnews.com`).
+    pub fn domain(&self) -> &DomainName {
+        &self.domain
+    }
+
+    /// The CDN edge name the public name aliases to
+    /// (`a1000.g.akamai.net`).
+    pub fn edge_name(&self) -> &DomainName {
+        &self.edge_name
+    }
+
+    /// The replicas eligible to serve this customer.
+    pub fn eligible(&self) -> &[ReplicaId] {
+        &self.eligible
+    }
+}

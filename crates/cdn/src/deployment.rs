@@ -1,0 +1,146 @@
+//! Replica fleet deployment: how many replicas go where.
+//!
+//! Akamai's coverage is famously uneven: dense in North America, Europe
+//! and parts of East Asia, thin in Oceania, South America, Africa and
+//! parts of Asia. That unevenness is load-bearing for the paper — poorly
+//! served clients are exactly the ones in the bad tails of Figs. 4–5 —
+//! so the deployment spec makes it explicit and tunable.
+
+use crp_netsim::Region;
+use serde::{Deserialize, Serialize};
+
+/// A deployment recipe: replicas per region, plus a handful of global
+/// fallback servers on CDN-owned addresses.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DeploymentSpec {
+    per_region: Vec<(Region, usize)>,
+    fallback_count: usize,
+}
+
+impl DeploymentSpec {
+    /// An Akamai-like footprint, scaled by `scale` (1.0 ≈ 730 replicas).
+    ///
+    /// Coverage density mirrors the deployment skew the paper describes:
+    /// heavy in North America and Europe, moderate in East Asia, sparse
+    /// everywhere else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not a positive finite number.
+    pub fn akamai_like(scale: f64) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
+        let n = |base: f64| ((base * scale).round() as usize).max(1);
+        DeploymentSpec {
+            per_region: vec![
+                (Region::NorthAmerica, n(320.0)),
+                (Region::Europe, n(230.0)),
+                (Region::EastAsia, n(160.0)),
+                (Region::Oceania, n(4.0)),
+                (Region::SouthAmerica, n(4.0)),
+                (Region::SouthAsia, n(2.0)),
+                (Region::MiddleEast, n(2.0)),
+                (Region::Africa, n(1.0)),
+            ],
+            fallback_count: 12,
+        }
+    }
+
+    /// A uniform footprint (every region equally served), useful for
+    /// ablating the coverage model.
+    pub fn uniform(per_region: usize) -> Self {
+        assert!(per_region > 0, "need at least one replica per region");
+        DeploymentSpec {
+            per_region: Region::ALL.iter().map(|r| (*r, per_region)).collect(),
+            fallback_count: 6,
+        }
+    }
+
+    /// A custom footprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no region receives a replica.
+    pub fn custom(per_region: Vec<(Region, usize)>, fallback_count: usize) -> Self {
+        assert!(
+            per_region.iter().any(|(_, n)| *n > 0),
+            "deployment must contain at least one replica"
+        );
+        DeploymentSpec {
+            per_region,
+            fallback_count,
+        }
+    }
+
+    /// Replica counts per region.
+    pub fn per_region(&self) -> &[(Region, usize)] {
+        &self.per_region
+    }
+
+    /// Number of global fallback servers (CDN-owned addresses).
+    pub fn fallback_count(&self) -> usize {
+        self.fallback_count
+    }
+
+    /// Total replica count including fallbacks.
+    pub fn total(&self) -> usize {
+        self.per_region.iter().map(|(_, n)| n).sum::<usize>() + self.fallback_count
+    }
+
+    /// Replicas deployed in `region` (excluding fallbacks).
+    pub fn count_in(&self, region: Region) -> usize {
+        self.per_region
+            .iter()
+            .filter(|(r, _)| *r == region)
+            .map(|(_, n)| n)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn akamai_like_scales() {
+        let full = DeploymentSpec::akamai_like(1.0);
+        let half = DeploymentSpec::akamai_like(0.5);
+        assert!(full.total() > half.total());
+        assert!(full.count_in(Region::NorthAmerica) > full.count_in(Region::Africa));
+    }
+
+    #[test]
+    fn akamai_like_total_near_730() {
+        let spec = DeploymentSpec::akamai_like(1.0);
+        let t = spec.total();
+        assert!((650..800).contains(&t), "total {t}");
+    }
+
+    #[test]
+    fn every_region_gets_at_least_one() {
+        let spec = DeploymentSpec::akamai_like(0.05);
+        for r in Region::ALL {
+            assert!(spec.count_in(r) >= 1, "{r} empty");
+        }
+    }
+
+    #[test]
+    fn uniform_is_uniform() {
+        let spec = DeploymentSpec::uniform(5);
+        for r in Region::ALL {
+            assert_eq!(spec.count_in(r), 5);
+        }
+        assert_eq!(spec.total(), 5 * 8 + 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_scale() {
+        let _ = DeploymentSpec::akamai_like(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn custom_rejects_empty() {
+        let _ = DeploymentSpec::custom(vec![(Region::Europe, 0)], 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The mapping system: parameters governing how resolvers are redirected.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the CDN's DNS mapping behavior.
+///
+/// Defaults reproduce the documented Akamai behavior circa the paper's
+/// measurement period: 20-second answer TTLs, two A records per answer,
+/// rankings refreshed on the order of a minute, load balancing across the
+/// few best candidates, and distant fallbacks for poorly covered clients.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MappingConfig {
+    /// TTL of the terminal A records.
+    pub answer_ttl_secs: u64,
+    /// TTL of the public-name → edge-name CNAME.
+    pub cname_ttl_secs: u64,
+    /// Number of A records per answer.
+    pub answers_per_response: usize,
+    /// How often (ms) the mapping system re-ranks candidates from fresh
+    /// measurements.
+    pub mapping_epoch_ms: u64,
+    /// Relative noise (σ) on the CDN's internal latency measurements.
+    pub measurement_noise_sigma: f64,
+    /// Candidates the load balancer rotates among, for well-covered
+    /// clients.
+    pub load_balance_pool: usize,
+    /// Per-resolver shortlist size: the cluster of replicas the mapping
+    /// system considers for a resolver at all (static pre-localization).
+    pub shortlist_size: usize,
+    /// A resolver whose best candidate exceeds this RTT (ms) counts as
+    /// poorly covered.
+    pub coverage_radius_ms: f64,
+    /// Pool-width multiplier for poorly covered resolvers: their answers
+    /// scatter across `load_balance_pool * scatter_factor` candidates.
+    pub scatter_factor: usize,
+    /// Probability that a poorly covered resolver is answered with a
+    /// global fallback server (CDN-owned address) instead of an edge
+    /// replica.
+    pub fallback_probability: f64,
+    /// Extra multiplicative ranking noise applied when localizing a
+    /// poorly covered resolver. The CDN simply cannot measure such
+    /// clients well, so its answers scatter far and wide — the paper's
+    /// New Zealand client was sent to Massachusetts, Tennessee and
+    /// Japan.
+    pub scatter_noise: f64,
+}
+
+impl Default for MappingConfig {
+    fn default() -> Self {
+        MappingConfig {
+            answer_ttl_secs: 20,
+            cname_ttl_secs: 1_800,
+            answers_per_response: 2,
+            mapping_epoch_ms: 60_000,
+            measurement_noise_sigma: 0.05,
+            load_balance_pool: 2,
+            shortlist_size: 16,
+            coverage_radius_ms: 60.0,
+            scatter_factor: 4,
+            fallback_probability: 0.2,
+            scatter_noise: 1.5,
+        }
+    }
+}
+
+impl MappingConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is out of range (zero pools, probabilities
+    /// outside `[0, 1]`, non-positive radii).
+    pub fn validate(&self) {
+        assert!(self.answer_ttl_secs > 0, "answer TTL must be positive");
+        assert!(self.answers_per_response > 0, "need at least one answer");
+        assert!(self.mapping_epoch_ms > 0, "mapping epoch must be positive");
+        assert!(
+            self.measurement_noise_sigma >= 0.0,
+            "noise sigma must be non-negative"
+        );
+        assert!(self.load_balance_pool > 0, "pool must be non-empty");
+        assert!(
+            self.shortlist_size >= self.load_balance_pool,
+            "shortlist must cover the load-balance pool"
+        );
+        assert!(
+            self.coverage_radius_ms > 0.0,
+            "coverage radius must be positive"
+        );
+        assert!(self.scatter_factor >= 1, "scatter factor must be >= 1");
+        assert!(
+            (0.0..=1.0).contains(&self.fallback_probability),
+            "fallback probability must be in [0, 1]"
+        );
+        assert!(self.scatter_noise >= 0.0, "scatter noise must be non-negative");
+    }
+
+    /// A configuration with no fallbacks and no scatter — every client is
+    /// treated as well-covered. Used to ablate the coverage model.
+    pub fn full_coverage() -> Self {
+        MappingConfig {
+            coverage_radius_ms: f64::INFINITY,
+            fallback_probability: 0.0,
+            ..MappingConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        MappingConfig::default().validate();
+    }
+
+    #[test]
+    fn full_coverage_validates() {
+        let cfg = MappingConfig::full_coverage();
+        assert_eq!(cfg.fallback_probability, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool must be non-empty")]
+    fn rejects_empty_pool() {
+        MappingConfig {
+            load_balance_pool: 0,
+            ..MappingConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "shortlist must cover")]
+    fn rejects_short_shortlist() {
+        MappingConfig {
+            shortlist_size: 1,
+            load_balance_pool: 2,
+            ..MappingConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "fallback probability")]
+    fn rejects_bad_probability() {
+        MappingConfig {
+            fallback_probability: 1.2,
+            ..MappingConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,114 @@
+//! Replica servers.
+
+use crp_dns::SimIp;
+use crp_netsim::HostId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Base of the IP index range allocated to replica servers, so replica
+/// addresses never collide with anything else in the simulation.
+const REPLICA_IP_BASE: u32 = 1 << 16;
+
+/// Identifier of a CDN replica server (dense, deployment order).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReplicaId(u32);
+
+impl ReplicaId {
+    /// Creates an id from a dense index.
+    pub fn from_index(index: u32) -> Self {
+        ReplicaId(index)
+    }
+
+    /// The dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Stable 64-bit key for noise derivation.
+    pub fn key(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// The address this replica answers from.
+    pub fn ip(self) -> SimIp {
+        SimIp::from_index(REPLICA_IP_BASE + self.0)
+    }
+
+    /// Recovers the replica id from an address previously produced by
+    /// [`ReplicaId::ip`], or `None` if the address is not a replica
+    /// address.
+    pub fn from_ip(ip: SimIp) -> Option<ReplicaId> {
+        ip.index().checked_sub(REPLICA_IP_BASE).map(ReplicaId)
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A deployed replica server: a host in the network plus CDN metadata.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplicaServer {
+    id: ReplicaId,
+    host: HostId,
+    cdn_owned: bool,
+}
+
+impl ReplicaServer {
+    pub(crate) fn new(id: ReplicaId, host: HostId, cdn_owned: bool) -> Self {
+        ReplicaServer { id, host, cdn_owned }
+    }
+
+    /// Identifier of the replica.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// The network host this replica runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// The replica's address.
+    pub fn ip(&self) -> SimIp {
+        self.id.ip()
+    }
+
+    /// Whether the address belongs to the CDN's own block rather than a
+    /// partner ISP.
+    ///
+    /// The paper observes that Akamai-owned addresses are typically
+    /// distant fallback servers, and proposes filtering names that return
+    /// them (§VI); this flag is the simulation analogue of a whois check
+    /// on the returned address.
+    pub fn is_cdn_owned(&self) -> bool {
+        self.cdn_owned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_round_trips_through_from_ip() {
+        for i in [0u32, 1, 255, 4_000] {
+            let id = ReplicaId::from_index(i);
+            assert_eq!(ReplicaId::from_ip(id.ip()), Some(id));
+        }
+    }
+
+    #[test]
+    fn non_replica_ip_maps_to_none() {
+        assert_eq!(ReplicaId::from_ip(SimIp::from_index(5)), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        let id = ReplicaId::from_index(3);
+        assert_eq!(id.to_string(), "r3");
+        assert_eq!(id.ip().to_string(), "10.1.0.3");
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the CDN substrate.
+
+use crp_cdn::{Cdn, DeploymentSpec, MappingConfig, ReplicaId};
+use crp_dns::AuthoritativeServer;
+use crp_netsim::{NetworkBuilder, PopulationSpec, SimTime};
+use proptest::prelude::*;
+
+fn build_world(seed: u64, clients: usize) -> (Cdn, Vec<crp_netsim::HostId>, crp_dns::DomainName) {
+    let mut net = NetworkBuilder::new(seed)
+        .tier1_count(3)
+        .transit_per_region(1)
+        .stubs_per_region(3)
+        .build();
+    let hosts = net.add_population(&PopulationSpec::dns_servers(clients));
+    let mut cdn = Cdn::deploy(net, &DeploymentSpec::akamai_like(0.2), MappingConfig::default());
+    let name = cdn.add_customer("us.i1.yimg.com").expect("valid name");
+    (cdn, hosts, name)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn answers_are_wellformed_for_any_client_and_time(
+        seed in 0u64..30,
+        client_idx in 0usize..4,
+        t_mins in 0u64..5_000,
+    ) {
+        let (cdn, hosts, name) = build_world(seed, 4);
+        let t = SimTime::from_mins(t_mins);
+        let resp = cdn
+            .authoritative_answer(&name, hosts[client_idx], t)
+            .expect("registered names always resolve");
+        let ips = resp.a_addresses();
+        prop_assert_eq!(ips.len(), cdn.config().answers_per_response);
+        for ip in &ips {
+            // Every answer is a deployed replica eligible for the
+            // customer (or a fallback).
+            let replica = cdn.replica_by_ip(*ip).expect("answers are replicas");
+            let eligible = cdn.customers()[0]
+                .eligible()
+                .contains(&ReplicaId::from_ip(*ip).expect("replica ip"));
+            prop_assert!(eligible || replica.is_cdn_owned());
+        }
+        // TTL matches the configured answer TTL.
+        prop_assert_eq!(
+            resp.min_ttl().as_millis(),
+            cdn.config().answer_ttl_secs * 1_000
+        );
+    }
+
+    #[test]
+    fn answers_are_deterministic_across_rebuilds(
+        seed in 0u64..20,
+        t_mins in 0u64..2_000,
+    ) {
+        let (cdn_a, hosts_a, name_a) = build_world(seed, 2);
+        let (cdn_b, hosts_b, name_b) = build_world(seed, 2);
+        let t = SimTime::from_mins(t_mins);
+        let ra = cdn_a.authoritative_answer(&name_a, hosts_a[0], t).map(|r| r.a_addresses());
+        let rb = cdn_b.authoritative_answer(&name_b, hosts_b[0], t).map(|r| r.a_addresses());
+        prop_assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn redirections_prefer_nearby_replicas(seed in 0u64..12) {
+        let (cdn, hosts, name) = build_world(seed, 2);
+        let net = cdn.network();
+        let client = hosts[0];
+        // Collect answers over several epochs.
+        let mut seen_ms = Vec::new();
+        for i in 0..24u64 {
+            if let Some(resp) = cdn.authoritative_answer(&name, client, SimTime::from_mins(i * 5)) {
+                for ip in resp.a_addresses() {
+                    let replica = cdn.replica_by_ip(ip).expect("replica");
+                    if !replica.is_cdn_owned() {
+                        seen_ms.push(net.baseline_rtt(client, replica.host()).millis());
+                    }
+                }
+            }
+        }
+        prop_assume!(!seen_ms.is_empty());
+        let mean_seen = seen_ms.iter().sum::<f64>() / seen_ms.len() as f64;
+        let mean_all: f64 = cdn
+            .replicas()
+            .iter()
+            .filter(|r| !r.is_cdn_owned())
+            .map(|r| net.baseline_rtt(client, r.host()).millis())
+            .sum::<f64>()
+            / cdn.replicas().iter().filter(|r| !r.is_cdn_owned()).count() as f64;
+        prop_assert!(
+            mean_seen <= mean_all,
+            "redirections ({mean_seen:.1}ms) no better than random ({mean_all:.1}ms)"
+        );
+    }
+
+    #[test]
+    fn replica_ip_mapping_is_bijective(index in 0u32..100_000) {
+        let id = ReplicaId::from_index(index);
+        prop_assert_eq!(ReplicaId::from_ip(id.ip()), Some(id));
+    }
+}

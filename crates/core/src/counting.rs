@@ -1,0 +1,163 @@
+//! An incrementally-maintained tracker for long-lived deployments.
+//!
+//! [`RedirectionTracker`] recomputes
+//! ratio maps by re-scanning the window — fine for experiments, wasteful for a
+//! service asked for its map after every probe over months of history.
+//! [`CountingTracker`] maintains running per-replica counts so the
+//! all-history ratio map costs `O(distinct replicas)` instead of
+//! `O(observations)`, while a bounded ring buffer still serves the
+//! recent-window queries the paper recommends.
+
+use crate::ratio::{RatioMap, RatioMapError};
+use crate::tracker::{RedirectionTracker, WindowPolicy};
+use crp_netsim::SimTime;
+use std::collections::BTreeMap;
+
+/// A tracker with O(1) amortized updates to the lifetime counts and a
+/// bounded window buffer for recency queries.
+///
+/// # Example
+///
+/// ```
+/// use crp_core::counting::CountingTracker;
+/// use crp_core::WindowPolicy;
+/// use crp_netsim::SimTime;
+///
+/// let mut t = CountingTracker::new(30);
+/// for i in 0..100u64 {
+///     t.record(SimTime::from_mins(i * 10), vec![(i % 3) as u32]);
+/// }
+/// let lifetime = t.lifetime_ratio_map()?;
+/// assert_eq!(lifetime.len(), 3);
+/// let recent = t.recent_ratio_map(WindowPolicy::LastProbes(10), SimTime::from_mins(990))?;
+/// assert!(recent.len() <= 3);
+/// # Ok::<(), crp_core::RatioMapError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct CountingTracker<K: Ord + Clone> {
+    lifetime_counts: BTreeMap<K, u64>,
+    lifetime_events: u64,
+    recent: RedirectionTracker<K>,
+}
+
+impl<K: Ord + Clone> CountingTracker<K> {
+    /// Creates a tracker whose recency buffer holds `window_capacity`
+    /// observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_capacity` is zero.
+    pub fn new(window_capacity: usize) -> Self {
+        CountingTracker {
+            lifetime_counts: BTreeMap::new(),
+            lifetime_events: 0,
+            recent: RedirectionTracker::with_capacity(window_capacity),
+        }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty or `time` precedes the previous
+    /// observation.
+    pub fn record(&mut self, time: SimTime, servers: Vec<K>) {
+        for s in &servers {
+            *self.lifetime_counts.entry(s.clone()).or_insert(0) += 1;
+            self.lifetime_events += 1;
+        }
+        self.recent.record(time, servers);
+    }
+
+    /// Total redirection events ever recorded.
+    pub fn lifetime_events(&self) -> u64 {
+        self.lifetime_events
+    }
+
+    /// Distinct replicas ever seen.
+    pub fn lifetime_replicas(&self) -> usize {
+        self.lifetime_counts.len()
+    }
+
+    /// The all-history ratio map, from the running counts —
+    /// `O(distinct replicas)` regardless of history length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioMapError::Empty`] before the first observation.
+    pub fn lifetime_ratio_map(&self) -> Result<RatioMap<K>, RatioMapError> {
+        RatioMap::from_counts(self.lifetime_counts.iter().map(|(k, c)| (k.clone(), *c)))
+    }
+
+    /// A ratio map over the recency buffer, under any window policy.
+    ///
+    /// Note the buffer is bounded: `WindowPolicy::All` here means "all
+    /// buffered observations", not all history — use
+    /// [`lifetime_ratio_map`] for that.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioMapError::Empty`] if the window selects nothing.
+    ///
+    /// [`lifetime_ratio_map`]: CountingTracker::lifetime_ratio_map
+    pub fn recent_ratio_map(
+        &self,
+        window: WindowPolicy,
+        now: SimTime,
+    ) -> Result<RatioMap<K>, RatioMapError> {
+        self.recent.ratio_map(window, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifetime_map_matches_full_rescan() {
+        let mut counting = CountingTracker::new(1_000);
+        let mut baseline = RedirectionTracker::new();
+        for i in 0..500u64 {
+            let servers = vec![(i % 7) as u32, ((i * 3) % 5) as u32];
+            counting.record(SimTime::from_mins(i), servers.clone());
+            baseline.record(SimTime::from_mins(i), servers);
+        }
+        let fast = counting.lifetime_ratio_map().unwrap();
+        let slow = baseline
+            .ratio_map(WindowPolicy::All, SimTime::from_mins(500))
+            .unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(counting.lifetime_events(), 1_000);
+        assert_eq!(counting.lifetime_replicas(), 7);
+    }
+
+    #[test]
+    fn recency_buffer_is_bounded_but_counts_are_not() {
+        let mut t = CountingTracker::new(5);
+        for i in 0..50u64 {
+            t.record(SimTime::from_mins(i), vec![i as u32]);
+        }
+        assert_eq!(t.lifetime_replicas(), 50);
+        let recent = t
+            .recent_ratio_map(WindowPolicy::All, SimTime::from_mins(49))
+            .unwrap();
+        assert_eq!(recent.len(), 5, "buffer keeps only the last 5");
+        assert!((recent.get(&49) - 0.2).abs() < 1e-12);
+        assert_eq!(recent.get(&0), 0.0);
+    }
+
+    #[test]
+    fn empty_tracker_errors() {
+        let t: CountingTracker<u32> = CountingTracker::new(10);
+        assert_eq!(t.lifetime_ratio_map().unwrap_err(), RatioMapError::Empty);
+        assert!(t
+            .recent_ratio_map(WindowPolicy::All, SimTime::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_window_rejected() {
+        let _ = CountingTracker::<u32>::new(0);
+    }
+}

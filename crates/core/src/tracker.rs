@@ -1,0 +1,323 @@
+//! Per-node redirection history and the window policies of Figs. 8–9.
+
+use crate::observation::Observation;
+use crate::ratio::{RatioMap, RatioMapError};
+use crp_netsim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which slice of a node's observation history feeds its ratio map.
+///
+/// The paper studies this dimension in Fig. 9: a 10-probe window is
+/// usually enough, 30 adds a little, and "all probes" *hurts* a third of
+/// hosts because stale history misrepresents current network conditions.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowPolicy {
+    /// Use the entire history.
+    All,
+    /// Use only the most recent `n` probes.
+    LastProbes(usize),
+    /// Use only probes within `max_age` of the query time.
+    MaxAge(SimDuration),
+}
+
+impl WindowPolicy {
+    /// Human-readable label for experiment output.
+    pub fn label(self) -> String {
+        match self {
+            WindowPolicy::All => "all probes".to_owned(),
+            WindowPolicy::LastProbes(n) => format!("{n} probes"),
+            WindowPolicy::MaxAge(d) => format!("max age {d}"),
+        }
+    }
+}
+
+/// A node's rolling redirection history.
+///
+/// Records must be appended in non-decreasing time order (the natural
+/// order of a probing loop); ratio maps can then be derived under any
+/// [`WindowPolicy`] without re-probing.
+///
+/// # Example
+///
+/// ```
+/// use crp_core::{RedirectionTracker, WindowPolicy};
+/// use crp_netsim::SimTime;
+///
+/// let mut tracker = RedirectionTracker::new();
+/// tracker.record(SimTime::from_mins(0), vec!["r1", "r2"]);
+/// tracker.record(SimTime::from_mins(10), vec!["r1", "r1"]);
+/// let map = tracker.ratio_map(WindowPolicy::All, SimTime::from_mins(10))?;
+/// assert!((map.get(&"r1") - 0.75).abs() < 1e-12);
+/// # Ok::<(), crp_core::RatioMapError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RedirectionTracker<K> {
+    observations: VecDeque<Observation<K>>,
+    capacity: Option<usize>,
+}
+
+impl<K: Ord + Clone> RedirectionTracker<K> {
+    /// Creates a tracker with unbounded history.
+    pub fn new() -> Self {
+        RedirectionTracker {
+            observations: VecDeque::new(),
+            capacity: None,
+        }
+    }
+
+    /// Creates a tracker that retains at most `capacity` observations,
+    /// discarding the oldest — the memory bound a deployed CRP client
+    /// would use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        RedirectionTracker {
+            observations: VecDeque::with_capacity(capacity),
+            capacity: Some(capacity),
+        }
+    }
+
+    /// Appends one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty or `time` precedes the previous
+    /// observation.
+    pub fn record(&mut self, time: SimTime, servers: Vec<K>) {
+        if let Some(last) = self.observations.back() {
+            assert!(
+                time >= last.time,
+                "observations must be recorded in time order"
+            );
+        }
+        self.observations.push_back(Observation::new(time, servers));
+        if let Some(cap) = self.capacity {
+            while self.observations.len() > cap {
+                self.observations.pop_front();
+            }
+        }
+    }
+
+    /// Number of observations currently held.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The stored observations, oldest first.
+    pub fn observations(&self) -> impl Iterator<Item = &Observation<K>> {
+        self.observations.iter()
+    }
+
+    /// Time of the most recent observation, if any.
+    pub fn last_time(&self) -> Option<SimTime> {
+        self.observations.back().map(|o| o.time)
+    }
+
+    /// Drops observations older than `cutoff` and returns how many were
+    /// removed.
+    pub fn prune_before(&mut self, cutoff: SimTime) -> usize {
+        let before = self.observations.len();
+        while self
+            .observations
+            .front()
+            .is_some_and(|o| o.time < cutoff)
+        {
+            self.observations.pop_front();
+        }
+        before - self.observations.len()
+    }
+
+    /// Builds the node's ratio map from the observations selected by
+    /// `window`, evaluated at time `now`.
+    ///
+    /// Observations after `now` are never used, so a tracker holding a
+    /// full campaign's history can be queried retrospectively at any
+    /// instant ("what did this node know at hour 30?") — the experiment
+    /// harness relies on this to evaluate one campaign at several
+    /// points in time.
+    ///
+    /// Every server in a selected observation counts as one redirection
+    /// event; ratios are event counts normalized to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RatioMapError::Empty`] if the window selects no
+    /// observations — e.g. a node that has not finished bootstrapping.
+    pub fn ratio_map(
+        &self,
+        window: WindowPolicy,
+        now: SimTime,
+    ) -> Result<RatioMap<K>, RatioMapError> {
+        // Only history known at `now` participates.
+        let known = self.observations.partition_point(|o| o.time <= now);
+        let history = self.observations.iter().take(known);
+        let selected: Box<dyn Iterator<Item = &Observation<K>>> = match window {
+            WindowPolicy::All => Box::new(history),
+            WindowPolicy::LastProbes(n) => {
+                let skip = known.saturating_sub(n);
+                Box::new(history.skip(skip))
+            }
+            WindowPolicy::MaxAge(max_age) => {
+                let min_time = SimTime::from_millis(
+                    now.as_millis().saturating_sub(max_age.as_millis()),
+                );
+                Box::new(history.filter(move |o| o.time >= min_time))
+            }
+        };
+        RatioMap::from_counts(
+            selected.flat_map(|o| o.servers.iter().cloned().map(|s| (s, 1u64))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker_with(n: usize) -> RedirectionTracker<u32> {
+        let mut t = RedirectionTracker::new();
+        for i in 0..n {
+            t.record(SimTime::from_mins(10 * i as u64), vec![i as u32 % 3]);
+        }
+        t
+    }
+
+    #[test]
+    fn all_window_uses_everything() {
+        let t = tracker_with(9);
+        let m = t.ratio_map(WindowPolicy::All, SimTime::from_mins(80)).unwrap();
+        // Servers 0,1,2 appear 3 times each.
+        for k in 0..3u32 {
+            assert!((m.get(&k) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn last_probes_window_truncates() {
+        let t = tracker_with(9);
+        // Last 2 probes saw servers 1 (i=7) and 2 (i=8).
+        let m = t
+            .ratio_map(WindowPolicy::LastProbes(2), SimTime::from_mins(80))
+            .unwrap();
+        assert_eq!(m.get(&0), 0.0);
+        assert!((m.get(&1) - 0.5).abs() < 1e-12);
+        assert!((m.get(&2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn last_probes_larger_than_history_is_all() {
+        let t = tracker_with(4);
+        let all = t.ratio_map(WindowPolicy::All, SimTime::from_mins(40)).unwrap();
+        let big = t
+            .ratio_map(WindowPolicy::LastProbes(100), SimTime::from_mins(40))
+            .unwrap();
+        assert_eq!(all, big);
+    }
+
+    #[test]
+    fn max_age_window_filters_by_time() {
+        let t = tracker_with(9); // times 0..80 min
+        let m = t
+            .ratio_map(
+                WindowPolicy::MaxAge(SimDuration::from_mins(25)),
+                SimTime::from_mins(80),
+            )
+            .unwrap();
+        // Probes at 60, 70, 80 min → servers 0, 1, 2.
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn empty_window_is_error() {
+        let t = tracker_with(3); // times 0, 10, 20 min
+        let res = t.ratio_map(
+            WindowPolicy::MaxAge(SimDuration::from_mins(5)),
+            SimTime::from_hours(10),
+        );
+        assert_eq!(res.unwrap_err(), RatioMapError::Empty);
+        let empty: RedirectionTracker<u32> = RedirectionTracker::new();
+        assert_eq!(
+            empty.ratio_map(WindowPolicy::All, SimTime::ZERO).unwrap_err(),
+            RatioMapError::Empty
+        );
+    }
+
+    #[test]
+    fn capacity_bounds_history() {
+        let mut t = RedirectionTracker::with_capacity(3);
+        for i in 0..10u64 {
+            t.record(SimTime::from_mins(i), vec![i as u32]);
+        }
+        assert_eq!(t.len(), 3);
+        let m = t.ratio_map(WindowPolicy::All, SimTime::from_mins(9)).unwrap();
+        assert_eq!(m.get(&0), 0.0);
+        assert!(m.get(&9) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_record_panics() {
+        let mut t = RedirectionTracker::new();
+        t.record(SimTime::from_mins(10), vec![1u32]);
+        t.record(SimTime::from_mins(5), vec![2u32]);
+    }
+
+    #[test]
+    fn prune_before_drops_old() {
+        let mut t = tracker_with(5); // 0..40 min
+        let removed = t.prune_before(SimTime::from_mins(25));
+        assert_eq!(removed, 3);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.last_time(), Some(SimTime::from_mins(40)));
+    }
+
+    #[test]
+    fn multi_server_observations_count_each_event() {
+        let mut t = RedirectionTracker::new();
+        t.record(SimTime::ZERO, vec![1u32, 2]);
+        t.record(SimTime::from_mins(10), vec![1, 1]);
+        let m = t.ratio_map(WindowPolicy::All, SimTime::from_mins(10)).unwrap();
+        assert!((m.get(&1) - 0.75).abs() < 1e-12);
+        assert!((m.get(&2) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = RedirectionTracker::<u32>::with_capacity(0);
+    }
+
+    #[test]
+    fn future_observations_are_invisible() {
+        let t = tracker_with(9); // probes at 0, 10, ..., 80 minutes
+        // Evaluated at minute 35, only the first four probes exist.
+        let now = SimTime::from_mins(35);
+        let all = t.ratio_map(WindowPolicy::All, now).unwrap();
+        // Probes 0..=3 saw servers 0,1,2,0.
+        assert!((all.get(&0) - 0.5).abs() < 1e-12);
+        let last2 = t.ratio_map(WindowPolicy::LastProbes(2), now).unwrap();
+        // Last two probes at-or-before minute 35 saw servers 2 (i=2) and
+        // 0 (i=3).
+        assert_eq!(last2.get(&1), 0.0);
+        assert!((last2.get(&0) - 0.5).abs() < 1e-12);
+        // Before any probe: no information.
+        assert!(t
+            .ratio_map(WindowPolicy::All, SimTime::ZERO)
+            .is_ok(), "probe at t=0 is known at t=0");
+    }
+
+    #[test]
+    fn window_labels() {
+        assert_eq!(WindowPolicy::All.label(), "all probes");
+        assert_eq!(WindowPolicy::LastProbes(10).label(), "10 probes");
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the CRP core invariants.
+
+use crp_core::{Clustering, RatioMap, Ranking, SimilarityMetric, SmfConfig};
+use crp_core::{RedirectionTracker, WindowPolicy};
+use crp_netsim::SimTime;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A strategy producing valid (key, weight) lists for ratio maps.
+fn arb_weights() -> impl Strategy<Value = Vec<(u32, f64)>> {
+    vec(((0u32..30), (0.01f64..10.0)), 1..12)
+}
+
+fn arb_map() -> impl Strategy<Value = RatioMap<u32>> {
+    arb_weights().prop_map(|w| RatioMap::from_weights(w).expect("weights are valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ratios_always_sum_to_one(map in arb_map()) {
+        let sum: f64 = map.iter().map(|(_, v)| v).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(map.iter().all(|(_, v)| v > 0.0));
+    }
+
+    #[test]
+    fn cosine_in_unit_interval_and_symmetric(a in arb_map(), b in arb_map()) {
+        let ab = a.cosine_similarity(&b);
+        let ba = b.cosine_similarity(&a);
+        prop_assert!((0.0..=1.0).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_similarity_is_one(a in arb_map()) {
+        for metric in SimilarityMetric::ALL {
+            prop_assert!((metric.compare(&a, &a) - 1.0).abs() < 1e-9, "{metric}");
+        }
+    }
+
+    #[test]
+    fn zero_similarity_iff_disjoint(a in arb_map(), b in arb_map()) {
+        let disjoint = !a.overlaps(&b);
+        let cos = a.cosine_similarity(&b);
+        if disjoint {
+            prop_assert_eq!(cos, 0.0);
+        } else {
+            prop_assert!(cos > 0.0);
+        }
+    }
+
+    #[test]
+    fn all_metrics_bounded(a in arb_map(), b in arb_map()) {
+        for metric in SimilarityMetric::ALL {
+            let s = metric.compare(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&s), "{metric} gave {s}");
+        }
+    }
+
+    #[test]
+    fn smf_outputs_a_partition(
+        maps in vec(arb_map(), 0..25),
+        threshold in 0.0f64..1.0,
+        seed in 0u64..100,
+    ) {
+        let nodes: Vec<(usize, RatioMap<u32>)> =
+            maps.into_iter().enumerate().collect();
+        let mut cfg = SmfConfig::paper(threshold);
+        cfg.seed = seed;
+        let clustering = Clustering::smf(&nodes, &cfg);
+        // Every node appears exactly once.
+        prop_assert_eq!(clustering.total_nodes(), nodes.len());
+        let mut seen = BTreeSet::new();
+        for c in clustering.clusters() {
+            prop_assert!(!c.is_empty());
+            prop_assert!(c.members().contains(c.center()));
+            for m in c.members() {
+                prop_assert!(seen.insert(*m), "node {} in two clusters", m);
+            }
+        }
+    }
+
+    #[test]
+    fn smf_members_similar_to_center_above_threshold(
+        maps in vec(arb_map(), 2..20),
+        threshold in 0.05f64..0.9,
+    ) {
+        let nodes: Vec<(usize, RatioMap<u32>)> =
+            maps.into_iter().enumerate().collect();
+        let clustering = Clustering::smf(&nodes, &SmfConfig::paper(threshold));
+        for cluster in clustering.multi_clusters() {
+            let center_map = &nodes[*cluster.center()].1;
+            for m in cluster.members() {
+                if m == cluster.center() { continue; }
+                let s = nodes[*m].1.cosine_similarity(center_map);
+                prop_assert!(
+                    s > threshold,
+                    "member {} sim {} <= t {}", m, s, threshold
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete(
+        client in arb_map(),
+        candidates in vec(arb_map(), 0..15),
+    ) {
+        let named: Vec<(usize, &RatioMap<u32>)> =
+            candidates.iter().enumerate().collect();
+        let ranking = Ranking::rank(&client, named, SimilarityMetric::Cosine);
+        prop_assert_eq!(ranking.len(), candidates.len());
+        let entries = ranking.entries();
+        for w in entries.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1, "ranking out of order");
+        }
+        // Top-1 equals the max similarity.
+        if let Some(top) = ranking.top() {
+            let max = entries.iter().map(|(_, s)| *s).fold(f64::MIN, f64::max);
+            prop_assert_eq!(ranking.score_of(top).unwrap(), max);
+        }
+    }
+
+    #[test]
+    fn tracker_window_shrinks_monotonically(
+        serverss in vec(vec(0u32..10, 1..3), 1..30),
+        n in 1usize..40,
+    ) {
+        let mut tracker = RedirectionTracker::new();
+        for (i, servers) in serverss.iter().enumerate() {
+            tracker.record(SimTime::from_mins(i as u64), servers.clone());
+        }
+        let now = SimTime::from_mins(serverss.len() as u64);
+        let windowed = tracker.ratio_map(WindowPolicy::LastProbes(n), now).unwrap();
+        let all = tracker.ratio_map(WindowPolicy::All, now).unwrap();
+        // A windowed map only contains servers the full map contains.
+        for (k, _) in windowed.iter() {
+            prop_assert!(all.get(k) > 0.0);
+        }
+        if n >= serverss.len() {
+            prop_assert_eq!(windowed, all);
+        }
+    }
+
+    #[test]
+    fn tracker_capacity_is_respected(
+        cap in 1usize..10,
+        extra in 0usize..20,
+    ) {
+        let mut tracker: RedirectionTracker<u32> = RedirectionTracker::with_capacity(cap);
+        for i in 0..(cap + extra) {
+            tracker.record(SimTime::from_mins(i as u64), vec![i as u32]);
+        }
+        prop_assert_eq!(tracker.len(), cap.min(cap + extra));
+    }
+}

@@ -1,0 +1,160 @@
+//! A TTL-respecting record cache.
+
+use crate::name::DomainName;
+use crate::record::DnsResponse;
+use crp_netsim::SimTime;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+struct Entry {
+    response: DnsResponse,
+    expires_at: SimTime,
+}
+
+/// A cache of DNS responses keyed by question name, with expiry driven by
+/// the smallest TTL in each answer.
+///
+/// Akamai-style CDNs keep edge-name TTLs tiny (~20 s) precisely so caches
+/// like this one re-ask frequently; the cache is what turns a CDN's TTL
+/// choice into the client's effective observation rate.
+///
+/// # Example
+///
+/// ```
+/// use crp_dns::{DnsResponse, DomainName, RecordData, ResourceRecord, SimIp, TtlCache};
+/// use crp_netsim::{SimDuration, SimTime};
+///
+/// let mut cache = TtlCache::new();
+/// let q: DomainName = "cdn.example.com".parse()?;
+/// let resp = DnsResponse::new(q.clone(), vec![ResourceRecord::new(
+///     q.clone(), SimDuration::from_secs(20), RecordData::A(SimIp::from_index(1)),
+/// )]);
+/// cache.insert(resp, SimTime::ZERO);
+/// assert!(cache.get(&q, SimTime::from_secs(10)).is_some());
+/// assert!(cache.get(&q, SimTime::from_secs(30)).is_none());
+/// # Ok::<(), crp_dns::ParseNameError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TtlCache {
+    entries: HashMap<DomainName, Entry>,
+}
+
+impl TtlCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        TtlCache::default()
+    }
+
+    /// Stores a response, timestamped `now`. Replaces any previous entry
+    /// for the same question.
+    pub fn insert(&mut self, response: DnsResponse, now: SimTime) {
+        let expires_at = now + response.min_ttl();
+        self.entries
+            .insert(response.question().clone(), Entry { response, expires_at });
+    }
+
+    /// Returns the cached response for `name` if it has not expired at
+    /// `now`. An entry whose expiry equals `now` is already stale.
+    pub fn get(&self, name: &DomainName, now: SimTime) -> Option<&DnsResponse> {
+        self.entries
+            .get(name)
+            .filter(|e| e.expires_at > now)
+            .map(|e| &e.response)
+    }
+
+    /// Drops every entry that has expired at `now` and returns how many
+    /// were removed.
+    pub fn purge_expired(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, e| e.expires_at > now);
+        before - self.entries.len()
+    }
+
+    /// Number of entries currently stored (including expired ones not yet
+    /// purged).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordData, ResourceRecord, SimIp};
+    use crp_netsim::SimDuration;
+
+    fn response(name: &str, ttl_secs: u64, ip: u32) -> DnsResponse {
+        let q: DomainName = name.parse().unwrap();
+        DnsResponse::new(
+            q.clone(),
+            vec![ResourceRecord::new(
+                q,
+                SimDuration::from_secs(ttl_secs),
+                RecordData::A(SimIp::from_index(ip)),
+            )],
+        )
+    }
+
+    #[test]
+    fn fresh_entries_hit() {
+        let mut cache = TtlCache::new();
+        cache.insert(response("a.com", 20, 1), SimTime::ZERO);
+        let hit = cache.get(&"a.com".parse().unwrap(), SimTime::from_secs(19));
+        assert_eq!(hit.unwrap().a_addresses(), vec![SimIp::from_index(1)]);
+    }
+
+    #[test]
+    fn expiry_is_exclusive_at_boundary() {
+        let mut cache = TtlCache::new();
+        cache.insert(response("a.com", 20, 1), SimTime::ZERO);
+        assert!(cache.get(&"a.com".parse().unwrap(), SimTime::from_secs(20)).is_none());
+    }
+
+    #[test]
+    fn insert_replaces_previous_answer() {
+        let mut cache = TtlCache::new();
+        cache.insert(response("a.com", 20, 1), SimTime::ZERO);
+        cache.insert(response("a.com", 20, 2), SimTime::from_secs(5));
+        let hit = cache.get(&"a.com".parse().unwrap(), SimTime::from_secs(10)).unwrap();
+        assert_eq!(hit.a_addresses(), vec![SimIp::from_index(2)]);
+    }
+
+    #[test]
+    fn purge_removes_only_expired() {
+        let mut cache = TtlCache::new();
+        cache.insert(response("a.com", 10, 1), SimTime::ZERO);
+        cache.insert(response("b.com", 100, 2), SimTime::ZERO);
+        let removed = cache.purge_expired(SimTime::from_secs(50));
+        assert_eq!(removed, 1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&"b.com".parse().unwrap(), SimTime::from_secs(50)).is_some());
+    }
+
+    #[test]
+    fn names_are_case_insensitive_keys() {
+        let mut cache = TtlCache::new();
+        cache.insert(response("CDN.Example.com", 20, 7), SimTime::ZERO);
+        assert!(cache
+            .get(&"cdn.example.COM".parse().unwrap(), SimTime::from_secs(1))
+            .is_some());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut cache = TtlCache::new();
+        cache.insert(response("a.com", 20, 1), SimTime::ZERO);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! The King measurement technique over the DNS substrate.
+//!
+//! King (Gummadi, Saroiu & Gribble, IMW 2002) estimates the RTT between
+//! two *DNS servers* A and B without controlling either:
+//!
+//! 1. measure the RTT from the measurement host to A directly (one
+//!    iterative query answered by A itself);
+//! 2. issue a *recursive* query to A for a name that only B can answer
+//!    (a random, cache-busting label under B's zone): the response time
+//!    is ≈ RTT(me → A) + RTT(A → B);
+//! 3. subtract (1) from (2).
+//!
+//! The paper used King for all its ground-truth RTTs. `crp-netsim`
+//! provides a statistical error model ([`crp_netsim::KingEstimator`])
+//! for bulk use; this module walks the actual query path over the DNS
+//! machinery, which is where King's characteristic error comes from —
+//! the estimate is made of two separate measurements taken milliseconds
+//! apart on a jittery network.
+
+use crate::name::DomainName;
+use crp_netsim::{HostId, Network, Rtt, SimTime};
+
+/// One King measurement session from a measurement host.
+///
+/// # Example
+///
+/// ```
+/// use crp_dns::king::DnsKing;
+/// use crp_netsim::{NetworkBuilder, PopulationSpec, SimTime};
+///
+/// let mut net = NetworkBuilder::new(3).build();
+/// let hosts = net.add_population(&PopulationSpec::dns_servers(3));
+/// let king = DnsKing::new(&net, hosts[0]);
+/// let est = king.estimate(hosts[1], hosts[2], SimTime::ZERO);
+/// let truth = net.rtt(hosts[1], hosts[2], SimTime::ZERO);
+/// assert!((est.millis() - truth.millis()).abs() < truth.millis());
+/// ```
+#[derive(Debug)]
+pub struct DnsKing<'a> {
+    net: &'a Network,
+    vantage: HostId,
+}
+
+impl<'a> DnsKing<'a> {
+    /// Creates a session measuring from `vantage`.
+    pub fn new(net: &'a Network, vantage: HostId) -> Self {
+        DnsKing { net, vantage }
+    }
+
+    /// The measurement host.
+    pub fn vantage(&self) -> HostId {
+        self.vantage
+    }
+
+    /// The cache-busting query name King would send through `a` for a
+    /// zone hosted at `b` — a random label under the target's zone so no
+    /// cache can answer it.
+    pub fn probe_name(&self, b: HostId, t: SimTime) -> DomainName {
+        format!(
+            "king-{}-{}.ns{}.kingprobe.example",
+            self.vantage.index(),
+            t.as_millis(),
+            b.index()
+        )
+        .parse()
+        .expect("generated name is valid")
+    }
+
+    /// One King estimate of RTT(a, b) at time `t`.
+    ///
+    /// Walks the two measurements explicitly: the direct round trip to
+    /// `a`, then the recursive round trip through `a` to `b`. The two
+    /// legs sample the network a few hundred milliseconds apart, which
+    /// is exactly how real King picks up jitter-driven error.
+    pub fn estimate(&self, a: HostId, b: HostId, t: SimTime) -> Rtt {
+        // Step 1: iterative query answered by `a` itself.
+        let direct = self.net.rtt(self.vantage, a, t);
+        // Step 2: recursive query; `a` forwards to `b` and relays the
+        // answer. The forward leg happens after the first leg has
+        // completed, so it samples a slightly later instant.
+        let t2 = SimTime::from_millis(t.as_millis() + direct.millis().ceil() as u64 + 50);
+        let me_to_a = self.net.rtt(self.vantage, a, t2);
+        let a_to_b = self.net.rtt(a, b, t2);
+        let recursive = me_to_a + a_to_b;
+        // Step 3: the difference is the estimate.
+        recursive - direct
+    }
+
+    /// The median of `attempts` estimates spread over `[start, end)` —
+    /// how King is used in practice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero or the interval is empty.
+    pub fn median_estimate(
+        &self,
+        a: HostId,
+        b: HostId,
+        start: SimTime,
+        end: SimTime,
+        attempts: usize,
+    ) -> Rtt {
+        assert!(attempts > 0, "need at least one attempt");
+        assert!(end > start, "empty measurement interval");
+        let span = (end - start).as_millis();
+        let step = (span / attempts as u64).max(1);
+        let mut samples: Vec<Rtt> = (0..attempts)
+            .map(|i| {
+                self.estimate(
+                    a,
+                    b,
+                    SimTime::from_millis(start.as_millis() + i as u64 * step),
+                )
+            })
+            .collect();
+        samples.sort();
+        samples[samples.len() / 2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_netsim::{NetworkBuilder, PopulationSpec};
+
+    fn world() -> (Network, Vec<HostId>) {
+        let mut net = NetworkBuilder::new(19)
+            .tier1_count(3)
+            .transit_per_region(2)
+            .stubs_per_region(5)
+            .build();
+        let hosts = net.add_population(&PopulationSpec::dns_servers(8));
+        (net, hosts)
+    }
+
+    #[test]
+    fn estimates_track_truth_within_king_error() {
+        let (net, hosts) = world();
+        let king = DnsKing::new(&net, hosts[0]);
+        let mut rel_errs = Vec::new();
+        for (i, &a) in hosts[1..].iter().enumerate() {
+            for &b in &hosts[i + 2..] {
+                let t = SimTime::from_mins(30);
+                let est = king.median_estimate(a, b, t, SimTime::from_mins(90), 5);
+                let truth = net.mean_rtt(a, b, t, SimTime::from_mins(90), 5);
+                rel_errs.push((est.millis() - truth.millis()).abs() / truth.millis());
+            }
+        }
+        rel_errs.sort_by(f64::total_cmp);
+        let median = rel_errs[rel_errs.len() / 2];
+        // Published King error: roughly 10-20% median.
+        assert!(median < 0.25, "median relative error {median:.3}");
+    }
+
+    #[test]
+    fn estimate_is_positive_and_finite() {
+        let (net, hosts) = world();
+        let king = DnsKing::new(&net, hosts[2]);
+        for i in 0..20u64 {
+            let est = king.estimate(hosts[3], hosts[4], SimTime::from_mins(i * 7));
+            assert!(est.millis() >= 0.0);
+            assert!(est.millis() < 2_000.0);
+        }
+    }
+
+    #[test]
+    fn probe_names_are_cache_busting() {
+        let (net, hosts) = world();
+        let king = DnsKing::new(&net, hosts[0]);
+        let n1 = king.probe_name(hosts[1], SimTime::from_millis(1));
+        let n2 = king.probe_name(hosts[1], SimTime::from_millis(2));
+        assert_ne!(n1, n2, "each probe must miss every cache");
+        let other_target = king.probe_name(hosts[2], SimTime::from_millis(1));
+        assert_ne!(n1, other_target);
+    }
+
+    #[test]
+    fn vantage_position_affects_error_not_sign() {
+        // Two vantages should both produce usable estimates of the same
+        // pair.
+        let (net, hosts) = world();
+        let t = SimTime::from_mins(5);
+        let truth = net.rtt(hosts[4], hosts[5], t).millis();
+        for &vantage in &[hosts[0], hosts[7]] {
+            let king = DnsKing::new(&net, vantage);
+            let est = king.estimate(hosts[4], hosts[5], t).millis();
+            assert!(
+                (est - truth).abs() / truth < 0.8,
+                "vantage {vantage}: est {est:.1} truth {truth:.1}"
+            );
+        }
+    }
+}

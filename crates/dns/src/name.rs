@@ -1,0 +1,284 @@
+//! Domain names.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// A validated, case-normalized DNS domain name.
+///
+/// Labels are stored lowercase; comparison and hashing are therefore
+/// case-insensitive, matching DNS semantics.
+///
+/// # Example
+///
+/// ```
+/// use crp_dns::DomainName;
+///
+/// let a: DomainName = "WWW.FoxNews.COM".parse()?;
+/// let b: DomainName = "www.foxnews.com".parse()?;
+/// assert_eq!(a, b);
+/// assert_eq!(a.to_string(), "www.foxnews.com");
+/// # Ok::<(), crp_dns::ParseNameError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DomainName {
+    labels: Vec<String>,
+}
+
+impl DomainName {
+    /// Maximum length of a single label.
+    pub const MAX_LABEL_LEN: usize = 63;
+    /// Maximum length of the full name (dotted form).
+    pub const MAX_NAME_LEN: usize = 253;
+
+    /// The labels of the name, most-significant last
+    /// (`["www", "foxnews", "com"]`).
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The number of labels.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether `self` is a subdomain of (or equal to) `suffix`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use crp_dns::DomainName;
+    ///
+    /// let host: DomainName = "a1105.g.akamai.net".parse()?;
+    /// let zone: DomainName = "akamai.net".parse()?;
+    /// assert!(host.is_subdomain_of(&zone));
+    /// assert!(!zone.is_subdomain_of(&host));
+    /// # Ok::<(), crp_dns::ParseNameError>(())
+    /// ```
+    pub fn is_subdomain_of(&self, suffix: &DomainName) -> bool {
+        if suffix.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - suffix.labels.len();
+        self.labels[offset..] == suffix.labels[..]
+    }
+
+    /// Prepends a label, producing `label.self`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNameError`] if the label is invalid or the result
+    /// would exceed the maximum name length.
+    pub fn prepend(&self, label: &str) -> Result<DomainName, ParseNameError> {
+        let mut s = String::with_capacity(label.len() + 1 + self.to_string().len());
+        s.push_str(label);
+        s.push('.');
+        s.push_str(&self.to_string());
+        s.parse()
+    }
+}
+
+impl FromStr for DomainName {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.strip_suffix('.').unwrap_or(s);
+        if trimmed.is_empty() {
+            return Err(ParseNameError::Empty);
+        }
+        if trimmed.len() > Self::MAX_NAME_LEN {
+            return Err(ParseNameError::TooLong {
+                len: trimmed.len(),
+            });
+        }
+        let mut labels = Vec::new();
+        for raw in trimmed.split('.') {
+            if raw.is_empty() {
+                return Err(ParseNameError::EmptyLabel);
+            }
+            if raw.len() > Self::MAX_LABEL_LEN {
+                return Err(ParseNameError::LabelTooLong {
+                    label: raw.to_owned(),
+                });
+            }
+            if !raw
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+            {
+                return Err(ParseNameError::BadCharacter {
+                    label: raw.to_owned(),
+                });
+            }
+            if raw.starts_with('-') || raw.ends_with('-') {
+                return Err(ParseNameError::BadHyphen {
+                    label: raw.to_owned(),
+                });
+            }
+            labels.push(raw.to_ascii_lowercase());
+        }
+        Ok(DomainName { labels })
+    }
+}
+
+impl fmt::Display for DomainName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.labels.join("."))
+    }
+}
+
+/// Error parsing a [`DomainName`] from text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseNameError {
+    /// The input was empty.
+    Empty,
+    /// The dotted form exceeds [`DomainName::MAX_NAME_LEN`].
+    TooLong {
+        /// Actual length seen.
+        len: usize,
+    },
+    /// A label between dots was empty.
+    EmptyLabel,
+    /// A label exceeds [`DomainName::MAX_LABEL_LEN`].
+    LabelTooLong {
+        /// The offending label.
+        label: String,
+    },
+    /// A label contains a character outside `[a-zA-Z0-9_-]`.
+    BadCharacter {
+        /// The offending label.
+        label: String,
+    },
+    /// A label starts or ends with a hyphen.
+    BadHyphen {
+        /// The offending label.
+        label: String,
+    },
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNameError::Empty => write!(f, "domain name is empty"),
+            ParseNameError::TooLong { len } => {
+                write!(f, "domain name is {len} bytes, maximum is {}", DomainName::MAX_NAME_LEN)
+            }
+            ParseNameError::EmptyLabel => write!(f, "domain name contains an empty label"),
+            ParseNameError::LabelTooLong { label } => {
+                write!(f, "label `{label}` exceeds {} bytes", DomainName::MAX_LABEL_LEN)
+            }
+            ParseNameError::BadCharacter { label } => {
+                write!(f, "label `{label}` contains an invalid character")
+            }
+            ParseNameError::BadHyphen { label } => {
+                write!(f, "label `{label}` starts or ends with a hyphen")
+            }
+        }
+    }
+}
+
+impl Error for ParseNameError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_normalizes_case() {
+        let n: DomainName = "Us.I1.Yimg.COM".parse().unwrap();
+        assert_eq!(n.to_string(), "us.i1.yimg.com");
+        assert_eq!(n.label_count(), 4);
+    }
+
+    #[test]
+    fn trailing_dot_is_accepted() {
+        let a: DomainName = "example.com.".parse().unwrap();
+        let b: DomainName = "example.com".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_empty_and_empty_labels() {
+        assert_eq!("".parse::<DomainName>(), Err(ParseNameError::Empty));
+        assert_eq!("a..b".parse::<DomainName>(), Err(ParseNameError::EmptyLabel));
+    }
+
+    #[test]
+    fn rejects_bad_characters() {
+        assert!(matches!(
+            "exa mple.com".parse::<DomainName>(),
+            Err(ParseNameError::BadCharacter { .. })
+        ));
+        assert!(matches!(
+            "exa!mple.com".parse::<DomainName>(),
+            Err(ParseNameError::BadCharacter { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_leading_trailing_hyphen() {
+        assert!(matches!(
+            "-bad.com".parse::<DomainName>(),
+            Err(ParseNameError::BadHyphen { .. })
+        ));
+        assert!(matches!(
+            "bad-.com".parse::<DomainName>(),
+            Err(ParseNameError::BadHyphen { .. })
+        ));
+        // Interior hyphens are fine.
+        assert!("foo-bar.com".parse::<DomainName>().is_ok());
+    }
+
+    #[test]
+    fn rejects_over_long_label() {
+        let label = "a".repeat(64);
+        assert!(matches!(
+            format!("{label}.com").parse::<DomainName>(),
+            Err(ParseNameError::LabelTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_over_long_name() {
+        let name = ["abcdefgh"; 32].join(".");
+        assert!(matches!(
+            name.parse::<DomainName>(),
+            Err(ParseNameError::TooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn subdomain_relation() {
+        let host: DomainName = "a1105.g.akamai.net".parse().unwrap();
+        let zone: DomainName = "g.akamai.net".parse().unwrap();
+        let other: DomainName = "akamaiedge.net".parse().unwrap();
+        assert!(host.is_subdomain_of(&zone));
+        assert!(host.is_subdomain_of(&host));
+        assert!(!host.is_subdomain_of(&other));
+    }
+
+    #[test]
+    fn prepend_builds_subdomain() {
+        let zone: DomainName = "g.akamai.net".parse().unwrap();
+        let host = zone.prepend("a42").unwrap();
+        assert_eq!(host.to_string(), "a42.g.akamai.net");
+        assert!(host.is_subdomain_of(&zone));
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_nonempty() {
+        let errs = [
+            ParseNameError::Empty,
+            ParseNameError::EmptyLabel,
+            ParseNameError::TooLong { len: 300 },
+            ParseNameError::LabelTooLong { label: "x".into() },
+            ParseNameError::BadCharacter { label: "x".into() },
+            ParseNameError::BadHyphen { label: "x".into() },
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

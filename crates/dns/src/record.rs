@@ -1,0 +1,254 @@
+//! Resource records and responses.
+
+use crate::name::DomainName;
+use crp_netsim::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A synthetic IPv4-like address identifying a server in the simulation.
+///
+/// Addresses are allocated from a dense index space and rendered in the
+/// `10.x.y.z` private range, which keeps experiment output readable
+/// without pretending to be real Internet addresses.
+///
+/// # Example
+///
+/// ```
+/// use crp_dns::SimIp;
+///
+/// let ip = SimIp::from_index(65_795);
+/// assert_eq!(ip.to_string(), "10.1.1.3");
+/// assert_eq!(ip.index(), 65_795);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimIp(u32);
+
+impl SimIp {
+    /// The address for the given dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` needs more than 24 bits (the simulation never
+    /// allocates that many servers).
+    pub fn from_index(index: u32) -> Self {
+        assert!(index < (1 << 24), "address space exhausted");
+        SimIp(index)
+    }
+
+    /// The dense index this address was allocated from.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SimIp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "10.{}.{}.{}",
+            (self.0 >> 16) & 0xFF,
+            (self.0 >> 8) & 0xFF,
+            self.0 & 0xFF
+        )
+    }
+}
+
+/// The payload of a resource record.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RecordData {
+    /// An address record.
+    A(SimIp),
+    /// An alias to another name (Akamai-style CNAME chains).
+    Cname(DomainName),
+}
+
+/// A DNS resource record: a name, a time-to-live and a payload.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceRecord {
+    name: DomainName,
+    ttl: SimDuration,
+    data: RecordData,
+}
+
+impl ResourceRecord {
+    /// Creates a record.
+    pub fn new(name: DomainName, ttl: SimDuration, data: RecordData) -> Self {
+        ResourceRecord { name, ttl, data }
+    }
+
+    /// The record's owner name.
+    pub fn name(&self) -> &DomainName {
+        &self.name
+    }
+
+    /// The record's time to live.
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+
+    /// The record payload.
+    pub fn data(&self) -> &RecordData {
+        &self.data
+    }
+}
+
+impl fmt::Display for ResourceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.data {
+            RecordData::A(ip) => write!(f, "{} {} A {}", self.name, self.ttl, ip),
+            RecordData::Cname(target) => {
+                write!(f, "{} {} CNAME {}", self.name, self.ttl, target)
+            }
+        }
+    }
+}
+
+/// An authoritative answer to a query: the question plus the full record
+/// set (CNAME chain and terminal A records, like a `dig` answer section).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnsResponse {
+    question: DomainName,
+    records: Vec<ResourceRecord>,
+}
+
+impl DnsResponse {
+    /// Creates a response for `question` carrying `records`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records` is empty — NXDOMAIN is represented by the
+    /// resolver's error type, not by an empty response.
+    pub fn new(question: DomainName, records: Vec<ResourceRecord>) -> Self {
+        assert!(!records.is_empty(), "a response must carry records");
+        DnsResponse { question, records }
+    }
+
+    /// The name that was asked.
+    pub fn question(&self) -> &DomainName {
+        &self.question
+    }
+
+    /// All records in the answer section.
+    pub fn records(&self) -> &[ResourceRecord] {
+        &self.records
+    }
+
+    /// The terminal A-record addresses, in answer order.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use crp_dns::{DnsResponse, DomainName, RecordData, ResourceRecord, SimIp};
+    /// use crp_netsim::SimDuration;
+    ///
+    /// let q: DomainName = "www.foxnews.com".parse()?;
+    /// let alias: DomainName = "a20.g.akamai.net".parse()?;
+    /// let resp = DnsResponse::new(q.clone(), vec![
+    ///     ResourceRecord::new(q, SimDuration::from_secs(300), RecordData::Cname(alias.clone())),
+    ///     ResourceRecord::new(alias, SimDuration::from_secs(20), RecordData::A(SimIp::from_index(9))),
+    /// ]);
+    /// assert_eq!(resp.a_addresses(), vec![SimIp::from_index(9)]);
+    /// # Ok::<(), crp_dns::ParseNameError>(())
+    /// ```
+    pub fn a_addresses(&self) -> Vec<SimIp> {
+        self.records
+            .iter()
+            .filter_map(|r| match r.data() {
+                RecordData::A(ip) => Some(*ip),
+                RecordData::Cname(_) => None,
+            })
+            .collect()
+    }
+
+    /// The smallest TTL in the record set — the effective cache lifetime
+    /// of the whole answer.
+    pub fn min_ttl(&self) -> SimDuration {
+        self.records
+            .iter()
+            .map(ResourceRecord::ttl)
+            .min()
+            .expect("responses are non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DomainName {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn sim_ip_display_encodes_octets() {
+        assert_eq!(SimIp::from_index(0).to_string(), "10.0.0.0");
+        assert_eq!(SimIp::from_index(256).to_string(), "10.0.1.0");
+        assert_eq!(SimIp::from_index(1 << 16).to_string(), "10.1.0.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "address space exhausted")]
+    fn sim_ip_rejects_huge_index() {
+        let _ = SimIp::from_index(1 << 24);
+    }
+
+    #[test]
+    fn response_extracts_a_addresses_in_order() {
+        let q = name("cdn.example.com");
+        let resp = DnsResponse::new(
+            q.clone(),
+            vec![
+                ResourceRecord::new(
+                    q.clone(),
+                    SimDuration::from_secs(20),
+                    RecordData::A(SimIp::from_index(3)),
+                ),
+                ResourceRecord::new(
+                    q,
+                    SimDuration::from_secs(20),
+                    RecordData::A(SimIp::from_index(1)),
+                ),
+            ],
+        );
+        assert_eq!(
+            resp.a_addresses(),
+            vec![SimIp::from_index(3), SimIp::from_index(1)]
+        );
+    }
+
+    #[test]
+    fn min_ttl_takes_cname_chain_into_account() {
+        let q = name("www.foxnews.com");
+        let alias = name("a20.g.akamai.net");
+        let resp = DnsResponse::new(
+            q.clone(),
+            vec![
+                ResourceRecord::new(q, SimDuration::from_mins(5), RecordData::Cname(alias.clone())),
+                ResourceRecord::new(
+                    alias,
+                    SimDuration::from_secs(20),
+                    RecordData::A(SimIp::from_index(0)),
+                ),
+            ],
+        );
+        assert_eq!(resp.min_ttl(), SimDuration::from_secs(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "must carry records")]
+    fn response_rejects_empty_record_set() {
+        let _ = DnsResponse::new(name("x.com"), vec![]);
+    }
+
+    #[test]
+    fn record_display_mentions_type() {
+        let rr = ResourceRecord::new(
+            name("a.b.c"),
+            SimDuration::from_secs(20),
+            RecordData::A(SimIp::from_index(5)),
+        );
+        let s = rr.to_string();
+        assert!(s.contains(" A "));
+        assert!(s.contains("10.0.0.5"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Recursive resolution.
+//!
+//! A [`RecursiveResolver`] is a DNS server attached to a network host (the
+//! clients in the paper's evaluation *are* recursive DNS servers from the
+//! King data set). It answers lookups from its cache when possible and
+//! otherwise consults an [`AuthoritativeServer`] — in this reproduction,
+//! the CDN's mapping system.
+//!
+//! The resolver's host identity is forwarded with every upstream query
+//! because that is the defining quirk of CDN DNS redirection: the
+//! authoritative side localizes the *resolver*, not the end user.
+
+use crate::name::DomainName;
+use crate::record::DnsResponse;
+use crate::TtlCache;
+use crp_netsim::{HostId, SimTime};
+use std::error::Error;
+use std::fmt;
+
+/// An authoritative DNS server whose answers may depend on who asks and
+/// when — the interface a CDN mapping system exposes to the world.
+pub trait AuthoritativeServer {
+    /// Answers `query` for a resolver located at `resolver`, at simulated
+    /// time `now`. Returns `None` for names outside the server's zones
+    /// (NXDOMAIN).
+    fn authoritative_answer(
+        &self,
+        query: &DomainName,
+        resolver: HostId,
+        now: SimTime,
+    ) -> Option<DnsResponse>;
+}
+
+/// Blanket impl so `&T` works wherever an authoritative server is needed.
+impl<T: AuthoritativeServer + ?Sized> AuthoritativeServer for &T {
+    fn authoritative_answer(
+        &self,
+        query: &DomainName,
+        resolver: HostId,
+        now: SimTime,
+    ) -> Option<DnsResponse> {
+        (**self).authoritative_answer(query, resolver, now)
+    }
+}
+
+/// Resolution failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The authoritative side does not know the name.
+    NxDomain {
+        /// The name that failed to resolve.
+        name: DomainName,
+    },
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::NxDomain { name } => write!(f, "no such domain: {name}"),
+        }
+    }
+}
+
+impl Error for ResolveError {}
+
+/// Counters describing a resolver's behavior, for overhead accounting
+/// (the paper argues CRP's load on the CDN is commensalistic; these
+/// counters are how the reproduction quantifies that claim).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Lookups answered from cache.
+    pub cache_hits: u64,
+    /// Lookups forwarded upstream.
+    pub upstream_queries: u64,
+    /// Lookups that ended in NXDOMAIN.
+    pub failures: u64,
+}
+
+/// A caching recursive resolver attached to a simulated host.
+///
+/// # Example
+///
+/// ```
+/// use crp_dns::{AuthoritativeServer, DnsResponse, DomainName, RecordData,
+///               RecursiveResolver, ResourceRecord, SimIp};
+/// use crp_netsim::{HostId, NetworkBuilder, PopulationSpec, SimDuration, SimTime};
+///
+/// struct Fixed;
+/// impl AuthoritativeServer for Fixed {
+///     fn authoritative_answer(&self, q: &DomainName, _r: HostId, _t: SimTime)
+///         -> Option<DnsResponse>
+///     {
+///         Some(DnsResponse::new(q.clone(), vec![ResourceRecord::new(
+///             q.clone(), SimDuration::from_secs(20), RecordData::A(SimIp::from_index(1)),
+///         )]))
+///     }
+/// }
+///
+/// let mut net = NetworkBuilder::new(1).build();
+/// let host = net.add_population(&PopulationSpec::dns_servers(1))[0];
+/// let mut resolver = RecursiveResolver::new(host);
+/// let name: DomainName = "cdn.example.com".parse()?;
+/// let resp = resolver.resolve(&name, &Fixed, SimTime::ZERO)?;
+/// assert_eq!(resp.a_addresses(), vec![SimIp::from_index(1)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct RecursiveResolver {
+    host: HostId,
+    cache: TtlCache,
+    stats: ResolverStats,
+}
+
+impl RecursiveResolver {
+    /// Creates a resolver running on the given host.
+    pub fn new(host: HostId) -> Self {
+        RecursiveResolver {
+            host,
+            cache: TtlCache::new(),
+            stats: ResolverStats::default(),
+        }
+    }
+
+    /// The host this resolver runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+
+    /// Read access to the resolver's cache.
+    pub fn cache(&self) -> &TtlCache {
+        &self.cache
+    }
+
+    /// Resolves `name`, serving from cache when the cached answer is
+    /// still fresh at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResolveError::NxDomain`] when the authoritative server
+    /// does not know the name.
+    pub fn resolve<A: AuthoritativeServer>(
+        &mut self,
+        name: &DomainName,
+        upstream: A,
+        now: SimTime,
+    ) -> Result<DnsResponse, ResolveError> {
+        if let Some(hit) = self.cache.get(name, now) {
+            self.stats.cache_hits += 1;
+            return Ok(hit.clone());
+        }
+        self.resolve_uncached(name, upstream, now)
+    }
+
+    /// Resolves `name`, always consulting the authoritative server — the
+    /// behavior of `dig +norecurse`-style probing used by CRP clients
+    /// that want a fresh redirection sample.
+    ///
+    /// The answer still populates the cache so subsequent [`resolve`]
+    /// calls benefit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResolveError::NxDomain`] when the authoritative server
+    /// does not know the name.
+    ///
+    /// [`resolve`]: RecursiveResolver::resolve
+    pub fn resolve_uncached<A: AuthoritativeServer>(
+        &mut self,
+        name: &DomainName,
+        upstream: A,
+        now: SimTime,
+    ) -> Result<DnsResponse, ResolveError> {
+        self.stats.upstream_queries += 1;
+        match upstream.authoritative_answer(name, self.host, now) {
+            Some(resp) => {
+                self.cache.insert(resp.clone(), now);
+                Ok(resp)
+            }
+            None => {
+                self.stats.failures += 1;
+                Err(ResolveError::NxDomain { name: name.clone() })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{RecordData, ResourceRecord, SimIp};
+    use crp_netsim::{NetworkBuilder, PopulationSpec, SimDuration};
+    use std::cell::Cell;
+
+    /// An authoritative server that changes its answer every call and
+    /// counts how often it is consulted.
+    struct Counting {
+        calls: Cell<u32>,
+        ttl: SimDuration,
+    }
+
+    impl AuthoritativeServer for Counting {
+        fn authoritative_answer(
+            &self,
+            q: &DomainName,
+            _resolver: HostId,
+            _now: SimTime,
+        ) -> Option<DnsResponse> {
+            let n = self.calls.get();
+            self.calls.set(n + 1);
+            Some(DnsResponse::new(
+                q.clone(),
+                vec![ResourceRecord::new(
+                    q.clone(),
+                    self.ttl,
+                    RecordData::A(SimIp::from_index(n)),
+                )],
+            ))
+        }
+    }
+
+    struct NxOnly;
+
+    impl AuthoritativeServer for NxOnly {
+        fn authoritative_answer(
+            &self,
+            _q: &DomainName,
+            _resolver: HostId,
+            _now: SimTime,
+        ) -> Option<DnsResponse> {
+            None
+        }
+    }
+
+    fn resolver() -> RecursiveResolver {
+        let mut net = NetworkBuilder::new(1)
+            .tier1_count(3)
+            .transit_per_region(1)
+            .stubs_per_region(2)
+            .build();
+        let host = net.add_population(&PopulationSpec::dns_servers(1))[0];
+        RecursiveResolver::new(host)
+    }
+
+    #[test]
+    fn cache_prevents_upstream_queries_within_ttl() {
+        let mut r = resolver();
+        let auth = Counting {
+            calls: Cell::new(0),
+            ttl: SimDuration::from_secs(20),
+        };
+        let name: DomainName = "cdn.example.com".parse().unwrap();
+        let _ = r.resolve(&name, &auth, SimTime::ZERO).unwrap();
+        let _ = r.resolve(&name, &auth, SimTime::from_secs(10)).unwrap();
+        assert_eq!(auth.calls.get(), 1);
+        assert_eq!(r.stats().cache_hits, 1);
+        assert_eq!(r.stats().upstream_queries, 1);
+    }
+
+    #[test]
+    fn ttl_expiry_forces_refetch() {
+        let mut r = resolver();
+        let auth = Counting {
+            calls: Cell::new(0),
+            ttl: SimDuration::from_secs(20),
+        };
+        let name: DomainName = "cdn.example.com".parse().unwrap();
+        let first = r.resolve(&name, &auth, SimTime::ZERO).unwrap();
+        let second = r.resolve(&name, &auth, SimTime::from_secs(25)).unwrap();
+        assert_eq!(auth.calls.get(), 2);
+        assert_ne!(first.a_addresses(), second.a_addresses());
+    }
+
+    #[test]
+    fn resolve_uncached_bypasses_cache_but_populates_it() {
+        let mut r = resolver();
+        let auth = Counting {
+            calls: Cell::new(0),
+            ttl: SimDuration::from_secs(1_000),
+        };
+        let name: DomainName = "cdn.example.com".parse().unwrap();
+        let _ = r.resolve_uncached(&name, &auth, SimTime::ZERO).unwrap();
+        let _ = r.resolve_uncached(&name, &auth, SimTime::from_secs(1)).unwrap();
+        assert_eq!(auth.calls.get(), 2);
+        // Cached copy from the second fetch serves a plain resolve.
+        let resp = r.resolve(&name, &auth, SimTime::from_secs(2)).unwrap();
+        assert_eq!(auth.calls.get(), 2);
+        assert_eq!(resp.a_addresses(), vec![SimIp::from_index(1)]);
+    }
+
+    #[test]
+    fn nxdomain_is_an_error_and_counted() {
+        let mut r = resolver();
+        let name: DomainName = "nope.example.com".parse().unwrap();
+        let err = r.resolve(&name, &NxOnly, SimTime::ZERO).unwrap_err();
+        assert_eq!(err, ResolveError::NxDomain { name: name.clone() });
+        assert_eq!(r.stats().failures, 1);
+        let msg = err.to_string();
+        assert!(msg.contains("nope.example.com"));
+    }
+
+    #[test]
+    fn trait_object_upstream_works() {
+        let mut r = resolver();
+        let auth = Counting {
+            calls: Cell::new(0),
+            ttl: SimDuration::from_secs(20),
+        };
+        let dyn_auth: &dyn AuthoritativeServer = &auth;
+        let name: DomainName = "cdn.example.com".parse().unwrap();
+        assert!(r.resolve(&name, dyn_auth, SimTime::ZERO).is_ok());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the DNS substrate.
+
+use crp_dns::{DnsResponse, DomainName, RecordData, ResourceRecord, SimIp, TtlCache};
+use crp_netsim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// Strategy for syntactically valid domain-name labels.
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z0-9]{1,12}(-[a-z0-9]{1,6})?"
+}
+
+fn arb_name() -> impl Strategy<Value = DomainName> {
+    prop::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| labels.join(".").parse().expect("labels are valid"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parse_display_round_trips(name in arb_name()) {
+        let text = name.to_string();
+        let back: DomainName = text.parse().expect("display form re-parses");
+        prop_assert_eq!(name, back);
+    }
+
+    #[test]
+    fn parsing_is_case_insensitive(name in arb_name()) {
+        let upper = name.to_string().to_ascii_uppercase();
+        let back: DomainName = upper.parse().expect("uppercase form parses");
+        prop_assert_eq!(name, back);
+    }
+
+    #[test]
+    fn subdomain_relation_is_reflexive_and_antisymmetric(
+        a in arb_name(),
+        suffix_labels in prop::collection::vec(arb_label(), 1..3),
+    ) {
+        prop_assert!(a.is_subdomain_of(&a));
+        let extended: DomainName = format!("{}.{}", suffix_labels.join("."), a)
+            .parse()
+            .expect("prepending labels is valid");
+        prop_assert!(extended.is_subdomain_of(&a));
+        // A strictly longer name is never a suffix of a shorter one.
+        prop_assert!(!a.is_subdomain_of(&extended));
+    }
+
+    #[test]
+    fn cache_never_serves_expired_records(
+        name in arb_name(),
+        ttl_secs in 1u64..600,
+        insert_mins in 0u64..100,
+        probe_offset_secs in 0u64..1_200,
+    ) {
+        let mut cache = TtlCache::new();
+        let inserted_at = SimTime::from_mins(insert_mins);
+        let resp = DnsResponse::new(
+            name.clone(),
+            vec![ResourceRecord::new(
+                name.clone(),
+                SimDuration::from_secs(ttl_secs),
+                RecordData::A(SimIp::from_index(1)),
+            )],
+        );
+        cache.insert(resp, inserted_at);
+        let probe = SimTime::from_millis(inserted_at.as_millis() + probe_offset_secs * 1_000);
+        let hit = cache.get(&name, probe).is_some();
+        let fresh = probe_offset_secs < ttl_secs;
+        prop_assert_eq!(hit, fresh, "ttl {}s offset {}s", ttl_secs, probe_offset_secs);
+    }
+
+    #[test]
+    fn min_ttl_is_the_minimum(ttls in prop::collection::vec(1u64..10_000, 1..6)) {
+        let name: DomainName = "x.example".parse().expect("valid");
+        let records: Vec<ResourceRecord> = ttls
+            .iter()
+            .map(|t| {
+                ResourceRecord::new(
+                    name.clone(),
+                    SimDuration::from_secs(*t),
+                    RecordData::A(SimIp::from_index(0)),
+                )
+            })
+            .collect();
+        let resp = DnsResponse::new(name, records);
+        prop_assert_eq!(
+            resp.min_ttl(),
+            SimDuration::from_secs(*ttls.iter().min().expect("non-empty"))
+        );
+    }
+
+    #[test]
+    fn a_addresses_preserve_count_and_order(indices in prop::collection::vec(0u32..1_000, 1..8)) {
+        let name: DomainName = "cdn.example".parse().expect("valid");
+        let records: Vec<ResourceRecord> = indices
+            .iter()
+            .map(|i| {
+                ResourceRecord::new(
+                    name.clone(),
+                    SimDuration::from_secs(20),
+                    RecordData::A(SimIp::from_index(*i)),
+                )
+            })
+            .collect();
+        let resp = DnsResponse::new(name, records);
+        let ips = resp.a_addresses();
+        prop_assert_eq!(ips.len(), indices.len());
+        for (ip, idx) in ips.iter().zip(&indices) {
+            prop_assert_eq!(ip.index(), *idx);
+        }
+    }
+}

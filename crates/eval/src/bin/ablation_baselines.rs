@@ -1,0 +1,171 @@
+//! Ablation: CRP against the full related-work field.
+//!
+//! The paper compares CRP against Meridian (selection) and ASN
+//! (clustering) only, noting that Meridian had already been shown to
+//! beat coordinate systems. This ablation closes the loop inside the
+//! reproduction: closest-node selection against Meridian, Vivaldi and
+//! GNP; clustering against ASN and landmark binning — with each
+//! system's probing bill on the same table.
+
+use crp::{Scenario, ScenarioConfig};
+use crp_baselines::{binning_clustering, BinningConfig, Gnp, GnpConfig, Vivaldi, VivaldiConfig};
+use crp_baselines::asn_clustering;
+use crp_core::{QualityReport, SimilarityMetric, WindowPolicy};
+use crp_eval::output;
+use crp_eval::EvalArgs;
+use crp_meridian::{FaultPlan, MeridianConfig, MeridianOverlay};
+use crp_netsim::{HostId, SimDuration, SimTime};
+
+fn main() {
+    let args = EvalArgs::parse();
+    let scenario = Scenario::build(ScenarioConfig {
+        seed: args.seed,
+        candidate_servers: args.candidates.unwrap_or(120),
+        clients: args.clients.unwrap_or(300),
+        cdn_scale: args.scale.unwrap_or(1.0),
+        ..ScenarioConfig::default()
+    });
+    output::section("ablation", "CRP vs the related-work field");
+    output::kv(&[
+        ("seed", args.seed.to_string()),
+        ("clients", scenario.clients().len().to_string()),
+        ("candidates", scenario.candidates().len().to_string()),
+    ]);
+    let net = scenario.network();
+    let end = SimTime::from_hours(args.hours.unwrap_or(12));
+
+    // ---------------- Selection task ---------------------------------
+    let service = scenario.observe_all(
+        SimTime::ZERO,
+        end,
+        SimDuration::from_mins(10),
+        WindowPolicy::LastProbes(30),
+        SimilarityMetric::Cosine,
+    );
+    let overlay = MeridianOverlay::build(
+        net,
+        scenario.candidates(),
+        MeridianConfig::default(),
+        FaultPlan::none(),
+    );
+    let mut vivaldi = Vivaldi::new(
+        &[scenario.candidates(), scenario.clients()].concat(),
+        VivaldiConfig::default(),
+    );
+    vivaldi.run_rounds(net, 25, SimTime::ZERO);
+    let mut gnp = Gnp::embed_landmarks(
+        net,
+        &scenario.candidates()[..12.min(scenario.candidates().len())],
+        GnpConfig::default(),
+        SimTime::ZERO,
+    );
+    for &h in scenario.candidates().iter().chain(scenario.clients()) {
+        gnp.place_host(net, h, SimTime::ZERO);
+    }
+
+    let mut penalties: Vec<(&str, Vec<f64>)> = vec![
+        ("crp top-1", Vec::new()),
+        ("meridian", Vec::new()),
+        ("vivaldi", Vec::new()),
+        ("gnp", Vec::new()),
+    ];
+    for (i, &client) in scenario.clients().iter().enumerate() {
+        let optimal = scenario
+            .candidates()
+            .iter()
+            .map(|&c| net.rtt(client, c, end).millis())
+            .fold(f64::INFINITY, f64::min);
+        // CRP — only clients it can actually position (zero-overlap
+        // clients would go to a fallback positioning source).
+        if let Ok(ranking) = service.closest(&client, scenario.candidates().to_vec(), end) {
+            if ranking.has_signal() {
+                if let Some(&pick) = ranking.top() {
+                    penalties[0].1.push(net.rtt(client, pick, end).millis() - optimal);
+                }
+            }
+        }
+        // Meridian.
+        let entry = scenario.candidates()[i % scenario.candidates().len()];
+        let m = overlay.closest_node_query(net, entry, client, end);
+        penalties[1].1.push(net.rtt(client, m.selected, end).millis() - optimal);
+        // Coordinate systems pick the candidate with the lowest
+        // estimated RTT.
+        let coord_pick = |est: &dyn Fn(HostId) -> Option<f64>| -> Option<HostId> {
+            scenario
+                .candidates()
+                .iter()
+                .filter_map(|&c| est(c).map(|e| (c, e)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .map(|(c, _)| c)
+        };
+        if let Some(pick) = coord_pick(&|c| vivaldi.estimate(client, c).map(|r| r.millis())) {
+            penalties[2].1.push(net.rtt(client, pick, end).millis() - optimal);
+        }
+        if let Some(pick) = coord_pick(&|c| gnp.estimate(client, c).map(|r| r.millis())) {
+            penalties[3].1.push(net.rtt(client, pick, end).millis() - optimal);
+        }
+    }
+
+    println!("\n  closest-node selection penalty over optimal (ms), plus probing bill:");
+    let bills = [
+        0,
+        overlay.probes_issued(),
+        vivaldi.samples_taken(),
+        gnp.probes_issued(),
+    ];
+    let mut rows = Vec::new();
+    for ((name, series), bill) in penalties.iter().zip(bills) {
+        println!(
+            "    {:<10} {}  probes={}",
+            name,
+            output::summary_line(series),
+            bill
+        );
+        rows.push(format!(
+            "{},{:.3},{:.3},{}",
+            name.replace(' ', "_"),
+            output::mean(series).unwrap_or(f64::NAN),
+            output::quantile(series, 0.9).unwrap_or(f64::NAN),
+            bill
+        ));
+    }
+
+    // ---------------- Clustering task --------------------------------
+    // Cluster the client cohort only (the service also tracked the
+    // candidates for the selection task above).
+    let client_maps: Vec<(HostId, crp_core::RatioMap<crp_cdn::ReplicaId>)> = scenario
+        .clients()
+        .iter()
+        .filter_map(|&c| service.ratio_map(&c, end).ok().map(|m| (c, m)))
+        .collect();
+    let smf = crp_core::Clustering::smf(&client_maps, &crp_core::SmfConfig::paper(0.1));
+    let asn = asn_clustering(net, scenario.clients());
+    let binning = binning_clustering(
+        net,
+        scenario.clients(),
+        &scenario.candidates()[..8.min(scenario.candidates().len())],
+        &BinningConfig::default(),
+        end,
+    );
+    println!("\n  clustering ({} nodes): good clusters <75 ms diameter:", scenario.clients().len());
+    for (name, clustering) in [("crp", &smf), ("asn", &asn), ("binning", &binning)] {
+        let report = QualityReport::evaluate(clustering, |a, b| net.rtt(*a, *b, end).millis());
+        let good = report.good_in_diameter_bucket(0.0, 75.0);
+        let s = clustering.summary();
+        println!(
+            "    {:<8} {} clusters, {} nodes clustered, {} good",
+            name, s.num_clusters, s.nodes_clustered, good
+        );
+        rows.push(format!(
+            "cluster_{name},{},{},{}",
+            s.num_clusters, s.nodes_clustered, good
+        ));
+    }
+
+    output::write_csv(
+        &args.out_dir,
+        "ablation_baselines.csv",
+        "system,mean_penalty_or_clusters,p90_or_clustered,probes_or_good",
+        &rows,
+    );
+}

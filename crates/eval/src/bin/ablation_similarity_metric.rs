@@ -1,0 +1,48 @@
+//! Ablation: does the cosine weighting matter, or only the replica
+//! overlap?
+//!
+//! Reruns the Fig. 4 selection under three similarity metrics — cosine
+//! (the paper's), Jaccard over replica sets, and histogram intersection —
+//! over one shared observation campaign.
+
+use crp_core::SimilarityMetric;
+use crp_eval::closest::average_ranks;
+use crp_eval::output;
+use crp_eval::{run_closest, ClosestConfig, EvalArgs};
+use crp_netsim::SimTime;
+
+fn main() {
+    let args = EvalArgs::parse();
+    let cfg = ClosestConfig {
+        inject_faults: false,
+        ..ClosestConfig::paper(&args)
+    };
+    output::section("ablation", "similarity metric: cosine vs jaccard vs weighted overlap");
+    output::kv(&[("seed", args.seed.to_string())]);
+
+    let run = run_closest(&cfg);
+    let eval_times: Vec<SimTime> = (0..3)
+        .map(|i| SimTime::from_hours(cfg.observe_hours - 8 + i * 4))
+        .collect();
+
+    let mut rows = Vec::new();
+    for metric in SimilarityMetric::ALL {
+        let service = run.service.clone().with_metric(metric);
+        let ranks = average_ranks(&run.scenario, &service, &eval_times);
+        let series: Vec<f64> = ranks.iter().map(|(_, r)| *r).collect();
+        println!("  {:<18} {}", metric.to_string(), output::summary_line(&series));
+        rows.push(format!(
+            "{},{},{:.3},{:.3}",
+            metric,
+            series.len(),
+            output::mean(&series).unwrap_or(f64::NAN),
+            output::quantile(&series, 0.9).unwrap_or(f64::NAN),
+        ));
+    }
+    output::write_csv(
+        &args.out_dir,
+        "ablation_similarity_metric.csv",
+        "metric,clients,mean_rank,p90_rank",
+        &rows,
+    );
+}

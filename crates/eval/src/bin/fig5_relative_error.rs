@@ -1,0 +1,80 @@
+//! Figure 5: relative error — latency to the recommended server minus
+//! latency to the truly closest server, per client.
+//!
+//! Paper shape: most errors are small for both CRP and Meridian; a small
+//! fraction of negative values appears because network dynamics move the
+//! "optimal" during the experiment.
+
+use crp_eval::output::{self, sorted_series};
+use crp_eval::{run_closest, ClosestConfig, EvalArgs};
+use crp_netsim::SimTime;
+
+fn main() {
+    let args = EvalArgs::parse();
+    let cfg = ClosestConfig::paper(&args);
+    output::section("Fig. 5", "relative error of the recommendations");
+    output::kv(&[
+        ("seed", args.seed.to_string()),
+        ("clients", cfg.clients.to_string()),
+        ("candidates", cfg.candidates.to_string()),
+    ]);
+
+    let run = run_closest(&cfg);
+    // Signed errors against an *instantaneous* optimum measured at a
+    // slightly different time than the campaign mean, which is what lets
+    // small negative values appear (network dynamics, as in the paper).
+    let probe_t = SimTime::from_hours(cfg.observe_hours.saturating_sub(1));
+    let net = run.scenario.network();
+    let mut meridian_err = Vec::new();
+    let mut top1_err = Vec::new();
+    let mut top5_err = Vec::new();
+    for o in &run.outcomes {
+        let instant_best = run
+            .scenario
+            .candidates()
+            .iter()
+            .map(|&c| net.rtt(o.client, c, probe_t).millis())
+            .fold(f64::INFINITY, f64::min);
+        meridian_err.push(o.meridian_ms - instant_best);
+        top1_err.push(o.crp_top1_ms - instant_best);
+        top5_err.push(o.crp_top5_ms - instant_best);
+    }
+
+    println!("\n  signed relative error (ms), selected − optimal:");
+    output::kv(&[
+        ("meridian", output::summary_line(&meridian_err)),
+        ("crp top-1", output::summary_line(&top1_err)),
+        ("crp top-5", output::summary_line(&top5_err)),
+    ]);
+    let neg = |v: &[f64]| v.iter().filter(|x| **x < 0.0).count() as f64 / v.len() as f64 * 100.0;
+    output::kv(&[(
+        "negative values (dynamics)",
+        format!(
+            "meridian {:.1}%  top1 {:.1}%  top5 {:.1}%",
+            neg(&meridian_err),
+            neg(&top1_err),
+            neg(&top5_err)
+        ),
+    )]);
+
+    let sm = sorted_series(&meridian_err);
+    let s1 = sorted_series(&top1_err);
+    let s5 = sorted_series(&top5_err);
+    let rows: Vec<String> = (0..sm.len())
+        .map(|i| format!("{},{:.3},{:.3},{:.3}", i, sm[i], s1[i], s5[i]))
+        .collect();
+    output::write_csv(
+        &args.out_dir,
+        "fig5_relative_error.csv",
+        "client_index,meridian_err_ms,crp_top1_err_ms,crp_top5_err_ms",
+        &rows,
+    );
+    output::write_gnuplot(
+        &args.out_dir,
+        "fig5_relative_error",
+        "Fig. 5: relative error of the recommendations",
+        "relative error (ms)",
+        "fig5_relative_error.csv",
+        &[(2, "Meridian"), (3, "CRP Top-1"), (4, "CRP Top-5")],
+    );
+}

@@ -1,0 +1,110 @@
+//! Figure 9: average rank of CRP's Top-1 recommendation under probe
+//! window sizes of all / 30 / 10 / 5 probes, at a fixed 10-minute probe
+//! interval.
+//!
+//! Paper shape: 10 probes suffice (≈100 minutes of bootstrap); 30 adds a
+//! little; 5 is too few; "all probes" is better for about two thirds of
+//! clients but *worse* for the rest, because stale history misrepresents
+//! current network conditions.
+
+use crp::{Scenario, ScenarioConfig};
+use crp_core::{SimilarityMetric, WindowPolicy};
+use crp_eval::closest::average_ranks;
+use crp_eval::output::{self, sorted_series};
+use crp_eval::EvalArgs;
+use crp_netsim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use crp_netsim::HostId;
+
+fn main() {
+    let args = EvalArgs::parse();
+    let hours = args.hours.unwrap_or(48);
+    let scenario = Scenario::build(ScenarioConfig {
+        seed: args.seed,
+        candidate_servers: args.candidates.unwrap_or(240),
+        clients: args.clients.unwrap_or(1_000),
+        cdn_scale: args.scale.unwrap_or(1.0),
+        ..ScenarioConfig::default()
+    });
+    output::section("Fig. 9", "average rank vs probe window size (10-min interval)");
+    output::kv(&[
+        ("seed", args.seed.to_string()),
+        ("clients", scenario.clients().len().to_string()),
+        ("candidates", scenario.candidates().len().to_string()),
+        ("campaign", format!("{hours}h @ 10min")),
+    ]);
+
+    let end = SimTime::from_hours(hours);
+    // One observation campaign, reinterpreted under each window.
+    let base = scenario.observe_all(
+        SimTime::ZERO,
+        end,
+        SimDuration::from_mins(10),
+        WindowPolicy::All,
+        SimilarityMetric::Cosine,
+    );
+    let eval_times: Vec<SimTime> = (0..4)
+        .map(|i| SimTime::from_hours(hours - 12 + i * 4))
+        .collect();
+
+    let windows = [
+        WindowPolicy::All,
+        WindowPolicy::LastProbes(30),
+        WindowPolicy::LastProbes(10),
+        WindowPolicy::LastProbes(5),
+    ];
+    let mut csv_columns: Vec<Vec<f64>> = Vec::new();
+    let mut per_client: Vec<BTreeMap<HostId, f64>> = Vec::new();
+    for w in windows {
+        let service = base.clone().with_window(w);
+        let ranks = average_ranks(&scenario, &service, &eval_times);
+        let series: Vec<f64> = ranks.iter().map(|(_, r)| *r).collect();
+        println!("  window {:<12} {}", w.label(), output::summary_line(&series));
+        per_client.push(ranks.into_iter().collect());
+        csv_columns.push(sorted_series(&series));
+    }
+
+    // The paper's head-to-head: "all probes" vs the 10-probe window.
+    let all_ranks = &per_client[0];
+    let ten_ranks = &per_client[2];
+    let mut all_better = 0usize;
+    let mut ten_better = 0usize;
+    for (client, r_all) in all_ranks {
+        if let Some(r_ten) = ten_ranks.get(client) {
+            if r_all < r_ten {
+                all_better += 1;
+            } else if r_ten < r_all {
+                ten_better += 1;
+            }
+        }
+    }
+    println!(
+        "\n  all-probes better for {all_better} clients, 10-probe window better for {ten_better} \
+         (paper: all-probes wins ~2/3, loses the rest to stale history)"
+    );
+
+    let max_len = csv_columns.iter().map(Vec::len).max().unwrap_or(0);
+    let rows: Vec<String> = (0..max_len)
+        .map(|i| {
+            let cells: Vec<String> = csv_columns
+                .iter()
+                .map(|col| col.get(i).map(|v| format!("{v:.3}")).unwrap_or_default())
+                .collect();
+            format!("{},{}", i, cells.join(","))
+        })
+        .collect();
+    output::write_csv(
+        &args.out_dir,
+        "fig9_window_size.csv",
+        "client_index,rank_all,rank_30,rank_10,rank_5",
+        &rows,
+    );
+    output::write_gnuplot(
+        &args.out_dir,
+        "fig9_window_size",
+        "Fig. 9: average rank vs probe window size",
+        "average rank",
+        "fig9_window_size.csv",
+        &[(2, "all probes"), (3, "30 probes"), (4, "10 probes"), (5, "5 probes")],
+    );
+}

@@ -1,0 +1,118 @@
+//! Multi-seed validation: are the headline results stable across worlds?
+//!
+//! Reruns the two headline experiments (Fig. 4 selection, Table I / Fig. 7
+//! clustering) over several independent seeds at reduced scale and
+//! reports mean ± sample standard deviation of the key metrics — the
+//! check a reviewer would ask for of any simulation study.
+//!
+//! ```text
+//! cargo run --release -p crp-eval --bin multi_seed -- --seed 42
+//! ```
+
+use crp_eval::output;
+use crp_eval::{run_closest, run_clustering, ClosestConfig, ClusterExpConfig, EvalArgs};
+
+const SEEDS: u64 = 5;
+
+fn mean_std(v: &[f64]) -> (f64, f64) {
+    let n = v.len() as f64;
+    let mean = v.iter().sum::<f64>() / n;
+    if v.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+fn main() {
+    let args = EvalArgs::parse();
+    output::section("multi-seed", format!("{SEEDS} independent worlds").as_str());
+
+    let mut crp_better = Vec::new();
+    let mut within7 = Vec::new();
+    let mut crp_penalty = Vec::new();
+    let mut meridian_penalty = Vec::new();
+    let mut clustered_frac = Vec::new();
+    let mut asn_frac = Vec::new();
+    let mut good_ratio = Vec::new();
+
+    for s in 0..SEEDS {
+        let seed = args.seed.wrapping_add(s * 1_000);
+        // Selection at reduced scale.
+        let run = run_closest(&ClosestConfig {
+            seed,
+            candidates: args.candidates.unwrap_or(80),
+            clients: args.clients.unwrap_or(250),
+            observe_hours: args.hours.unwrap_or(12),
+            ..ClosestConfig::paper(&args)
+        });
+        let n = run.outcomes.len() as f64;
+        crp_better.push(
+            run.outcomes
+                .iter()
+                .filter(|o| o.crp_top5_ms < o.meridian_ms)
+                .count() as f64
+                / n
+                * 100.0,
+        );
+        within7.push(
+            run.outcomes
+                .iter()
+                .filter(|o| (o.crp_top5_ms - o.meridian_ms).abs() < 7.0)
+                .count() as f64
+                / n
+                * 100.0,
+        );
+        crp_penalty.push(
+            run.outcomes
+                .iter()
+                .map(|o| o.crp_top1_ms - o.optimal_ms)
+                .sum::<f64>()
+                / n,
+        );
+        meridian_penalty.push(
+            run.outcomes
+                .iter()
+                .map(|o| o.meridian_ms - o.optimal_ms)
+                .sum::<f64>()
+                / n,
+        );
+
+        // Clustering at the paper's node count.
+        let data = run_clustering(&ClusterExpConfig {
+            seed,
+            observe_hours: args.hours.unwrap_or(12),
+            thresholds: vec![0.1],
+            ..ClusterExpConfig::paper(&args)
+        });
+        let (_, crp) = &data.crp[0];
+        clustered_frac.push(crp.summary().fraction_clustered() * 100.0);
+        asn_frac.push(data.asn.summary().fraction_clustered() * 100.0);
+        let crp_good = data.quality(crp).good_in_diameter_bucket(0.0, 75.0) as f64;
+        let asn_good = data.quality(&data.asn).good_in_diameter_bucket(0.0, 75.0) as f64;
+        good_ratio.push(crp_good / asn_good.max(1.0));
+        println!("  seed {seed}: done");
+    }
+
+    println!("\n  metric (mean ± std over {SEEDS} seeds; paper reference in parens):");
+    let mut rows = Vec::new();
+    for (label, series, reference) in [
+        ("CRP Top-5 better than Meridian (%)", &crp_better, ">25"),
+        ("CRP Top-5 within 7 ms of Meridian (%)", &within7, "~65"),
+        ("CRP Top-1 penalty (ms)", &crp_penalty, "small"),
+        ("Meridian penalty (ms)", &meridian_penalty, "small"),
+        ("CRP nodes clustered at t=0.1 (%)", &clustered_frac, "72"),
+        ("ASN nodes clustered (%)", &asn_frac, "23"),
+        ("good clusters, CRP / ASN", &good_ratio, ">1.5"),
+    ] {
+        let (m, sd) = mean_std(series);
+        println!("    {label:<42} {m:7.1} ± {sd:4.1}   ({reference})");
+        rows.push(format!("{},{m:.3},{sd:.3}", label.replace(',', ";")));
+    }
+    output::write_csv(
+        &args.out_dir,
+        "multi_seed.csv",
+        "metric,mean,std",
+        &rows,
+    );
+}

@@ -1,0 +1,57 @@
+//! Runs every experiment binary in sequence with shared flags —
+//! regenerates all tables and figures in one command:
+//!
+//! ```text
+//! cargo run --release -p crp-eval --bin run_all [-- --seed 42 ...]
+//! ```
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "fig4_closest_latency",
+    "fig5_relative_error",
+    "table1_cluster_summary",
+    "fig6_cluster_cdf",
+    "fig7_good_clusters",
+    "fig8_probe_interval",
+    "fig9_window_size",
+    "forensics_tail_errors",
+    "ablation_name_filter",
+    "ablation_similarity_metric",
+    "ablation_smf_init",
+    "ablation_detour",
+    "ablation_overhead",
+    "ablation_passive_bootstrap",
+    "ablation_cluster_stability",
+    "ablation_baselines",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let me = std::env::current_exe().expect("current executable path");
+    let dir = me.parent().expect("executable has a parent directory");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        let path = dir.join(exp);
+        if !path.exists() {
+            eprintln!("[run_all] {exp}: missing binary {path:?} (build the workspace first)");
+            failures.push(*exp);
+            continue;
+        }
+        eprintln!("[run_all] running {exp} ...");
+        let status = Command::new(&path)
+            .args(&args)
+            .status()
+            .expect("spawn experiment");
+        if !status.success() {
+            eprintln!("[run_all] {exp} FAILED with {status}");
+            failures.push(*exp);
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("[run_all] all {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("[run_all] failures: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal command-line parsing shared by the experiment binaries.
+
+use std::collections::HashMap;
+
+/// Flags common to every experiment binary.
+///
+/// Unknown flags abort with a message; every flag takes one value:
+/// `--seed 7 --clients 200 --candidates 60 --hours 12 --scale 0.5`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EvalArgs {
+    /// Master seed (default 42).
+    pub seed: u64,
+    /// Client population size (default: per-experiment paper scale).
+    pub clients: Option<usize>,
+    /// Candidate-server population size.
+    pub candidates: Option<usize>,
+    /// Observation-campaign length in hours.
+    pub hours: Option<u64>,
+    /// CDN footprint scale.
+    pub scale: Option<f64>,
+    /// Output directory for CSV series (default `results`).
+    pub out_dir: String,
+}
+
+impl Default for EvalArgs {
+    fn default() -> Self {
+        EvalArgs {
+            seed: 42,
+            clients: None,
+            candidates: None,
+            hours: None,
+            scale: None,
+            out_dir: "results".to_owned(),
+        }
+    }
+}
+
+impl EvalArgs {
+    /// Parses `std::env::args`, aborting the process with a usage
+    /// message on malformed input.
+    pub fn parse() -> EvalArgs {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit argument list (testable core of [`parse`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unknown flags, missing values, or unparseable numbers.
+    ///
+    /// [`parse`]: EvalArgs::parse
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> EvalArgs {
+        let mut map: HashMap<String, String> = HashMap::new();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let key = flag
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("unexpected argument `{flag}`; flags look like --seed 7"))
+                .to_owned();
+            let value = it
+                .next()
+                .unwrap_or_else(|| panic!("flag --{key} requires a value"));
+            map.insert(key, value);
+        }
+        let mut out = EvalArgs::default();
+        for (k, v) in map {
+            match k.as_str() {
+                "seed" => out.seed = v.parse().expect("--seed takes an integer"),
+                "clients" => out.clients = Some(v.parse().expect("--clients takes an integer")),
+                "candidates" => {
+                    out.candidates = Some(v.parse().expect("--candidates takes an integer"))
+                }
+                "hours" => out.hours = Some(v.parse().expect("--hours takes an integer")),
+                "scale" => out.scale = Some(v.parse().expect("--scale takes a float")),
+                "out" => out.out_dir = v,
+                other => panic!("unknown flag --{other}"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> EvalArgs {
+        EvalArgs::from_args(s.split_whitespace().map(str::to_owned))
+    }
+
+    #[test]
+    fn defaults_when_empty() {
+        let a = parse("");
+        assert_eq!(a, EvalArgs::default());
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse("--seed 7 --clients 100 --candidates 30 --hours 12 --scale 0.5 --out /tmp/r");
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.clients, Some(100));
+        assert_eq!(a.candidates, Some(30));
+        assert_eq!(a.hours, Some(12));
+        assert_eq!(a.scale, Some(0.5));
+        assert_eq!(a.out_dir, "/tmp/r");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown_flag() {
+        let _ = parse("--bogus 1");
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a value")]
+    fn rejects_missing_value() {
+        let _ = parse("--seed");
+    }
+}

@@ -1,0 +1,26 @@
+//! Experiment harness for the CRP reproduction.
+//!
+//! One binary per table/figure of the ICDCS 2008 evaluation, plus
+//! ablations. The binaries share the kernels in [`closest`] and
+//! [`clusterexp`], parse a common set of command-line flags ([`cli`]),
+//! and emit both human-readable tables on stdout and CSV series under
+//! `results/` ([`output`]).
+//!
+//! Run everything at paper scale with:
+//!
+//! ```text
+//! cargo run --release -p crp-eval --bin run_all
+//! ```
+//!
+//! Every binary accepts `--seed N` and scale flags so the experiments
+//! can be re-run cheaply (`--clients 200 --candidates 60`) or at full
+//! paper scale (the defaults).
+
+pub mod cli;
+pub mod closest;
+pub mod clusterexp;
+pub mod output;
+
+pub use cli::EvalArgs;
+pub use closest::{run_closest, ClientOutcome, ClosestConfig};
+pub use clusterexp::{run_clustering, ClusterExpConfig, ClusterExpData};

@@ -1,0 +1,207 @@
+//! Deployment pathologies observed in the paper's Meridian comparison.
+//!
+//! §V-A attributes most Meridian errors to the live deployment rather
+//! than the algorithm:
+//!
+//! * `planetlab1.cis.upenn.edu` restarted and spent 7 hours recommending
+//!   *itself* as the closest node to every query (bootstrap phase);
+//! * several hosts never successfully joined the overlay during the
+//!   5-day experiment and likewise answered with themselves;
+//! * host pairs such as `planetlab[1,2].iii.u-tokyo.ac.jp` connected
+//!   only to their colocated twin and returned themselves or the twin.
+//!
+//! [`FaultPlan`] injects these behaviors at query time.
+
+use crp_netsim::{HostId, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// What a faulty node does when a query reaches it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum FaultBehavior {
+    /// Answers with itself, ignoring the request parameters.
+    SelfRecommend,
+    /// Answers with itself or its colocated twin.
+    SiteIsolated {
+        /// The only peer the node knows.
+        twin: HostId,
+    },
+}
+
+/// The set of injected deployment faults.
+///
+/// # Example
+///
+/// ```
+/// use crp_meridian::FaultPlan;
+/// use crp_netsim::{NetworkBuilder, PopulationSpec, SimTime};
+///
+/// let mut net = NetworkBuilder::new(1).build();
+/// let hosts = net.add_population(&PopulationSpec::planetlab(4));
+/// let plan = FaultPlan::none()
+///     .with_bootstrap_self_recommend(hosts[0], SimTime::from_hours(17))
+///     .with_never_joined(hosts[1])
+///     .with_site_isolated_pair(hosts[2], hosts[3]);
+/// assert!(plan.behavior_at(hosts[0], SimTime::from_hours(5)).is_some());
+/// assert!(plan.behavior_at(hosts[0], SimTime::from_hours(20)).is_none());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    bootstrap_until: HashMap<HostId, SimTime>,
+    never_joined: HashSet<HostId>,
+    site_twin: HashMap<HostId, HostId>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults — the idealized deployment.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Marks `node` as freshly restarted: until `until`, it recommends
+    /// itself to every query.
+    pub fn with_bootstrap_self_recommend(mut self, node: HostId, until: SimTime) -> Self {
+        self.bootstrap_until.insert(node, until);
+        self
+    }
+
+    /// Marks `node` as never having joined the overlay: it recommends
+    /// itself for the whole experiment.
+    pub fn with_never_joined(mut self, node: HostId) -> Self {
+        self.never_joined.insert(node);
+        self
+    }
+
+    /// Marks `a` and `b` as a site-isolated pair: each only knows the
+    /// other.
+    pub fn with_site_isolated_pair(mut self, a: HostId, b: HostId) -> Self {
+        self.site_twin.insert(a, b);
+        self.site_twin.insert(b, a);
+        self
+    }
+
+    /// Whether any fault is configured.
+    pub fn is_empty(&self) -> bool {
+        self.bootstrap_until.is_empty() && self.never_joined.is_empty() && self.site_twin.is_empty()
+    }
+
+    /// Hosts that answer with themselves for the entire experiment.
+    pub fn never_joined(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.never_joined.iter().copied()
+    }
+
+    /// The fault behavior of `node` at time `t`, or `None` if the node
+    /// is healthy then.
+    pub fn behavior_at(&self, node: HostId, t: SimTime) -> Option<FaultBehavior> {
+        if self.never_joined.contains(&node) {
+            return Some(FaultBehavior::SelfRecommend);
+        }
+        if let Some(until) = self.bootstrap_until.get(&node) {
+            if t < *until {
+                return Some(FaultBehavior::SelfRecommend);
+            }
+        }
+        if let Some(twin) = self.site_twin.get(&node) {
+            return Some(FaultBehavior::SiteIsolated { twin: *twin });
+        }
+        None
+    }
+
+    /// A plan reproducing the density of pathologies the paper reports
+    /// for its 240-node deployment, scaled to `members`: one node in
+    /// bootstrap self-recommendation for the first `bootstrap_hours`,
+    /// roughly 1.5% never joined, and one site-isolated pair per ~120
+    /// nodes.
+    pub fn paper_like(members: &[HostId], bootstrap_hours: u64) -> Self {
+        let mut plan = FaultPlan::none();
+        if members.is_empty() {
+            return plan;
+        }
+        let n = members.len();
+        plan = plan.with_bootstrap_self_recommend(
+            members[0],
+            SimTime::from_hours(bootstrap_hours),
+        );
+        let never = (n as f64 * 0.015).round() as usize;
+        for &m in members.iter().skip(1).take(never) {
+            plan = plan.with_never_joined(m);
+        }
+        let pairs = n / 120;
+        for p in 0..pairs {
+            let a = members[(1 + never + 2 * p) % n];
+            let b = members[(2 + never + 2 * p) % n];
+            if a != b {
+                plan = plan.with_site_isolated_pair(a, b);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_netsim::{NetworkBuilder, PopulationSpec};
+
+    fn hosts(n: usize) -> Vec<HostId> {
+        let mut net = NetworkBuilder::new(5)
+            .tier1_count(2)
+            .transit_per_region(1)
+            .stubs_per_region(2)
+            .build();
+        net.add_population(&PopulationSpec::planetlab(n))
+    }
+
+    #[test]
+    fn bootstrap_fault_expires() {
+        let h = hosts(2);
+        let plan = FaultPlan::none().with_bootstrap_self_recommend(h[0], SimTime::from_hours(10));
+        assert_eq!(
+            plan.behavior_at(h[0], SimTime::from_hours(9)),
+            Some(FaultBehavior::SelfRecommend)
+        );
+        assert_eq!(plan.behavior_at(h[0], SimTime::from_hours(10)), None);
+        assert_eq!(plan.behavior_at(h[1], SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn never_joined_is_permanent() {
+        let h = hosts(1);
+        let plan = FaultPlan::none().with_never_joined(h[0]);
+        assert_eq!(
+            plan.behavior_at(h[0], SimTime::from_hours(1_000)),
+            Some(FaultBehavior::SelfRecommend)
+        );
+    }
+
+    #[test]
+    fn site_isolation_is_mutual() {
+        let h = hosts(2);
+        let plan = FaultPlan::none().with_site_isolated_pair(h[0], h[1]);
+        assert_eq!(
+            plan.behavior_at(h[0], SimTime::ZERO),
+            Some(FaultBehavior::SiteIsolated { twin: h[1] })
+        );
+        assert_eq!(
+            plan.behavior_at(h[1], SimTime::ZERO),
+            Some(FaultBehavior::SiteIsolated { twin: h[0] })
+        );
+    }
+
+    #[test]
+    fn paper_like_plan_scales() {
+        let h = hosts(240);
+        let plan = FaultPlan::paper_like(&h, 17);
+        assert!(!plan.is_empty());
+        let faulty = h
+            .iter()
+            .filter(|x| plan.behavior_at(**x, SimTime::from_hours(1)).is_some())
+            .count();
+        assert!((3..=12).contains(&faulty), "got {faulty} faulty nodes");
+    }
+
+    #[test]
+    fn empty_members_gives_empty_plan() {
+        let plan = FaultPlan::paper_like(&[], 17);
+        assert!(plan.is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the Meridian baseline.
+
+use crp_meridian::{FaultPlan, MeridianConfig, MeridianOverlay};
+use crp_meridian::rings::RingGeometry;
+use crp_netsim::{NetworkBuilder, PopulationSpec, Rtt, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ring_index_is_monotone_in_latency(a in 0.1f64..5_000.0, b in 0.1f64..5_000.0) {
+        let g = RingGeometry::default();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            g.ring_of(Rtt::from_millis(lo)) <= g.ring_of(Rtt::from_millis(hi)),
+            "ring index must grow with latency"
+        );
+    }
+
+    #[test]
+    fn ring_index_is_bounded(ms in 0.0f64..1.0e9) {
+        let g = RingGeometry::default();
+        prop_assert!(g.ring_of(Rtt::from_millis(ms)) < g.total_rings());
+    }
+
+    #[test]
+    fn queries_always_return_members_or_faulty_entries(
+        seed in 0u64..12,
+        n_members in 8usize..24,
+        t_mins in 0u64..3_000,
+    ) {
+        let mut net = NetworkBuilder::new(seed)
+            .tier1_count(3)
+            .transit_per_region(1)
+            .stubs_per_region(3)
+            .build();
+        let members = net.add_population(&PopulationSpec::planetlab(n_members));
+        let clients = net.add_population(&PopulationSpec::dns_servers(2));
+        let overlay = MeridianOverlay::build(
+            &net,
+            &members,
+            MeridianConfig { seed, ..MeridianConfig::default() },
+            FaultPlan::none(),
+        );
+        let t = SimTime::from_mins(t_mins);
+        for &entry in members.iter().take(4) {
+            let r = overlay.closest_node_query(&net, entry, clients[0], t);
+            prop_assert!(members.contains(&r.selected));
+            prop_assert!(r.probes > 0, "queries must measure");
+            // The reported RTT is the true RTT of the selected node.
+            prop_assert_eq!(r.selected_rtt, net.rtt(r.selected, clients[0], t));
+        }
+    }
+
+    #[test]
+    fn query_result_never_worse_than_entry_node(
+        seed in 0u64..12,
+        t_mins in 0u64..2_000,
+    ) {
+        let mut net = NetworkBuilder::new(seed)
+            .tier1_count(3)
+            .transit_per_region(1)
+            .stubs_per_region(3)
+            .build();
+        let members = net.add_population(&PopulationSpec::planetlab(16));
+        let clients = net.add_population(&PopulationSpec::dns_servers(1));
+        let overlay = MeridianOverlay::build(
+            &net,
+            &members,
+            MeridianConfig { seed, ..MeridianConfig::default() },
+            FaultPlan::none(),
+        );
+        let t = SimTime::from_mins(t_mins);
+        let entry = members[0];
+        let r = overlay.closest_node_query(&net, entry, clients[0], t);
+        let entry_rtt = net.rtt(entry, clients[0], t);
+        prop_assert!(
+            r.selected_rtt <= entry_rtt,
+            "search must not move away: selected {} vs entry {}",
+            r.selected_rtt,
+            entry_rtt
+        );
+    }
+
+    #[test]
+    fn never_joined_nodes_are_excluded_from_membership(
+        seed in 0u64..8,
+        kill in 0usize..6,
+    ) {
+        let mut net = NetworkBuilder::new(seed)
+            .tier1_count(3)
+            .transit_per_region(1)
+            .stubs_per_region(3)
+            .build();
+        let members = net.add_population(&PopulationSpec::planetlab(12));
+        let plan = FaultPlan::none().with_never_joined(members[kill]);
+        let overlay = MeridianOverlay::build(&net, &members, MeridianConfig::default(), plan);
+        prop_assert_eq!(overlay.member_count(), 11);
+    }
+}

@@ -1,0 +1,108 @@
+//! Serializable world exports.
+//!
+//! A [`WorldDescription`] is a complete, serializable image of a
+//! generated world — ASes, adjacency, metros, hosts, and the latency
+//! configuration — for external analysis (plotting topologies, feeding
+//! other simulators, archiving the exact world behind a published
+//! figure). It is an *export*, not a save-game: worlds are cheap to
+//! regenerate from their seed, which is also the only way to preserve
+//! the deterministic host-placement stream.
+
+use crate::geo::{GeoPoint, Region};
+use crate::latency::LatencyConfig;
+use crate::topology::{AutonomousSystem, Host, Network};
+use serde::{Deserialize, Serialize};
+
+/// A complete structural description of a generated world.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorldDescription {
+    /// The seed that generated (and can regenerate) the world.
+    pub seed: u64,
+    /// Every autonomous system.
+    pub ases: Vec<AutonomousSystem>,
+    /// AS adjacency lists, indexed by AS index.
+    pub adjacency: Vec<Vec<u32>>,
+    /// Metro locations per region, in [`Region::ALL`] order.
+    pub metros: Vec<(Region, Vec<GeoPoint>)>,
+    /// Every host, in attachment order.
+    pub hosts: Vec<Host>,
+    /// The latency model parameters.
+    pub latency: LatencyConfig,
+}
+
+impl WorldDescription {
+    /// Total link count in the AS graph.
+    pub fn link_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+}
+
+impl Network {
+    /// Exports the world's full structure.
+    pub fn describe(&self) -> WorldDescription {
+        WorldDescription {
+            seed: self.seed(),
+            ases: self.ases().to_vec(),
+            adjacency: (0..self.ases().len())
+                .map(|i| self.as_neighbors(self.ases()[i].id()).to_vec())
+                .collect(),
+            metros: Region::ALL
+                .iter()
+                .map(|r| (*r, self.metros_of(*r).to_vec()))
+                .collect(),
+            hosts: self.hosts().to_vec(),
+            latency: self.latency_config().clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationSpec;
+    use crate::topology::NetworkBuilder;
+
+    fn world() -> Network {
+        let mut net = NetworkBuilder::new(81)
+            .tier1_count(3)
+            .transit_per_region(1)
+            .stubs_per_region(3)
+            .build();
+        net.add_population(&PopulationSpec::dns_servers(10));
+        net
+    }
+
+    #[test]
+    fn description_matches_the_network() {
+        let net = world();
+        let d = net.describe();
+        assert_eq!(d.seed, net.seed());
+        assert_eq!(d.ases.len(), net.ases().len());
+        assert_eq!(d.hosts.len(), net.host_count());
+        assert_eq!(d.adjacency.len(), d.ases.len());
+        assert!(d.link_count() > d.ases.len() - 1, "graph is connected");
+        let metro_total: usize = d.metros.iter().map(|(_, m)| m.len()).sum();
+        assert_eq!(metro_total, 22 * Region::ALL.len());
+    }
+
+    #[test]
+    fn description_serializes_to_json_and_back() {
+        let net = world();
+        let d = net.describe();
+        let json = serde_json::to_string(&d).expect("serializes");
+        let back: WorldDescription = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.seed, d.seed);
+        assert_eq!(back.hosts.len(), d.hosts.len());
+        assert_eq!(back.link_count(), d.link_count());
+    }
+
+    #[test]
+    fn same_seed_gives_same_description() {
+        let a = world().describe();
+        let b = world().describe();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+}

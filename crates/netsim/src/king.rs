@@ -1,0 +1,265 @@
+//! The King RTT-estimation technique, as an error model.
+//!
+//! The paper's "ground truth" inter-host RTTs were obtained with King
+//! (Gummadi et al., IMW 2002), which estimates the latency between two DNS
+//! servers by issuing recursive queries through one for a name served by
+//! the other. King is accurate but not exact: published error is roughly
+//! ±10–20% around the direct measurement, and a small fraction of
+//! measurements fail outright (non-recursive servers, timeouts).
+//!
+//! [`KingEstimator`] wraps a [`Network`] and reproduces those properties
+//! deterministically, so experiments that rank servers by "measured" RTT
+//! inherit realistic measurement fuzz instead of oracle-perfect data.
+
+use crate::noise;
+use crate::rtt::Rtt;
+use crate::time::SimTime;
+use crate::topology::{HostId, Network};
+use serde::{Deserialize, Serialize};
+
+/// Error-model parameters for King measurements.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KingConfig {
+    /// Standard deviation of the multiplicative error (0.12 ≈ the
+    /// published median error band).
+    pub rel_err_sigma: f64,
+    /// Probability that a measurement fails and returns `None`.
+    pub failure_rate: f64,
+    /// Additive overhead of the recursive-query round trip, in ms.
+    pub overhead_ms: f64,
+}
+
+impl Default for KingConfig {
+    fn default() -> Self {
+        KingConfig {
+            rel_err_sigma: 0.12,
+            failure_rate: 0.02,
+            overhead_ms: 1.5,
+        }
+    }
+}
+
+impl KingConfig {
+    /// An oracle configuration with no error or failures, for tests.
+    pub fn exact() -> Self {
+        KingConfig {
+            rel_err_sigma: 0.0,
+            failure_rate: 0.0,
+            overhead_ms: 0.0,
+        }
+    }
+}
+
+/// Estimates inter-host RTTs the way the King technique would.
+///
+/// # Example
+///
+/// ```
+/// use crp_netsim::{KingConfig, KingEstimator, NetworkBuilder, PopulationSpec, SimTime};
+///
+/// let mut net = NetworkBuilder::new(5).build();
+/// let hosts = net.add_population(&PopulationSpec::dns_servers(4));
+/// let king = KingEstimator::new(&net, KingConfig::default());
+/// if let Some(est) = king.estimate(hosts[0], hosts[1], SimTime::ZERO) {
+///     assert!(est.millis() > 0.0);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct KingEstimator<'a> {
+    net: &'a Network,
+    cfg: KingConfig,
+}
+
+/// Noise-stream tags.
+const TAG_KING_ERR: u64 = 0x21;
+const TAG_KING_FAIL: u64 = 0x22;
+
+impl<'a> KingEstimator<'a> {
+    /// Creates an estimator over `net` with the given error model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rel_err_sigma` is negative or `failure_rate` is outside
+    /// `[0, 1]`.
+    pub fn new(net: &'a Network, cfg: KingConfig) -> Self {
+        assert!(cfg.rel_err_sigma >= 0.0, "sigma must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&cfg.failure_rate),
+            "failure rate must be a probability"
+        );
+        KingEstimator { net, cfg }
+    }
+
+    /// The error-model parameters.
+    pub fn config(&self) -> &KingConfig {
+        &self.cfg
+    }
+
+    /// A single King measurement of the RTT between hosts `a` and `b` at
+    /// time `t`, or `None` if the measurement fails.
+    pub fn estimate(&self, a: HostId, b: HostId, t: SimTime) -> Option<Rtt> {
+        let (lo, hi) = if a.key() <= b.key() { (a, b) } else { (b, a) };
+        let seed = self.net.seed();
+        let fail_draw = noise::uniform(&[seed, TAG_KING_FAIL, lo.key(), hi.key(), t.as_millis()]);
+        if fail_draw < self.cfg.failure_rate {
+            return None;
+        }
+        let truth = self.net.rtt(a, b, t);
+        let eps = noise::gaussian(&[seed, TAG_KING_ERR, lo.key(), hi.key(), t.as_millis()])
+            * self.cfg.rel_err_sigma;
+        // Clamp so gross outliers cannot produce negative estimates.
+        let factor = (1.0 + eps).max(0.2);
+        Some(Rtt::from_millis(truth.millis() * factor + self.cfg.overhead_ms))
+    }
+
+    /// The median of up to `attempts` measurements spread over
+    /// `[start, end)` — how the paper aggregated repeated King runs.
+    /// Returns `None` if every attempt fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is zero or the interval is empty.
+    pub fn median_estimate(
+        &self,
+        a: HostId,
+        b: HostId,
+        start: SimTime,
+        end: SimTime,
+        attempts: usize,
+    ) -> Option<Rtt> {
+        assert!(attempts > 0, "need at least one attempt");
+        assert!(end > start, "empty measurement interval");
+        let span = (end - start).as_millis();
+        let step = (span / attempts as u64).max(1);
+        let mut got: Vec<Rtt> = (0..attempts)
+            .filter_map(|i| {
+                self.estimate(a, b, SimTime::from_millis(start.as_millis() + i as u64 * step))
+            })
+            .collect();
+        if got.is_empty() {
+            return None;
+        }
+        got.sort();
+        Some(got[got.len() / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geo::Region;
+    use crate::topology::NetworkBuilder;
+
+    fn net() -> Network {
+        let mut net = NetworkBuilder::new(11)
+            .tier1_count(3)
+            .transit_per_region(2)
+            .stubs_per_region(4)
+            .build();
+        for i in 0..6 {
+            net.add_host(Region::Europe, (0.5, 4.0), format!("d{i}"));
+        }
+        net
+    }
+
+    #[test]
+    fn exact_config_matches_truth() {
+        let net = net();
+        let king = KingEstimator::new(&net, KingConfig::exact());
+        let a = net.hosts()[0].id();
+        let b = net.hosts()[1].id();
+        let t = SimTime::from_mins(10);
+        assert_eq!(king.estimate(a, b, t), Some(net.rtt(a, b, t)));
+    }
+
+    #[test]
+    fn errors_are_bounded_multiplicatively() {
+        let net = net();
+        let king = KingEstimator::new(&net, KingConfig::default());
+        let a = net.hosts()[0].id();
+        let b = net.hosts()[2].id();
+        for i in 0..200 {
+            let t = SimTime::from_mins(i);
+            if let Some(est) = king.estimate(a, b, t) {
+                let truth = net.rtt(a, b, t);
+                let ratio = est.millis() / truth.millis();
+                assert!((0.2..2.5).contains(&ratio), "ratio {ratio} implausible");
+            }
+        }
+    }
+
+    #[test]
+    fn failures_occur_at_configured_rate() {
+        let net = net();
+        let king = KingEstimator::new(
+            &net,
+            KingConfig {
+                failure_rate: 0.5,
+                ..KingConfig::default()
+            },
+        );
+        let a = net.hosts()[1].id();
+        let b = net.hosts()[3].id();
+        let fails = (0..1_000)
+            .filter(|i| king.estimate(a, b, SimTime::from_secs(*i)).is_none())
+            .count();
+        assert!((350..650).contains(&fails), "got {fails} failures of 1000");
+    }
+
+    #[test]
+    fn median_estimate_survives_partial_failures() {
+        let net = net();
+        let king = KingEstimator::new(
+            &net,
+            KingConfig {
+                failure_rate: 0.3,
+                ..KingConfig::default()
+            },
+        );
+        let a = net.hosts()[0].id();
+        let b = net.hosts()[4].id();
+        let m = king.median_estimate(a, b, SimTime::ZERO, SimTime::from_hours(1), 9);
+        assert!(m.is_some());
+    }
+
+    #[test]
+    fn median_none_when_all_fail() {
+        let net = net();
+        let king = KingEstimator::new(
+            &net,
+            KingConfig {
+                failure_rate: 1.0,
+                ..KingConfig::default()
+            },
+        );
+        let a = net.hosts()[0].id();
+        let b = net.hosts()[1].id();
+        assert_eq!(
+            king.median_estimate(a, b, SimTime::ZERO, SimTime::from_mins(5), 4),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_failure_rate() {
+        let net = net();
+        let _ = KingEstimator::new(
+            &net,
+            KingConfig {
+                failure_rate: 1.5,
+                ..KingConfig::default()
+            },
+        );
+    }
+
+    #[test]
+    fn estimate_symmetric_in_arguments() {
+        let net = net();
+        let king = KingEstimator::new(&net, KingConfig::default());
+        let a = net.hosts()[2].id();
+        let b = net.hosts()[5].id();
+        let t = SimTime::from_mins(77);
+        assert_eq!(king.estimate(a, b, t), king.estimate(b, a, t));
+    }
+}

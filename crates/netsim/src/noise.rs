@@ -1,0 +1,130 @@
+//! Deterministic noise primitives.
+//!
+//! Every stochastic quantity in the substrate (congestion level, jitter,
+//! measurement error) is a *pure function* of a seed and the identities
+//! involved, built on SplitMix64. This makes RTTs queryable at arbitrary
+//! simulated times with no hidden state, which in turn makes the whole
+//! evaluation reproducible and order-independent.
+
+/// Advances a SplitMix64 state and returns the next 64-bit output.
+///
+/// # Example
+///
+/// ```
+/// let a = crp_netsim::noise::splitmix64(42);
+/// let b = crp_netsim::noise::splitmix64(42);
+/// assert_eq!(a, b);
+/// ```
+pub fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes an arbitrary list of 64-bit words into a single hash.
+///
+/// Used to derive independent noise streams for tuples such as
+/// `(seed, link_a, link_b, time_bucket)`.
+pub fn mix(words: &[u64]) -> u64 {
+    let mut acc = 0x243F_6A88_85A3_08D3u64; // pi fractional bits
+    for &w in words {
+        acc = splitmix64(acc ^ w);
+    }
+    splitmix64(acc)
+}
+
+/// A uniform sample in `[0, 1)` derived from the given words.
+pub fn uniform(words: &[u64]) -> f64 {
+    // 53 high bits -> uniform double in [0,1).
+    (mix(words) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A standard-normal sample derived from the given words (Box–Muller).
+pub fn gaussian(words: &[u64]) -> f64 {
+    let u1 = uniform(&[mix(words), 0x1]).max(f64::MIN_POSITIVE);
+    let u2 = uniform(&[mix(words), 0x2]);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Smooth noise in `[0, 1]`: piecewise-linear interpolation of per-bucket
+/// uniform samples over time.
+///
+/// `t_millis` is the query time, `bucket_millis` the knot spacing. Adjacent
+/// queries inside a bucket see a continuous ramp rather than a jump, which
+/// models slowly-drifting congestion rather than white noise.
+///
+/// # Panics
+///
+/// Panics if `bucket_millis` is zero.
+pub fn smooth(words: &[u64], t_millis: u64, bucket_millis: u64) -> f64 {
+    assert!(bucket_millis > 0, "bucket_millis must be non-zero");
+    let bucket = t_millis / bucket_millis;
+    let frac = (t_millis % bucket_millis) as f64 / bucket_millis as f64;
+    let base = mix(words);
+    let v0 = uniform(&[base, bucket]);
+    let v1 = uniform(&[base, bucket + 1]);
+    v0 + (v1 - v0) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_is_deterministic_and_sensitive() {
+        assert_eq!(mix(&[1, 2, 3]), mix(&[1, 2, 3]));
+        assert_ne!(mix(&[1, 2, 3]), mix(&[1, 2, 4]));
+        assert_ne!(mix(&[1, 2, 3]), mix(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        for i in 0..1_000u64 {
+            let v = uniform(&[i, 7]);
+            assert!((0.0..1.0).contains(&v), "sample {v} out of range");
+        }
+    }
+
+    #[test]
+    fn uniform_has_reasonable_mean() {
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|i| uniform(&[i])).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gaussian_has_reasonable_moments() {
+        let n = 10_000u64;
+        let samples: Vec<f64> = (0..n).map(|i| gaussian(&[i, 99])).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} far from 1");
+    }
+
+    #[test]
+    fn smooth_is_continuous_within_bucket() {
+        let words = [5u64, 6u64];
+        let a = smooth(&words, 1_000, 10_000);
+        let b = smooth(&words, 1_001, 10_000);
+        assert!((a - b).abs() < 0.01, "adjacent samples jumped: {a} vs {b}");
+    }
+
+    #[test]
+    fn smooth_interpolates_between_knots() {
+        let words = [9u64];
+        let start = smooth(&words, 0, 1_000);
+        let end = smooth(&words, 999, 1_000);
+        let mid = smooth(&words, 500, 1_000);
+        // Mid-point of a linear ramp lies between (or at) the endpoints.
+        let (lo, hi) = if start <= end { (start, end) } else { (end, start) };
+        assert!(mid >= lo - 1e-9 && mid <= hi + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket_millis must be non-zero")]
+    fn smooth_rejects_zero_bucket() {
+        let _ = smooth(&[1], 0, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Round-trip-time values.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Sub};
+
+/// A round-trip time in milliseconds.
+///
+/// `Rtt` is a thin newtype over `f64` that guarantees the value is finite
+/// and non-negative, and provides a total order (so RTTs can be sorted
+/// without `partial_cmp().unwrap()` noise at every call site).
+///
+/// # Example
+///
+/// ```
+/// use crp_netsim::Rtt;
+///
+/// let mut rtts = vec![Rtt::from_millis(30.0), Rtt::from_millis(12.5)];
+/// rtts.sort();
+/// assert_eq!(rtts[0].millis(), 12.5);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rtt(f64);
+
+impl Rtt {
+    /// The zero round-trip time.
+    pub const ZERO: Rtt = Rtt(0.0);
+
+    /// Creates an RTT from a millisecond value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `millis` is negative, NaN or infinite; simulated latency
+    /// models must never produce such values.
+    pub fn from_millis(millis: f64) -> Self {
+        assert!(
+            millis.is_finite() && millis >= 0.0,
+            "RTT must be finite and non-negative, got {millis}"
+        );
+        Rtt(millis)
+    }
+
+    /// The RTT in milliseconds.
+    pub const fn millis(self) -> f64 {
+        self.0
+    }
+
+    /// The arithmetic mean of a non-empty set of RTTs, or `None` if empty.
+    pub fn mean<I: IntoIterator<Item = Rtt>>(rtts: I) -> Option<Rtt> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in rtts {
+            sum += r.0;
+            n += 1;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(Rtt(sum / n as f64))
+        }
+    }
+
+    /// The signed difference `self - other` in milliseconds.
+    ///
+    /// Unlike [`Sub`], which saturates at zero (an `Rtt` cannot be
+    /// negative), this exposes the sign — the paper's Fig. 5 plots signed
+    /// relative errors, where negatives arise from network dynamics.
+    pub fn signed_diff_millis(self, other: Rtt) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl Eq for Rtt {}
+
+impl Ord for Rtt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Values are guaranteed finite, so total_cmp agrees with the
+        // intuitive numeric order.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for Rtt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Add for Rtt {
+    type Output = Rtt;
+
+    fn add(self, rhs: Rtt) -> Rtt {
+        Rtt(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Rtt {
+    type Output = Rtt;
+
+    /// Saturating subtraction: the result is clamped at zero.
+    fn sub(self, rhs: Rtt) -> Rtt {
+        Rtt((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl std::ops::Mul<f64> for Rtt {
+    type Output = Rtt;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is negative or not finite.
+    fn mul(self, rhs: f64) -> Rtt {
+        assert!(rhs.is_finite() && rhs >= 0.0, "factor must be non-negative");
+        Rtt(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Rtt {
+    type Output = Rtt;
+
+    /// # Panics
+    ///
+    /// Panics if `rhs` is not a positive finite number.
+    fn div(self, rhs: f64) -> Rtt {
+        assert!(rhs.is_finite() && rhs > 0.0, "divisor must be positive");
+        Rtt(self.0 / rhs)
+    }
+}
+
+impl Sum for Rtt {
+    fn sum<I: Iterator<Item = Rtt>>(iter: I) -> Rtt {
+        Rtt(iter.map(|r| r.0).sum())
+    }
+}
+
+impl fmt::Display for Rtt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}ms", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_numeric() {
+        let a = Rtt::from_millis(10.0);
+        let b = Rtt::from_millis(20.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_negative() {
+        let _ = Rtt::from_millis(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn rejects_nan() {
+        let _ = Rtt::from_millis(f64::NAN);
+    }
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(Rtt::mean(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn mean_of_values() {
+        let m = Rtt::mean([Rtt::from_millis(10.0), Rtt::from_millis(30.0)]).unwrap();
+        assert_eq!(m, Rtt::from_millis(20.0));
+    }
+
+    #[test]
+    fn sub_saturates_and_signed_diff_does_not() {
+        let a = Rtt::from_millis(10.0);
+        let b = Rtt::from_millis(25.0);
+        assert_eq!(a - b, Rtt::ZERO);
+        assert_eq!(a.signed_diff_millis(b), -15.0);
+    }
+
+    #[test]
+    fn sum_and_div() {
+        let total: Rtt = [Rtt::from_millis(5.0), Rtt::from_millis(15.0)].into_iter().sum();
+        assert_eq!(total / 2.0, Rtt::from_millis(10.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Rtt::from_millis(12.345).to_string(), "12.35ms");
+    }
+}

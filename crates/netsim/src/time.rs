@@ -1,0 +1,247 @@
+//! Discrete simulation time.
+//!
+//! The simulation clock is integer milliseconds since an arbitrary epoch.
+//! Millisecond resolution matches the quantity the paper reasons about
+//! (RTTs in milliseconds, probe intervals in minutes, DNS TTLs in seconds).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock, in milliseconds since the epoch.
+///
+/// # Example
+///
+/// ```
+/// use crp_netsim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_mins(10);
+/// assert_eq!(t.as_millis(), 600_000);
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in milliseconds.
+///
+/// # Example
+///
+/// ```
+/// use crp_netsim::SimDuration;
+///
+/// assert_eq!(SimDuration::from_secs(90), SimDuration::from_millis(90_000));
+/// ```
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `millis` milliseconds after the epoch.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime(millis)
+    }
+
+    /// Creates an instant `secs` seconds after the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs * 1_000)
+    }
+
+    /// Creates an instant `mins` minutes after the epoch.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimTime(mins * 60_000)
+    }
+
+    /// Creates an instant `hours` hours after the epoch.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3_600_000)
+    }
+
+    /// Milliseconds since the epoch.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// The span from `earlier` to `self`, saturating to zero if `earlier`
+    /// is in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Walks the half-open interval `[self, end)` in steps of `step`.
+    ///
+    /// This is the canonical way to drive periodic activity (DNS probes,
+    /// gossip rounds) in the experiment harnesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is zero.
+    pub fn iter_until(self, end: SimTime, step: SimDuration) -> impl Iterator<Item = SimTime> {
+        assert!(step.0 > 0, "step must be non-zero");
+        let mut cur = self;
+        std::iter::from_fn(move || {
+            if cur < end {
+                let out = cur;
+                cur += step;
+                Some(out)
+            } else {
+                None
+            }
+        })
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a span of `millis` milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis)
+    }
+
+    /// Creates a span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000)
+    }
+
+    /// Creates a span of `mins` minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60_000)
+    }
+
+    /// Creates a span of `hours` hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3_600_000)
+    }
+
+    /// The span in milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// The span in seconds, as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Multiplies the span by an integer factor.
+    pub const fn mul(self, factor: u64) -> Self {
+        SimDuration(self.0 * factor)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when the ordering is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}ms", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(60_000) && self.0 > 0 {
+            write!(f, "{}min", self.0 / 60_000)
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_units() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_mins(1), SimTime::from_secs(60));
+        assert_eq!(SimTime::from_hours(1), SimTime::from_mins(60));
+        assert_eq!(SimDuration::from_hours(2), SimDuration::from_mins(120));
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t0 = SimTime::from_mins(5);
+        let d = SimDuration::from_secs(30);
+        let t1 = t0 + d;
+        assert_eq!(t1 - t0, d);
+        assert_eq!(t1.saturating_since(t0), d);
+        assert_eq!(t0.saturating_since(t1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn iter_until_covers_half_open_interval() {
+        let steps: Vec<_> = SimTime::ZERO
+            .iter_until(SimTime::from_mins(30), SimDuration::from_mins(10))
+            .collect();
+        assert_eq!(
+            steps,
+            vec![SimTime::ZERO, SimTime::from_mins(10), SimTime::from_mins(20)]
+        );
+    }
+
+    #[test]
+    fn iter_until_empty_when_start_at_end() {
+        let steps: Vec<_> = SimTime::from_mins(1)
+            .iter_until(SimTime::from_mins(1), SimDuration::from_secs(1))
+            .collect();
+        assert!(steps.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be non-zero")]
+    fn iter_until_rejects_zero_step() {
+        let _ = SimTime::ZERO.iter_until(SimTime::from_mins(1), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(SimTime::from_millis(5).to_string(), "t+5ms");
+        assert_eq!(SimDuration::from_mins(100).to_string(), "100min");
+        assert_eq!(SimDuration::from_millis(1500).to_string(), "1500ms");
+    }
+
+    #[test]
+    fn duration_mul() {
+        assert_eq!(SimDuration::from_mins(10).mul(6), SimDuration::from_hours(1));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the network substrate invariants.
+
+use crp_netsim::{
+    GeoPoint, KingConfig, KingEstimator, NetworkBuilder, PopulationSpec, Region, Rtt, SimTime,
+};
+use proptest::prelude::*;
+
+fn arb_region() -> impl Strategy<Value = Region> {
+    prop::sample::select(Region::ALL.to_vec())
+}
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-89.0..89.0f64, -179.0..179.0f64).prop_map(|(lat, lon)| GeoPoint::new(lat, lon))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn great_circle_symmetric_nonnegative(a in arb_point(), b in arb_point()) {
+        let d1 = a.great_circle_km(b);
+        let d2 = b.great_circle_km(a);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+        // No two points on Earth are farther than half the circumference.
+        prop_assert!(d1 <= 20_038.0);
+    }
+
+    #[test]
+    fn great_circle_triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = a.great_circle_km(b);
+        let bc = b.great_circle_km(c);
+        let ac = a.great_circle_km(c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn rtt_symmetric_positive_deterministic(
+        seed in 0u64..1_000,
+        t_mins in 0u64..10_000,
+        region_a in arb_region(),
+        region_b in arb_region(),
+    ) {
+        let mut net = NetworkBuilder::new(seed)
+            .tier1_count(3)
+            .transit_per_region(1)
+            .stubs_per_region(2)
+            .build();
+        let a = net.add_host(region_a, (0.5, 3.0), "a".into());
+        let b = net.add_host(region_b, (0.5, 3.0), "b".into());
+        let t = SimTime::from_mins(t_mins);
+        let r1 = net.rtt(a, b, t);
+        let r2 = net.rtt(b, a, t);
+        prop_assert_eq!(r1, r2);
+        prop_assert!(r1.millis() > 0.0);
+        prop_assert_eq!(r1, net.rtt(a, b, t));
+        // Sanity ceiling: nothing on Earth has a 2-second floor.
+        prop_assert!(r1.millis() < 2_000.0);
+    }
+
+    #[test]
+    fn rtt_at_least_propagation_floor(
+        seed in 0u64..200,
+        t_mins in 0u64..5_000,
+    ) {
+        let mut net = NetworkBuilder::new(seed)
+            .tier1_count(3)
+            .transit_per_region(1)
+            .stubs_per_region(2)
+            .build();
+        let a = net.add_host(Region::NorthAmerica, (0.5, 1.0), "a".into());
+        let b = net.add_host(Region::Oceania, (0.5, 1.0), "b".into());
+        let dist = net.host(a).location().great_circle_km(net.host(b).location());
+        let cfg = net.latency_config().clone();
+        let floor = 2.0 * dist * cfg.inflation_base / cfg.speed_km_per_ms;
+        let r = net.rtt(a, b, SimTime::from_mins(t_mins));
+        prop_assert!(r.millis() + 1e-9 >= floor,
+            "rtt {} below propagation floor {}", r.millis(), floor);
+    }
+
+    #[test]
+    fn king_estimates_track_truth(seed in 0u64..100, t_mins in 0u64..2_000) {
+        let mut net = NetworkBuilder::new(seed)
+            .tier1_count(3)
+            .transit_per_region(1)
+            .stubs_per_region(2)
+            .build();
+        let hosts = net.add_population(&PopulationSpec::dns_servers(2));
+        let king = KingEstimator::new(&net, KingConfig::default());
+        let t = SimTime::from_mins(t_mins);
+        if let Some(est) = king.estimate(hosts[0], hosts[1], t) {
+            let truth = net.rtt(hosts[0], hosts[1], t);
+            let ratio = est.millis() / truth.millis();
+            prop_assert!((0.15..3.0).contains(&ratio));
+        }
+    }
+
+    #[test]
+    fn rtt_mean_respects_endpoints(millis in 0.0f64..500.0) {
+        let r = Rtt::from_millis(millis);
+        let m = Rtt::mean([r, r]).unwrap();
+        prop_assert!((m.millis() - millis).abs() < 1e-9);
+    }
+
+    #[test]
+    fn population_counts_exact(n in 1usize..80) {
+        let mut net = NetworkBuilder::new(3)
+            .tier1_count(3)
+            .transit_per_region(1)
+            .stubs_per_region(2)
+            .build();
+        let ids = net.add_population(&PopulationSpec::planetlab(n));
+        prop_assert_eq!(ids.len(), n);
+        prop_assert_eq!(net.host_count(), n);
+    }
+}

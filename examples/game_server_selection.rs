@@ -1,0 +1,92 @@
+//! Server selection for a mirrored online game.
+//!
+//! The paper's introduction motivates CRP with "interactive massively
+//! multi-player online games could use location information to improve
+//! latencies by assigning clients to nearby hosts in their mirrored
+//! server architectures". Here a game operator runs a handful of mirror
+//! servers; players joining a match are assigned the mirror CRP deems
+//! closest, and we compare the resulting latency distribution against
+//! random assignment, against Meridian (which probes), and against the
+//! optimum.
+//!
+//! ```text
+//! cargo run --release --example game_server_selection
+//! ```
+
+use crp::{Scenario, ScenarioConfig};
+use crp_core::{SimilarityMetric, WindowPolicy};
+use crp_meridian::{FaultPlan, MeridianConfig, MeridianOverlay};
+use crp_netsim::{noise, SimDuration, SimTime};
+
+const MIRRORS: usize = 16;
+const PLAYERS: usize = 200;
+/// Real-time games aim below this round-trip budget.
+const PLAYABLE_MS: f64 = 60.0;
+
+fn main() {
+    let scenario = Scenario::build(ScenarioConfig {
+        seed: 33,
+        candidate_servers: MIRRORS,
+        clients: PLAYERS,
+        cdn_scale: 1.0,
+        ..ScenarioConfig::default()
+    });
+    let end = SimTime::from_hours(8);
+    let service = scenario.observe_all(
+        SimTime::ZERO,
+        end,
+        SimDuration::from_mins(10),
+        WindowPolicy::LastProbes(30),
+        SimilarityMetric::Cosine,
+    );
+    let overlay = MeridianOverlay::build(
+        scenario.network(),
+        scenario.candidates(),
+        MeridianConfig::default(),
+        FaultPlan::none(),
+    );
+
+    let net = scenario.network();
+    let mut random_ms = Vec::new();
+    let mut crp_ms = Vec::new();
+    let mut meridian_ms = Vec::new();
+    let mut optimal_ms = Vec::new();
+    let mut meridian_probes_before = overlay.probes_issued();
+
+    for (i, &player) in scenario.clients().iter().enumerate() {
+        let rtts: Vec<f64> = scenario
+            .candidates()
+            .iter()
+            .map(|&m| net.rtt(player, m, end).millis())
+            .collect();
+        optimal_ms.push(rtts.iter().copied().fold(f64::INFINITY, f64::min));
+        random_ms.push(rtts[noise::mix(&[3, i as u64]) as usize % rtts.len()]);
+
+        if let Ok(ranking) = service.closest(&player, scenario.candidates().to_vec(), end) {
+            if let Some(&mirror) = ranking.top() {
+                crp_ms.push(net.rtt(player, mirror, end).millis());
+            }
+        }
+
+        let entry = scenario.candidates()[i % MIRRORS];
+        let q = overlay.closest_node_query(net, entry, player, end);
+        meridian_ms.push(net.rtt(player, q.selected, end).millis());
+    }
+    let meridian_probes = overlay.probes_issued() - meridian_probes_before;
+    meridian_probes_before += meridian_probes;
+    let _ = meridian_probes_before;
+
+    let stats = |name: &str, v: &[f64], probes: u64| {
+        let mean = v.iter().sum::<f64>() / v.len().max(1) as f64;
+        let playable = v.iter().filter(|ms| **ms <= PLAYABLE_MS).count() as f64
+            / v.len().max(1) as f64
+            * 100.0;
+        println!("  {name:<18} mean {mean:>6.1} ms   playable (≤{PLAYABLE_MS:.0} ms): {playable:>5.1}%   probes: {probes}");
+    };
+
+    println!("assigning {PLAYERS} players to {MIRRORS} mirrors:\n");
+    stats("random", &random_ms, 0);
+    stats("crp top-1", &crp_ms, 0);
+    stats("meridian", &meridian_ms, meridian_probes);
+    stats("optimal", &optimal_ms, (PLAYERS * MIRRORS) as u64);
+}

@@ -1,0 +1,132 @@
+//! A long-running CRP positioning service.
+//!
+//! The paper sketches CRP "as a stand-alone service, shared by multiple
+//! applications" (§III-B). This example runs such a daemon through a
+//! realistic operational day:
+//!
+//! 1. nodes feed observations in on the 10-minute cadence;
+//! 2. applications issue the three query types — closest node, the
+//!    three-point relative-position primitive, and a group rendezvous
+//!    (which member is closest to *every* participant?);
+//! 3. nodes churn (join and leave), and the daemon prunes stale state;
+//! 4. the daemon snapshots its state to JSON and restarts from it
+//!    without losing anyone's ~100-minute bootstrap.
+//!
+//! ```text
+//! cargo run --release --example positioning_daemon
+//! ```
+
+use crp::{Scenario, ScenarioConfig};
+use crp_core::{RelativeOrder, ServiceSnapshot, SimilarityMetric, SmfConfig, WindowPolicy};
+use crp_netsim::{SimDuration, SimTime};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::build(ScenarioConfig {
+        seed: 77,
+        candidate_servers: 0,
+        clients: 40,
+        cdn_scale: 0.8,
+        ..ScenarioConfig::default()
+    });
+    let nodes = scenario.clients();
+    let noon = SimTime::from_hours(12);
+
+    // --- Phase 1: a morning of observations. -------------------------
+    let mut service = scenario.observe_hosts(
+        nodes,
+        SimTime::ZERO,
+        noon,
+        SimDuration::from_mins(10),
+        WindowPolicy::LastProbes(30),
+        SimilarityMetric::Cosine,
+    );
+    println!("daemon: {} nodes position-capable by noon", service.node_count());
+
+    // --- Phase 2: application queries. --------------------------------
+    // Pick query participants from a real cluster so the answers carry
+    // signal (the daemon would route no-signal queries to a fallback
+    // positioning source).
+    let clustering = service.cluster(&SmfConfig::paper(0.1), noon);
+    let biggest = clustering
+        .multi_clusters()
+        .max_by_key(|c| c.len())
+        .expect("some cluster forms");
+    let in_cluster: Vec<_> = biggest.members().to_vec();
+    let (client, srv_a) = (in_cluster[0], in_cluster[1]);
+    let srv_b = nodes
+        .iter()
+        .copied()
+        .find(|n| !in_cluster.contains(n))
+        .expect("someone outside the cluster");
+    match service.relative(&srv_a, &srv_b, &client, noon) {
+        Ok(RelativeOrder::CloserA { margin }) => {
+            println!("query: {srv_a} is closer to {client} than {srv_b} (margin {margin:.2})")
+        }
+        Ok(RelativeOrder::CloserB { margin }) => {
+            println!("query: {srv_b} is closer to {client} than {srv_a} (margin {margin:.2})")
+        }
+        Ok(RelativeOrder::Indeterminate) => {
+            println!("query: {client} shares no replicas with {srv_a}/{srv_b} — not near either")
+        }
+        Err(e) => println!("query failed: {e}"),
+    }
+
+    // Group rendezvous: which node is best-positioned for a whole party?
+    let party: Vec<crp_netsim::HostId> = in_cluster.iter().copied().take(4).collect();
+    let party = &party[..];
+    let mut best: Option<(crp_netsim::HostId, f64)> = None;
+    for &candidate in nodes.iter().filter(|n| !party.contains(n)) {
+        let mut min_sim = f64::INFINITY;
+        for &member in party {
+            match service.similarity(&candidate, &member, noon) {
+                Ok(s) => min_sim = min_sim.min(s),
+                Err(_) => {
+                    min_sim = 0.0;
+                    break;
+                }
+            }
+        }
+        if best.is_none() || min_sim > best.expect("checked").1 {
+            best = Some((candidate, min_sim));
+        }
+    }
+    if let Some((host, sim)) = best {
+        let worst_rtt = party
+            .iter()
+            .map(|&m| scenario.network().rtt(host, m, noon).millis())
+            .fold(0.0f64, f64::max);
+        println!(
+            "query: rendezvous host for the 4-member party: {host} (min similarity {sim:.2}, worst member RTT {worst_rtt:.0} ms)"
+        );
+    }
+
+    // --- Phase 3: churn. ----------------------------------------------
+    for &leaver in &nodes[30..] {
+        service.remove_node(&leaver);
+    }
+    let (dropped, removed) = service.prune_stale(noon, SimDuration::from_hours(6));
+    println!(
+        "churn: 10 nodes left, pruning dropped {dropped} stale observations and {removed} empty nodes"
+    );
+
+    // --- Phase 4: snapshot, restart, verify. ---------------------------
+    let snapshot = ServiceSnapshot::capture(&service);
+    let json = serde_json::to_string(&snapshot)?;
+    println!(
+        "snapshot: {} nodes / {} observations -> {} bytes of JSON",
+        snapshot.node_count(),
+        snapshot.observation_count(),
+        json.len()
+    );
+    let restored: ServiceSnapshot<crp_netsim::HostId, crp_cdn::ReplicaId> =
+        serde_json::from_str(&json)?;
+    let service2 = restored.restore();
+    let same = nodes[..30].iter().all(|n| {
+        service.ratio_map(n, noon).ok() == service2.ratio_map(n, noon).ok()
+    });
+    println!(
+        "restart: restored daemon answers identically: {}",
+        if same { "yes" } else { "NO — bug!" }
+    );
+    Ok(())
+}

@@ -1,0 +1,11 @@
+set datafile separator ','
+set key top left
+set title 'Fig. 4: average latency to the selected server'
+set xlabel 'client (sorted per curve)'
+set ylabel 'average latency (ms)'
+set terminal pngcairo size 900,540
+set output 'fig4_closest_latency.png'
+plot 'fig4_closest_latency.csv' using 1:2 with lines lw 2 title 'Meridian', \
+     'fig4_closest_latency.csv' using 1:3 with lines lw 2 title 'CRP Top-1', \
+     'fig4_closest_latency.csv' using 1:4 with lines lw 2 title 'CRP Top-5', \
+     'fig4_closest_latency.csv' using 1:5 with lines lw 2 title 'optimal'

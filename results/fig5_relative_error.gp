@@ -1,0 +1,10 @@
+set datafile separator ','
+set key top left
+set title 'Fig. 5: relative error of the recommendations'
+set xlabel 'client (sorted per curve)'
+set ylabel 'relative error (ms)'
+set terminal pngcairo size 900,540
+set output 'fig5_relative_error.png'
+plot 'fig5_relative_error.csv' using 1:2 with lines lw 2 title 'Meridian', \
+     'fig5_relative_error.csv' using 1:3 with lines lw 2 title 'CRP Top-1', \
+     'fig5_relative_error.csv' using 1:4 with lines lw 2 title 'CRP Top-5'

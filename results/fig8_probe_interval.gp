@@ -1,0 +1,11 @@
+set datafile separator ','
+set key top left
+set title 'Fig. 8: average rank vs probe interval'
+set xlabel 'client (sorted per curve)'
+set ylabel 'average rank'
+set terminal pngcairo size 900,540
+set output 'fig8_probe_interval.png'
+plot 'fig8_probe_interval.csv' using 1:2 with lines lw 2 title '20 min', \
+     'fig8_probe_interval.csv' using 1:3 with lines lw 2 title '100 min', \
+     'fig8_probe_interval.csv' using 1:4 with lines lw 2 title '500 min', \
+     'fig8_probe_interval.csv' using 1:5 with lines lw 2 title '2000 min'

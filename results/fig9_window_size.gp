@@ -1,0 +1,11 @@
+set datafile separator ','
+set key top left
+set title 'Fig. 9: average rank vs probe window size'
+set xlabel 'client (sorted per curve)'
+set ylabel 'average rank'
+set terminal pngcairo size 900,540
+set output 'fig9_window_size.png'
+plot 'fig9_window_size.csv' using 1:2 with lines lw 2 title 'all probes', \
+     'fig9_window_size.csv' using 1:3 with lines lw 2 title '30 probes', \
+     'fig9_window_size.csv' using 1:4 with lines lw 2 title '10 probes', \
+     'fig9_window_size.csv' using 1:5 with lines lw 2 title '5 probes'

@@ -1,0 +1,181 @@
+//! Passive observation (§VI).
+//!
+//! The paper notes that even CRP's tiny active probing load "may not be
+//! necessary if the service can passively monitor user-generated DNS
+//! translations (e.g., from Web browsing) instead of actively requesting
+//! CDN redirections."
+//!
+//! [`PassiveMonitor`] models that deployment: the host's users browse
+//! CDN-accelerated sites at irregular intervals; lookups go through the
+//! host's caching resolver, and CRP records only the *cache-miss*
+//! translations (a cache hit reveals nothing new). The CDN's low TTLs
+//! (~20 s) mean almost every browsing burst yields a fresh observation,
+//! so a moderately active user population bootstraps a node almost as
+//! fast as active probing — with literally zero added load.
+
+use crp_cdn::{Cdn, ReplicaId};
+use crp_core::RedirectionTracker;
+use crp_dns::{DomainName, RecursiveResolver};
+use crp_netsim::{noise, HostId, SimDuration, SimTime};
+
+/// A passively-fed CRP observer: records CDN redirections as a side
+/// effect of simulated user browsing.
+#[derive(Debug)]
+pub struct PassiveMonitor<'a> {
+    cdn: &'a Cdn,
+    resolver: RecursiveResolver,
+    names: Vec<DomainName>,
+    tracker: RedirectionTracker<ReplicaId>,
+    observations: u64,
+    browse_events: u64,
+}
+
+impl<'a> PassiveMonitor<'a> {
+    /// Creates a monitor on `host` watching lookups for `names`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty.
+    pub fn new(cdn: &'a Cdn, host: HostId, names: Vec<DomainName>) -> Self {
+        assert!(!names.is_empty(), "monitor needs at least one CDN name");
+        PassiveMonitor {
+            cdn,
+            resolver: RecursiveResolver::new(host),
+            names,
+            tracker: RedirectionTracker::new(),
+            observations: 0,
+            browse_events: 0,
+        }
+    }
+
+    /// One user browsing event at time `t`: the user visits one of the
+    /// monitored sites (chosen pseudo-randomly), triggering a DNS lookup
+    /// through the caching resolver. Only cache misses produce
+    /// observations.
+    pub fn browse(&mut self, t: SimTime) {
+        self.browse_events += 1;
+        let pick = (noise::mix(&[
+            self.resolver.host().key(),
+            0xB20,
+            self.browse_events,
+        ]) % self.names.len() as u64) as usize;
+        let name = self.names[pick].clone();
+        let hits_before = self.resolver.stats().cache_hits;
+        if let Ok(resp) = self.resolver.resolve(&name, self.cdn, t) {
+            if self.resolver.stats().cache_hits == hits_before {
+                // Cache miss: a genuinely fresh translation.
+                let servers: Vec<ReplicaId> = resp
+                    .a_addresses()
+                    .into_iter()
+                    .filter_map(ReplicaId::from_ip)
+                    .collect();
+                if !servers.is_empty() {
+                    self.tracker.record(t, servers);
+                    self.observations += 1;
+                }
+            }
+        }
+    }
+
+    /// Simulates a user session: `events` page loads spread over
+    /// `span`, starting at `start` (think: a browsing burst).
+    pub fn browse_session(&mut self, start: SimTime, span: SimDuration, events: u32) {
+        for i in 0..events {
+            let offset = span.as_millis() * i as u64 / events.max(1) as u64;
+            self.browse(SimTime::from_millis(start.as_millis() + offset));
+        }
+    }
+
+    /// The accumulated redirection history.
+    pub fn tracker(&self) -> &RedirectionTracker<ReplicaId> {
+        &self.tracker
+    }
+
+    /// Fresh observations harvested so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Browsing events simulated so far.
+    pub fn browse_events(&self) -> u64 {
+        self.browse_events
+    }
+
+    /// Whether the node has collected enough history to position itself
+    /// (the paper's operating point: a 10-probe window).
+    pub fn is_bootstrapped(&self) -> bool {
+        self.tracker.len() >= 10
+    }
+
+    /// The extra DNS queries this monitor caused beyond what browsing
+    /// would have issued anyway. Always zero: passive means passive.
+    pub fn added_queries(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_cdn::{DeploymentSpec, MappingConfig};
+    use crp_core::WindowPolicy;
+    use crp_netsim::{NetworkBuilder, PopulationSpec};
+
+    fn world() -> (Cdn, HostId, Vec<DomainName>) {
+        let mut net = NetworkBuilder::new(41)
+            .tier1_count(3)
+            .transit_per_region(2)
+            .stubs_per_region(6)
+            .build();
+        let host = net.add_population(&PopulationSpec::dns_servers(1))[0];
+        let mut cdn = Cdn::deploy(net, &DeploymentSpec::akamai_like(0.4), MappingConfig::default());
+        let names = vec![
+            cdn.add_customer("us.i1.yimg.com").unwrap(),
+            cdn.add_customer("www.foxnews.com").unwrap(),
+        ];
+        (cdn, host, names)
+    }
+
+    #[test]
+    fn browsing_bursts_yield_ttl_limited_observations() {
+        let (cdn, host, names) = world();
+        let mut monitor = PassiveMonitor::new(&cdn, host, names);
+        // 20 page loads within a single 20-second TTL window: the first
+        // lookup per name misses, the rest hit the cache.
+        monitor.browse_session(SimTime::ZERO, SimDuration::from_secs(18), 20);
+        assert!(monitor.observations() <= 4, "{}", monitor.observations());
+        assert!(monitor.observations() >= 1);
+        assert_eq!(monitor.browse_events(), 20);
+    }
+
+    #[test]
+    fn spread_out_browsing_bootstraps_the_node() {
+        let (cdn, host, names) = world();
+        let mut monitor = PassiveMonitor::new(&cdn, host, names);
+        // A burst every 20 minutes for 6 hours.
+        for burst in 0..18u64 {
+            monitor.browse_session(SimTime::from_mins(burst * 20), SimDuration::from_secs(60), 5);
+        }
+        assert!(monitor.is_bootstrapped());
+        let map = monitor
+            .tracker()
+            .ratio_map(WindowPolicy::All, SimTime::from_hours(6))
+            .expect("observations recorded");
+        assert!(map.len() >= 2, "map too narrow: {}", map.len());
+    }
+
+    #[test]
+    fn passive_monitoring_adds_no_queries() {
+        let (cdn, host, names) = world();
+        let mut monitor = PassiveMonitor::new(&cdn, host, names);
+        monitor.browse_session(SimTime::ZERO, SimDuration::from_mins(30), 10);
+        assert_eq!(monitor.added_queries(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CDN name")]
+    fn empty_names_rejected() {
+        let (cdn, host, _) = world();
+        let _ = PassiveMonitor::new(&cdn, host, vec![]);
+    }
+}

@@ -1,0 +1,201 @@
+//! The CRP client's probing loop: recursive DNS lookups against the CDN.
+
+use crp_cdn::{Cdn, ReplicaId};
+use crp_core::ObservationSource;
+use crp_dns::{DomainName, RecursiveResolver};
+use crp_netsim::{HostId, SimTime};
+
+/// An [`ObservationSource`] that queries the simulated CDN for one or
+/// more customer names from a given host, exactly as a deployed CRP
+/// client issues `dig` lookups against CDN-accelerated names.
+///
+/// Each [`observe`] call performs one *fresh* (uncached) lookup per
+/// customer name and returns the union of replica servers in the
+/// answers. With `filter_cdn_owned` enabled, answers containing
+/// CDN-owned addresses are discarded — the §VI filtering rule, since
+/// such answers are distant fallbacks that carry no position signal.
+///
+/// [`observe`]: ObservationSource::observe
+///
+/// # Example
+///
+/// ```
+/// use crp::CdnProbe;
+/// use crp_cdn::{Cdn, DeploymentSpec, MappingConfig};
+/// use crp_core::ObservationSource;
+/// use crp_netsim::{NetworkBuilder, PopulationSpec, SimTime};
+///
+/// let mut net = NetworkBuilder::new(9).build();
+/// let client = net.add_population(&PopulationSpec::dns_servers(1))[0];
+/// let mut cdn = Cdn::deploy(net, &DeploymentSpec::akamai_like(0.3), MappingConfig::default());
+/// let name = cdn.add_customer("us.i1.yimg.com")?;
+///
+/// let mut probe = CdnProbe::new(&cdn, client, vec![name]);
+/// let servers = probe.observe(SimTime::ZERO).expect("cdn answers");
+/// assert!(!servers.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct CdnProbe<'a> {
+    cdn: &'a Cdn,
+    resolver: RecursiveResolver,
+    names: Vec<DomainName>,
+    filter_cdn_owned: bool,
+}
+
+impl<'a> CdnProbe<'a> {
+    /// Creates a probe running on `host`, querying `names`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty.
+    pub fn new(cdn: &'a Cdn, host: HostId, names: Vec<DomainName>) -> Self {
+        assert!(!names.is_empty(), "probe needs at least one CDN name");
+        CdnProbe {
+            cdn,
+            resolver: RecursiveResolver::new(host),
+            names,
+            filter_cdn_owned: false,
+        }
+    }
+
+    /// Enables the §VI name-filtering rule: answers that include
+    /// CDN-owned addresses are dropped.
+    pub fn filter_cdn_owned(mut self, enabled: bool) -> Self {
+        self.filter_cdn_owned = enabled;
+        self
+    }
+
+    /// The host this probe runs on.
+    pub fn host(&self) -> HostId {
+        self.resolver.host()
+    }
+
+    /// Upstream DNS queries issued so far — the probe's entire network
+    /// footprint, and the quantity behind the paper's commensalism
+    /// argument (O(1) per node, independent of system size).
+    pub fn queries_issued(&self) -> u64 {
+        self.resolver.stats().upstream_queries
+    }
+}
+
+impl ObservationSource<ReplicaId> for CdnProbe<'_> {
+    fn observe(&mut self, t: SimTime) -> Option<Vec<ReplicaId>> {
+        let mut servers = Vec::new();
+        for name in &self.names {
+            let Ok(resp) = self.resolver.resolve_uncached(name, self.cdn, t) else {
+                continue;
+            };
+            let ips = resp.a_addresses();
+            if self.filter_cdn_owned && ips.iter().any(|ip| self.cdn.ip_is_cdn_owned(*ip)) {
+                continue;
+            }
+            servers.extend(ips.into_iter().filter_map(ReplicaId::from_ip));
+        }
+        if servers.is_empty() {
+            None
+        } else {
+            Some(servers)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crp_cdn::{DeploymentSpec, MappingConfig};
+    use crp_netsim::{NetworkBuilder, PopulationSpec, Region};
+
+    fn small_cdn(seed: u64, clients: usize) -> (Cdn, Vec<HostId>, Vec<DomainName>) {
+        let mut net = NetworkBuilder::new(seed)
+            .tier1_count(3)
+            .transit_per_region(2)
+            .stubs_per_region(4)
+            .build();
+        let hosts = net.add_population(&PopulationSpec::dns_servers(clients));
+        let mut cdn = Cdn::deploy(net, &DeploymentSpec::akamai_like(0.3), MappingConfig::default());
+        let yahoo = cdn.add_customer("us.i1.yimg.com").unwrap();
+        let fox = cdn.add_customer("www.foxnews.com").unwrap();
+        (cdn, hosts, vec![yahoo, fox])
+    }
+
+    #[test]
+    fn observes_replicas_from_all_names() {
+        let (cdn, hosts, names) = small_cdn(1, 1);
+        let mut probe = CdnProbe::new(&cdn, hosts[0], names);
+        let obs = probe.observe(SimTime::ZERO).unwrap();
+        // Two names × two answers each.
+        assert_eq!(obs.len(), 4);
+        assert_eq!(probe.queries_issued(), 2);
+    }
+
+    #[test]
+    fn repeated_observations_rotate() {
+        let (cdn, hosts, names) = small_cdn(2, 1);
+        let mut probe = CdnProbe::new(&cdn, hosts[0], names);
+        let mut distinct = std::collections::BTreeSet::new();
+        for i in 0..30u64 {
+            if let Some(obs) = probe.observe(SimTime::from_mins(i * 10)) {
+                distinct.extend(obs);
+            }
+        }
+        assert!(distinct.len() >= 3, "no rotation: {distinct:?}");
+        assert!(distinct.len() < 25, "implausibly scattered: {}", distinct.len());
+    }
+
+    #[test]
+    fn filter_drops_fallback_answers() {
+        // Clients in a region with no coverage trigger fallbacks; with
+        // the filter on, those probes yield fewer (or no) observations.
+        let mut net = NetworkBuilder::new(3)
+            .tier1_count(3)
+            .transit_per_region(2)
+            .stubs_per_region(4)
+            .build();
+        let far = net.add_population(&PopulationSpec::single_region(
+            crp_netsim::HostProfile::DnsServer,
+            1,
+            Region::Africa,
+        ))[0];
+        let spec = DeploymentSpec::custom(vec![(Region::NorthAmerica, 15)], 4);
+        let mut cdn = Cdn::deploy(net, &spec, MappingConfig::default());
+        let name = cdn.add_customer("us.i1.yimg.com").unwrap();
+
+        let mut unfiltered = CdnProbe::new(&cdn, far, vec![name.clone()]);
+        let mut filtered = CdnProbe::new(&cdn, far, vec![name]).filter_cdn_owned(true);
+        let mut unfiltered_cdn_owned = 0usize;
+        let mut filtered_cdn_owned = 0usize;
+        for i in 0..40u64 {
+            let t = SimTime::from_mins(i * 10);
+            if let Some(obs) = unfiltered.observe(t) {
+                unfiltered_cdn_owned += obs
+                    .iter()
+                    .filter(|r| cdn.ip_is_cdn_owned(r.ip()))
+                    .count();
+            }
+            if let Some(obs) = filtered.observe(t) {
+                filtered_cdn_owned += obs
+                    .iter()
+                    .filter(|r| cdn.ip_is_cdn_owned(r.ip()))
+                    .count();
+            }
+        }
+        assert!(unfiltered_cdn_owned > 0, "scenario failed to trigger fallbacks");
+        assert_eq!(filtered_cdn_owned, 0, "filter leaked CDN-owned answers");
+    }
+
+    #[test]
+    fn unknown_names_give_no_observation() {
+        let (cdn, hosts, _) = small_cdn(4, 1);
+        let bogus: DomainName = "not.served.example".parse().unwrap();
+        let mut probe = CdnProbe::new(&cdn, hosts[0], vec![bogus]);
+        assert_eq!(probe.observe(SimTime::ZERO), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one CDN name")]
+    fn empty_names_rejected() {
+        let (cdn, hosts, _) = small_cdn(5, 1);
+        let _ = CdnProbe::new(&cdn, hosts[0], vec![]);
+    }
+}

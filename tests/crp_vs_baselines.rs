@@ -1,0 +1,131 @@
+//! Integration comparisons between CRP and the baseline systems.
+
+use crp::{Scenario, ScenarioConfig};
+use crp_baselines::{asn_clustering, Vivaldi, VivaldiConfig};
+use crp_core::{SimilarityMetric, SmfConfig, WindowPolicy};
+use crp_meridian::{FaultPlan, MeridianConfig, MeridianOverlay};
+use crp_netsim::{SimDuration, SimTime};
+
+fn scenario(seed: u64, candidates: usize, clients: usize) -> Scenario {
+    Scenario::build(ScenarioConfig {
+        seed,
+        candidate_servers: candidates,
+        clients,
+        cdn_scale: 0.5,
+        ..ScenarioConfig::default()
+    })
+}
+
+#[test]
+fn crp_and_meridian_are_comparable_without_faults() {
+    let s = scenario(1, 40, 30);
+    let end = SimTime::from_hours(8);
+    let service = s.observe_all(
+        SimTime::ZERO,
+        end,
+        SimDuration::from_mins(10),
+        WindowPolicy::LastProbes(30),
+        SimilarityMetric::Cosine,
+    );
+    let overlay = MeridianOverlay::build(
+        s.network(),
+        s.candidates(),
+        MeridianConfig::default(),
+        FaultPlan::none(),
+    );
+    let mut crp_total = 0.0;
+    let mut meridian_total = 0.0;
+    let mut n = 0;
+    for (i, &client) in s.clients().iter().enumerate() {
+        let Ok(ranking) = service.closest(&client, s.candidates().to_vec(), end) else {
+            continue;
+        };
+        let Some(&crp_pick) = ranking.top() else { continue };
+        let entry = s.candidates()[i % s.candidates().len()];
+        let m = overlay.closest_node_query(s.network(), entry, client, end);
+        crp_total += s.network().rtt(client, crp_pick, end).millis();
+        meridian_total += s.network().rtt(client, m.selected, end).millis();
+        n += 1;
+    }
+    assert!(n >= 20, "positionable clients: {n}");
+    // Comparable: within 2x of each other in aggregate.
+    assert!(crp_total < meridian_total * 2.0);
+    assert!(meridian_total < crp_total * 2.0);
+}
+
+#[test]
+fn meridian_faults_degrade_its_answers() {
+    let s = scenario(2, 30, 20);
+    let t = SimTime::from_hours(1);
+    let healthy = MeridianOverlay::build(
+        s.network(),
+        s.candidates(),
+        MeridianConfig::default(),
+        FaultPlan::none(),
+    );
+    // Every entry node is in its bootstrap phase: answers are the entry
+    // itself, regardless of the target.
+    let mut plan = FaultPlan::none();
+    for &c in s.candidates() {
+        plan = plan.with_bootstrap_self_recommend(c, SimTime::from_hours(10));
+    }
+    let faulty = MeridianOverlay::build(
+        s.network(),
+        s.candidates(),
+        MeridianConfig::default(),
+        plan,
+    );
+    let mut healthy_total = 0.0;
+    let mut faulty_total = 0.0;
+    for (i, &client) in s.clients().iter().enumerate() {
+        let entry = s.candidates()[i % s.candidates().len()];
+        let h = healthy.closest_node_query(s.network(), entry, client, t);
+        let f = faulty.closest_node_query(s.network(), entry, client, t);
+        healthy_total += s.network().rtt(client, h.selected, t).millis();
+        faulty_total += s.network().rtt(client, f.selected, t).millis();
+        assert_eq!(f.selected, entry, "bootstrap nodes answer with themselves");
+    }
+    assert!(
+        faulty_total > healthy_total,
+        "faults should hurt: healthy {healthy_total:.0} vs faulty {faulty_total:.0}"
+    );
+}
+
+#[test]
+fn crp_clusters_across_as_boundaries() {
+    let s = scenario(3, 0, 60);
+    let end = SimTime::from_hours(8);
+    let service = s.observe_hosts(
+        s.clients(),
+        SimTime::ZERO,
+        end,
+        SimDuration::from_mins(10),
+        WindowPolicy::LastProbes(30),
+        SimilarityMetric::Cosine,
+    );
+    let crp = service.cluster(&SmfConfig::paper(0.1), end);
+    let asn = asn_clustering(s.network(), s.clients());
+    assert!(
+        crp.summary().nodes_clustered > asn.summary().nodes_clustered,
+        "CRP {} vs ASN {}",
+        crp.summary().nodes_clustered,
+        asn.summary().nodes_clustered
+    );
+    // And at least one CRP cluster truly spans two ASes.
+    let net = s.network();
+    let spans = crp.multi_clusters().any(|c| {
+        let first = net.host(*c.center()).asn();
+        c.members().iter().any(|m| net.host(*m).asn() != first)
+    });
+    assert!(spans, "no CRP cluster spans an AS boundary");
+}
+
+#[test]
+fn vivaldi_estimates_correlate_with_truth() {
+    let s = scenario(4, 30, 0);
+    let mut vivaldi = Vivaldi::new(s.candidates(), VivaldiConfig::default());
+    vivaldi.run_rounds(s.network(), 30, SimTime::ZERO);
+    let err = vivaldi.median_relative_error(s.network(), SimTime::ZERO);
+    assert!(err < 0.6, "vivaldi median relative error {err:.2}");
+    assert!(vivaldi.samples_taken() > 0);
+}

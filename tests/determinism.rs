@@ -1,0 +1,101 @@
+//! Determinism: a seed fully determines every experiment artifact.
+
+use crp::{Scenario, ScenarioConfig};
+use crp_core::{SimilarityMetric, SmfConfig, WindowPolicy};
+use crp_meridian::{FaultPlan, MeridianConfig, MeridianOverlay};
+use crp_netsim::{SimDuration, SimTime};
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::build(ScenarioConfig {
+        seed,
+        candidate_servers: 16,
+        clients: 10,
+        cdn_scale: 0.3,
+        ..ScenarioConfig::default()
+    })
+}
+
+#[test]
+fn identical_seeds_identical_world() {
+    let a = scenario(9);
+    let b = scenario(9);
+    for (x, y) in a.network().hosts().iter().zip(b.network().hosts()) {
+        assert_eq!(x.location(), y.location());
+        assert_eq!(x.asn(), y.asn());
+        assert_eq!(x.access_ms(), y.access_ms());
+    }
+    let t = SimTime::from_mins(1234);
+    for &h1 in a.clients() {
+        for &h2 in a.candidates() {
+            assert_eq!(a.network().rtt(h1, h2, t), b.network().rtt(h1, h2, t));
+        }
+    }
+}
+
+#[test]
+fn different_seeds_different_world() {
+    let a = scenario(10);
+    let b = scenario(11);
+    let same = a
+        .network()
+        .hosts()
+        .iter()
+        .zip(b.network().hosts())
+        .all(|(x, y)| x.location() == y.location());
+    assert!(!same);
+}
+
+#[test]
+fn identical_seeds_identical_observations_and_decisions() {
+    let a = scenario(12);
+    let b = scenario(12);
+    let end = SimTime::from_hours(4);
+    let run = |s: &Scenario| {
+        s.observe_all(
+            SimTime::ZERO,
+            end,
+            SimDuration::from_mins(10),
+            WindowPolicy::LastProbes(10),
+            SimilarityMetric::Cosine,
+        )
+    };
+    let sa = run(&a);
+    let sb = run(&b);
+    for &client in a.clients() {
+        assert_eq!(
+            sa.ratio_map(&client, end).ok(),
+            sb.ratio_map(&client, end).ok()
+        );
+        let ra = sa.closest(&client, a.candidates().to_vec(), end).ok();
+        let rb = sb.closest(&client, b.candidates().to_vec(), end).ok();
+        assert_eq!(
+            ra.as_ref().and_then(|r| r.top()),
+            rb.as_ref().and_then(|r| r.top())
+        );
+    }
+    let ca = sa.cluster(&SmfConfig::paper(0.1), end);
+    let cb = sb.cluster(&SmfConfig::paper(0.1), end);
+    assert_eq!(ca, cb);
+}
+
+#[test]
+fn meridian_overlay_is_deterministic() {
+    let s = scenario(13);
+    let build = || {
+        MeridianOverlay::build(
+            s.network(),
+            s.candidates(),
+            MeridianConfig::default(),
+            FaultPlan::paper_like(s.candidates(), 17),
+        )
+    };
+    let o1 = build();
+    let o2 = build();
+    let t = SimTime::from_hours(20);
+    for &client in s.clients() {
+        let r1 = o1.closest_node_query(s.network(), s.candidates()[0], client, t);
+        let r2 = o2.closest_node_query(s.network(), s.candidates()[0], client, t);
+        assert_eq!(r1.selected, r2.selected);
+        assert_eq!(r1.hops, r2.hops);
+    }
+}

@@ -1,0 +1,120 @@
+//! Integration tests for the §VI / §II extensions: name selection,
+//! passive monitoring, detouring, and service snapshots working against
+//! the full simulated stack.
+
+use crp::{DetourFinder, NameEvaluator, PassiveMonitor, Scenario, ScenarioConfig};
+use crp_core::{ServiceSnapshot, SimilarityMetric, WindowPolicy};
+use crp_netsim::{SimDuration, SimTime};
+
+fn scenario(seed: u64, clients: usize) -> Scenario {
+    Scenario::build(ScenarioConfig {
+        seed,
+        candidate_servers: 0,
+        clients,
+        cdn_scale: 0.4,
+        ..ScenarioConfig::default()
+    })
+}
+
+#[test]
+fn name_selection_keeps_usable_names_for_most_clients() {
+    let s = scenario(1, 10);
+    let mut kept_total = 0usize;
+    for &client in s.clients() {
+        let eval = NameEvaluator::new(s.cdn(), client, 10, SimDuration::from_mins(10));
+        kept_total += eval.select(s.names(), SimTime::ZERO, None).len();
+    }
+    // Most (client, name) combinations are usable under full-ish
+    // coverage.
+    assert!(kept_total >= 10, "only {kept_total}/20 name assessments passed");
+}
+
+#[test]
+fn passive_and_active_observation_agree_on_position() {
+    let s = scenario(2, 4);
+    let client = s.clients()[0];
+    let end = SimTime::from_hours(8);
+
+    // Active campaign.
+    let active = s.observe_hosts(
+        &[client],
+        SimTime::ZERO,
+        end,
+        SimDuration::from_mins(10),
+        WindowPolicy::All,
+        SimilarityMetric::Cosine,
+    );
+    let active_map = active.ratio_map(&client, end).expect("active observes");
+
+    // Passive campaign over the same period.
+    let mut monitor = PassiveMonitor::new(s.cdn(), client, s.names().to_vec());
+    for burst in 0..24u64 {
+        monitor.browse_session(SimTime::from_mins(burst * 20), SimDuration::from_mins(2), 4);
+    }
+    let passive_map = monitor
+        .tracker()
+        .ratio_map(WindowPolicy::All, end)
+        .expect("passive observes");
+
+    // The two maps describe the same node: they must be highly similar.
+    let sim = active_map.cosine_similarity(&passive_map);
+    assert!(sim > 0.5, "active/passive maps disagree: sim {sim:.2}");
+}
+
+#[test]
+fn detour_outcomes_are_internally_consistent() {
+    let s = scenario(3, 12);
+    let end = SimTime::from_hours(6);
+    let service = s.observe_hosts(
+        s.clients(),
+        SimTime::ZERO,
+        end,
+        SimDuration::from_mins(10),
+        WindowPolicy::LastProbes(30),
+        SimilarityMetric::Cosine,
+    );
+    let finder = DetourFinder::new(s.cdn());
+    let mut checked = 0;
+    for (i, &a) in s.clients().iter().enumerate() {
+        for &b in &s.clients()[i + 1..] {
+            let (Ok(ma), Ok(mb)) = (service.ratio_map(&a, end), service.ratio_map(&b, end))
+            else {
+                continue;
+            };
+            let o = finder.find(a, b, &ma, &mb, end);
+            if o.detour_wins() {
+                assert!(o.savings().millis() > 0.0);
+                assert!(o.best_detour.expect("winner") < o.direct);
+            } else {
+                assert_eq!(o.savings(), crp_netsim::Rtt::ZERO);
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > 20);
+}
+
+#[test]
+fn snapshot_preserves_live_campaign_state() {
+    let s = scenario(4, 6);
+    let end = SimTime::from_hours(4);
+    let service = s.observe_hosts(
+        s.clients(),
+        SimTime::ZERO,
+        end,
+        SimDuration::from_mins(10),
+        WindowPolicy::LastProbes(10),
+        SimilarityMetric::Cosine,
+    );
+    let json = serde_json::to_string(&ServiceSnapshot::capture(&service)).expect("serializes");
+    let restored: ServiceSnapshot<crp_netsim::HostId, crp_cdn::ReplicaId> =
+        serde_json::from_str(&json).expect("deserializes");
+    let service2 = restored.restore();
+    for &c in s.clients() {
+        assert_eq!(
+            service.ratio_map(&c, end).ok(),
+            service2.ratio_map(&c, end).ok(),
+            "restored map differs for {c}"
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests over the façade glue: probes, scenarios and the
+//! full observation pipeline under random configurations.
+
+use crp::{CdnProbe, Scenario, ScenarioConfig};
+use crp_core::{ObservationSource, SimilarityMetric, WindowPolicy};
+use crp_netsim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_small_scenario_builds_and_observes(
+        seed in 0u64..50,
+        candidates in 1usize..12,
+        clients in 1usize..8,
+    ) {
+        let scenario = Scenario::build(ScenarioConfig {
+            seed,
+            candidate_servers: candidates,
+            clients,
+            cdn_scale: 0.2,
+            ..ScenarioConfig::default()
+        });
+        prop_assert_eq!(scenario.candidates().len(), candidates);
+        prop_assert_eq!(scenario.clients().len(), clients);
+        let end = SimTime::from_hours(2);
+        let service = scenario.observe_all(
+            SimTime::ZERO,
+            end,
+            SimDuration::from_mins(10),
+            WindowPolicy::All,
+            SimilarityMetric::Cosine,
+        );
+        // Maps, when they exist, are valid and reference deployed
+        // replicas.
+        for &h in scenario.candidates().iter().chain(scenario.clients()) {
+            if let Ok(map) = service.ratio_map(&h, end) {
+                let total: f64 = map.iter().map(|(_, v)| v).sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+                for (replica, _) in map.iter() {
+                    prop_assert!(replica.index() < scenario.cdn().replicas().len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_observation_count_matches_queries(
+        seed in 0u64..30,
+        probes in 1u64..30,
+    ) {
+        let scenario = Scenario::build(ScenarioConfig {
+            seed,
+            candidate_servers: 0,
+            clients: 1,
+            cdn_scale: 0.2,
+            ..ScenarioConfig::default()
+        });
+        let client = scenario.clients()[0];
+        let mut probe = CdnProbe::new(scenario.cdn(), client, scenario.names().to_vec());
+        for i in 0..probes {
+            let _ = probe.observe(SimTime::from_mins(i * 10));
+        }
+        // Two names per probe round.
+        prop_assert_eq!(probe.queries_issued(), probes * 2);
+    }
+
+    #[test]
+    fn ranking_is_invariant_to_candidate_order(
+        seed in 0u64..20,
+    ) {
+        let scenario = Scenario::build(ScenarioConfig {
+            seed,
+            candidate_servers: 8,
+            clients: 2,
+            cdn_scale: 0.3,
+            ..ScenarioConfig::default()
+        });
+        let end = SimTime::from_hours(3);
+        let service = scenario.observe_all(
+            SimTime::ZERO,
+            end,
+            SimDuration::from_mins(10),
+            WindowPolicy::All,
+            SimilarityMetric::Cosine,
+        );
+        let client = scenario.clients()[0];
+        let forward = service.closest(&client, scenario.candidates().to_vec(), end);
+        let mut reversed_candidates = scenario.candidates().to_vec();
+        reversed_candidates.reverse();
+        let reversed = service.closest(&client, reversed_candidates, end);
+        match (forward, reversed) {
+            (Ok(f), Ok(r)) => prop_assert_eq!(f.entries(), r.entries()),
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "asymmetric outcome: {:?}", other.0.is_ok()),
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! End-to-end pipeline tests: topology → CDN → DNS probing →
+//! observations → selection and clustering.
+
+use crp::{Scenario, ScenarioConfig};
+use crp_core::{SimilarityMetric, SmfConfig, WindowPolicy};
+use crp_netsim::{SimDuration, SimTime};
+
+fn small_scenario(seed: u64) -> Scenario {
+    Scenario::build(ScenarioConfig {
+        seed,
+        candidate_servers: 24,
+        clients: 16,
+        cdn_scale: 0.4,
+        ..ScenarioConfig::default()
+    })
+}
+
+#[test]
+fn full_pipeline_produces_positionable_hosts() {
+    let scenario = small_scenario(1);
+    let end = SimTime::from_hours(6);
+    let service = scenario.observe_all(
+        SimTime::ZERO,
+        end,
+        SimDuration::from_mins(10),
+        WindowPolicy::LastProbes(10),
+        SimilarityMetric::Cosine,
+    );
+    // Virtually all hosts observe redirections.
+    assert!(service.node_count() >= 36, "{}", service.node_count());
+    // Ratio maps look like the paper's: small support, normalized.
+    let mut sizes = Vec::new();
+    for &h in scenario.candidates().iter().chain(scenario.clients()) {
+        if let Ok(map) = service.ratio_map(&h, end) {
+            let total: f64 = map.iter().map(|(_, v)| v).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+            sizes.push(map.len());
+        }
+    }
+    let max = *sizes.iter().max().expect("maps exist");
+    assert!(max < 30, "ratio maps should stay small, got {max}");
+}
+
+#[test]
+fn selection_beats_random_on_average() {
+    let scenario = small_scenario(2);
+    let end = SimTime::from_hours(6);
+    let service = scenario.observe_all(
+        SimTime::ZERO,
+        end,
+        SimDuration::from_mins(10),
+        WindowPolicy::LastProbes(30),
+        SimilarityMetric::Cosine,
+    );
+    let mut crp_sum = 0.0;
+    let mut random_sum = 0.0;
+    let mut n = 0;
+    for (i, &client) in scenario.clients().iter().enumerate() {
+        let Ok(ranking) = service.closest(&client, scenario.candidates().to_vec(), end) else {
+            continue;
+        };
+        let Some(&pick) = ranking.top() else { continue };
+        let random = scenario.candidates()[(i * 7) % scenario.candidates().len()];
+        crp_sum += scenario.mean_rtt(client, pick, SimTime::ZERO, end).millis();
+        random_sum += scenario.mean_rtt(client, random, SimTime::ZERO, end).millis();
+        n += 1;
+    }
+    assert!(n >= 10, "too few positionable clients: {n}");
+    assert!(
+        crp_sum < random_sum * 0.8,
+        "CRP ({crp_sum:.0}ms total) should clearly beat random ({random_sum:.0}ms total)"
+    );
+}
+
+#[test]
+fn clustering_groups_nearby_not_distant() {
+    let scenario = small_scenario(3);
+    let end = SimTime::from_hours(6);
+    let service = scenario.observe_hosts(
+        scenario.clients(),
+        SimTime::ZERO,
+        end,
+        SimDuration::from_mins(10),
+        WindowPolicy::LastProbes(30),
+        SimilarityMetric::Cosine,
+    );
+    let clustering = service.cluster(&SmfConfig::paper(0.1), end);
+    let net = scenario.network();
+    // Mean intra-cluster distance must beat the population mean distance.
+    let mut intra = Vec::new();
+    for cluster in clustering.multi_clusters() {
+        let ms = cluster.members();
+        for (i, a) in ms.iter().enumerate() {
+            for b in &ms[i + 1..] {
+                intra.push(net.baseline_rtt(*a, *b).millis());
+            }
+        }
+    }
+    let mut all = Vec::new();
+    for (i, a) in scenario.clients().iter().enumerate() {
+        for b in &scenario.clients()[i + 1..] {
+            all.push(net.baseline_rtt(*a, *b).millis());
+        }
+    }
+    if intra.is_empty() {
+        return; // tiny scenario formed no multi-clusters; nothing to assert
+    }
+    let mean_intra = intra.iter().sum::<f64>() / intra.len() as f64;
+    let mean_all = all.iter().sum::<f64>() / all.len() as f64;
+    assert!(
+        mean_intra < mean_all * 0.5,
+        "intra {mean_intra:.0}ms vs population {mean_all:.0}ms"
+    );
+}
+
+#[test]
+fn probing_cost_is_constant_per_node() {
+    // The paper's scalability claim: per-node overhead is O(1) in system
+    // size. Doubling the population must not change per-node queries.
+    let end = SimTime::from_hours(2);
+    let per_node_queries = |clients: usize| -> f64 {
+        let scenario = Scenario::build(ScenarioConfig {
+            seed: 4,
+            candidate_servers: 0,
+            clients,
+            cdn_scale: 0.3,
+            ..ScenarioConfig::default()
+        });
+        let _ = scenario.observe_hosts(
+            scenario.clients(),
+            SimTime::ZERO,
+            end,
+            SimDuration::from_mins(10),
+            WindowPolicy::All,
+            SimilarityMetric::Cosine,
+        );
+        scenario.cdn().stats().queries_answered as f64 / clients as f64
+    };
+    let small = per_node_queries(8);
+    let large = per_node_queries(32);
+    assert!(
+        (small - large).abs() < 1e-9,
+        "per-node load changed with population: {small} vs {large}"
+    );
+}
+
+#[test]
+fn king_ground_truth_is_usable() {
+    let scenario = small_scenario(5);
+    let king = scenario.king(crp_netsim::KingConfig::default());
+    let a = scenario.clients()[0];
+    let b = scenario.clients()[1];
+    let est = king.median_estimate(a, b, SimTime::ZERO, SimTime::from_hours(1), 5);
+    let truth = scenario.network().rtt(a, b, SimTime::from_mins(30));
+    let est = est.expect("5 attempts rarely all fail");
+    let ratio = est.millis() / truth.millis();
+    assert!((0.5..2.0).contains(&ratio), "king est {est} vs truth {truth}");
+}
