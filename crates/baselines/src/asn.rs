@@ -77,10 +77,7 @@ mod tests {
         let clustering = asn_clustering(&net, &nodes);
         for (i, a) in clustering.clusters().iter().enumerate() {
             for b in clustering.clusters().iter().skip(i + 1) {
-                assert_ne!(
-                    net.host(*a.center()).asn(),
-                    net.host(*b.center()).asn()
-                );
+                assert_ne!(net.host(*a.center()).asn(), net.host(*b.center()).asn());
             }
         }
     }

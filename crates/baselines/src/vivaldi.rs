@@ -118,13 +118,8 @@ impl Vivaldi {
             let round = self.rounds_run;
             for i in 0..self.members.len() {
                 for s in 0..self.cfg.samples_per_round {
-                    let j = (noise::mix(&[
-                        self.cfg.seed,
-                        0x51,
-                        round,
-                        i as u64,
-                        s as u64,
-                    ]) % self.members.len() as u64) as usize;
+                    let j = (noise::mix(&[self.cfg.seed, 0x51, round, i as u64, s as u64])
+                        % self.members.len() as u64) as usize;
                     if i == j {
                         continue;
                     }
@@ -147,7 +142,7 @@ impl Vivaldi {
     /// Panics if either host was not registered at construction.
     pub fn update(&mut self, a: HostId, b: HostId, rtt: Rtt) {
         let cb = self.coords[&b].clone();
-        let ca = self.coords.get_mut(&a).expect("host registered");
+        let ca = self.coords.get_mut(&a).expect("host registered"); // crp-lint: allow(CRP001) — documented # Panics contract: hosts must be registered
         let dist = coord_distance(&ca.v, ca.height, &cb.v, cb.height);
         let rtt_ms = rtt.millis().max(0.1);
         // Sample weight balances local vs remote confidence.
@@ -162,7 +157,11 @@ impl Vivaldi {
         if dir_norm < 1e-9 {
             // Coincident coordinates: kick in a deterministic direction.
             for (d, x) in dir.iter_mut().enumerate() {
-                *x = if (a.key() + d as u64).is_multiple_of(2) { 1.0 } else { -1.0 };
+                *x = if (a.key() + d as u64).is_multiple_of(2) {
+                    1.0
+                } else {
+                    -1.0
+                };
             }
             normalize(&mut dir);
         }
@@ -194,7 +193,7 @@ impl Vivaldi {
         for (i, &a) in self.members.iter().enumerate() {
             for &b in &self.members[i + 1..] {
                 let truth = net.rtt(a, b, t).millis();
-                let est = self.estimate(a, b).expect("members registered").millis();
+                let est = self.estimate(a, b).expect("members registered").millis(); // crp-lint: allow(CRP001) — members are registered at construction
                 errs.push((est - truth).abs() / truth.max(0.1));
             }
         }
@@ -275,11 +274,8 @@ mod tests {
         // Individual error estimates oscillate (distant samples inflate
         // them transiently), but the population mean must drop well
         // below the untrained value of 1.0.
-        let mean: f64 = hosts
-            .iter()
-            .map(|h| v.error_of(*h).unwrap())
-            .sum::<f64>()
-            / hosts.len() as f64;
+        let mean: f64 =
+            hosts.iter().map(|h| v.error_of(*h).unwrap()).sum::<f64>() / hosts.len() as f64;
         assert!(mean < 0.9, "mean error {mean:.3} did not shrink");
     }
 
@@ -327,6 +323,9 @@ mod tests {
         let mut b = Vivaldi::new(&hosts, VivaldiConfig::default());
         a.run_rounds(&net, 15, SimTime::ZERO);
         b.run_rounds(&net, 15, SimTime::ZERO);
-        assert_eq!(a.estimate(hosts[0], hosts[5]), b.estimate(hosts[0], hosts[5]));
+        assert_eq!(
+            a.estimate(hosts[0], hosts[5]),
+            b.estimate(hosts[0], hosts[5])
+        );
     }
 }

@@ -10,7 +10,11 @@ use std::hint::black_box;
 fn fixture() -> (Cdn, crp_netsim::HostId, crp_dns::DomainName) {
     let mut net = NetworkBuilder::new(5).build();
     let client = net.add_population(&PopulationSpec::dns_servers(1))[0];
-    let mut cdn = Cdn::deploy(net, &DeploymentSpec::akamai_like(1.0), MappingConfig::default());
+    let mut cdn = Cdn::deploy(
+        net,
+        &DeploymentSpec::akamai_like(1.0),
+        MappingConfig::default(),
+    );
     let name = cdn.add_customer("us.i1.yimg.com").expect("valid name");
     (cdn, client, name)
 }

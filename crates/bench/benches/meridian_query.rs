@@ -11,11 +11,20 @@ fn bench_overlay_build(c: &mut Criterion) {
     for n in [60usize, 240] {
         let mut net = NetworkBuilder::new(7).build();
         let members = net.add_population(&PopulationSpec::planetlab(n));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &members, |bench, members| {
-            bench.iter(|| {
-                MeridianOverlay::build(&net, members, MeridianConfig::default(), FaultPlan::none())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &members,
+            |bench, members| {
+                bench.iter(|| {
+                    MeridianOverlay::build(
+                        &net,
+                        members,
+                        MeridianConfig::default(),
+                        FaultPlan::none(),
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -24,7 +33,8 @@ fn bench_closest_query(c: &mut Criterion) {
     let mut net = NetworkBuilder::new(8).build();
     let members = net.add_population(&PopulationSpec::planetlab(240));
     let clients = net.add_population(&PopulationSpec::dns_servers(32));
-    let overlay = MeridianOverlay::build(&net, &members, MeridianConfig::default(), FaultPlan::none());
+    let overlay =
+        MeridianOverlay::build(&net, &members, MeridianConfig::default(), FaultPlan::none());
     let mut i = 0usize;
     c.bench_function("meridian_closest_query_240_members", |bench| {
         bench.iter(|| {

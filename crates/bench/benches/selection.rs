@@ -11,15 +11,19 @@ fn bench_rank_by_candidates(c: &mut Criterion) {
     let mut group = c.benchmark_group("rank_candidates");
     for n in [60usize, 240, 1_000] {
         let candidates = synthetic_maps(n, 10, 1_000);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &candidates, |bench, cands| {
-            bench.iter(|| {
-                Ranking::rank(
-                    black_box(&client),
-                    cands.iter().map(|(n, m)| (*n, m)),
-                    SimilarityMetric::Cosine,
-                )
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &candidates,
+            |bench, cands| {
+                bench.iter(|| {
+                    Ranking::rank(
+                        black_box(&client),
+                        cands.iter().map(|(n, m)| (*n, m)),
+                        SimilarityMetric::Cosine,
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }

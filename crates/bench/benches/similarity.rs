@@ -11,9 +11,13 @@ fn bench_cosine_by_size(c: &mut Criterion) {
     for entries in [4usize, 8, 16, 32] {
         let a = synthetic_map(1, entries, 1_000);
         let b = synthetic_map(2, entries, 1_000);
-        group.bench_with_input(BenchmarkId::from_parameter(entries), &entries, |bench, _| {
-            bench.iter(|| black_box(&a).cosine_similarity(black_box(&b)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entries),
+            &entries,
+            |bench, _| {
+                bench.iter(|| black_box(&a).cosine_similarity(black_box(&b)));
+            },
+        );
     }
     group.finish();
 }
@@ -37,5 +41,10 @@ fn bench_map_construction(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_cosine_by_size, bench_metrics, bench_map_construction);
+criterion_group!(
+    benches,
+    bench_cosine_by_size,
+    bench_metrics,
+    bench_map_construction
+);
 criterion_main!(benches);

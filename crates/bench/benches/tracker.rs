@@ -41,7 +41,10 @@ fn bench_ratio_map_windows(c: &mut Criterion) {
         ("all_720", WindowPolicy::All),
         ("last_30", WindowPolicy::LastProbes(30)),
         ("last_10", WindowPolicy::LastProbes(10)),
-        ("max_age_6h", WindowPolicy::MaxAge(SimDuration::from_hours(6))),
+        (
+            "max_age_6h",
+            WindowPolicy::MaxAge(SimDuration::from_hours(6)),
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &window, |bench, w| {
             bench.iter(|| black_box(&tracker).ratio_map(*w, now).expect("non-empty"));
@@ -64,13 +67,26 @@ fn bench_lifetime_map(c: &mut Criterion) {
     let now = SimTime::from_mins(10 * probes as u64);
     let mut group = c.benchmark_group("lifetime_ratio_map_26k_probes");
     group.bench_function("rescan", |bench| {
-        bench.iter(|| black_box(&rescan).ratio_map(WindowPolicy::All, now).expect("non-empty"));
+        bench.iter(|| {
+            black_box(&rescan)
+                .ratio_map(WindowPolicy::All, now)
+                .expect("non-empty")
+        });
     });
     group.bench_function("counting", |bench| {
-        bench.iter(|| black_box(&counting).lifetime_ratio_map().expect("non-empty"));
+        bench.iter(|| {
+            black_box(&counting)
+                .lifetime_ratio_map()
+                .expect("non-empty")
+        });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_record, bench_ratio_map_windows, bench_lifetime_map);
+criterion_group!(
+    benches,
+    bench_record,
+    bench_ratio_map_windows,
+    bench_lifetime_map
+);
 criterion_main!(benches);

@@ -18,7 +18,7 @@ pub fn synthetic_map(seed: u64, entries: usize, universe: u64) -> RatioMap<u32> 
         let w = 1.0 + noise::uniform(&[seed, 0xF00D, i as u64]) * 9.0;
         (key, w)
     });
-    RatioMap::from_weights(weights).expect("positive weights")
+    RatioMap::from_weights(weights).expect("positive weights") // crp-lint: allow(CRP001) — weights are drawn from [1, 10], always positive
 }
 
 /// A batch of synthetic ratio maps for clustering/selection benches.

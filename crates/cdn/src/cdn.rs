@@ -4,13 +4,11 @@ use crate::customer::Customer;
 use crate::deployment::DeploymentSpec;
 use crate::mapping::MappingConfig;
 use crate::replica::{ReplicaId, ReplicaServer};
-use crp_dns::{
-    AuthoritativeServer, DnsResponse, DomainName, RecordData, ResourceRecord, SimIp,
-};
+use crp_dns::{AuthoritativeServer, DnsResponse, DomainName, RecordData, ResourceRecord, SimIp};
 use crp_netsim::{noise, HostId, Network, Region, SimDuration, SimTime};
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Noise-stream tags for the mapping system.
 const TAG_MEASURE: u64 = 0x31;
@@ -109,7 +107,7 @@ impl Cdn {
             fallbacks,
             customers: Vec::new(),
             by_domain: HashMap::new(),
-            edge_zone: "g.akamai-sim.net".parse().expect("static name is valid"),
+            edge_zone: "g.akamai-sim.net".parse().expect("static name is valid"), // crp-lint: allow(CRP001) — static zone name is a valid domain
             shortlists: RwLock::new(HashMap::new()),
             outages: Vec::new(),
             queries_answered: AtomicU64::new(0),
@@ -161,7 +159,7 @@ impl Cdn {
         let edge_name = self
             .edge_zone
             .prepend(&format!("a{}", 1_000 + idx))
-            .expect("edge label is valid");
+            .expect("edge label is valid"); // crp-lint: allow(CRP001) — generated edge label is a valid DNS label
         let eligible: Vec<ReplicaId> = self
             .replicas
             .iter()
@@ -229,7 +227,8 @@ impl Cdn {
     /// simulation analogue of the whois check behind the paper's §VI
     /// name-filtering rule.
     pub fn ip_is_cdn_owned(&self, ip: SimIp) -> bool {
-        self.replica_by_ip(ip).is_some_and(ReplicaServer::is_cdn_owned)
+        self.replica_by_ip(ip)
+            .is_some_and(ReplicaServer::is_cdn_owned)
     }
 
     /// Load counters accumulated so far.
@@ -285,8 +284,14 @@ impl Cdn {
     /// baseline RTT. Computed once and memoized.
     fn shortlist(&self, resolver: HostId, customer_idx: usize) -> Vec<ReplicaId> {
         let key = (resolver, customer_idx as u32);
-        if let Some(hit) = self.shortlists.read().get(&key) {
-            return hit.clone();
+        {
+            let shortlists = self
+                .shortlists
+                .read()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            if let Some(hit) = shortlists.get(&key) {
+                return hit.clone();
+            }
         }
         let customer = &self.customers[customer_idx];
         let mut scored: Vec<(f64, ReplicaId)> = customer
@@ -300,7 +305,10 @@ impl Cdn {
         scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         scored.truncate(self.cfg.shortlist_size);
         let list: Vec<ReplicaId> = scored.into_iter().map(|(_, id)| id).collect();
-        self.shortlists.write().insert(key, list.clone());
+        self.shortlists
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert(key, list.clone());
         list
     }
 
@@ -321,11 +329,20 @@ impl Cdn {
                 .iter()
                 .map(|(ms, _)| *ms)
                 .fold(f64::INFINITY, f64::min);
+            // Floor guards exp() underflow for extreme RTT spreads, so
+            // every candidate keeps a nonzero (if negligible) weight.
             let weights: Vec<f64> = remaining
                 .iter()
-                .map(|(ms, _)| (-(ms - best) / temp).exp())
+                .map(|(ms, _)| (-(ms - best) / temp).exp().max(1e-300))
                 .collect();
             let total: f64 = weights.iter().sum();
+            crp_core::debug_invariant!(
+                crp_core::invariant::check_ratio_distribution(
+                    weights.iter().map(|w| w / total).collect::<Vec<_>>().iter()
+                ),
+                "Cdn::weighted_pick softmax weights ({} candidates)",
+                remaining.len()
+            );
             let mut u = noise::uniform(&[
                 self.net.seed(),
                 TAG_PICK,
@@ -346,11 +363,7 @@ impl Cdn {
         picked
     }
 
-    fn answer_records(
-        &self,
-        customer: &Customer,
-        picked: &[ReplicaId],
-    ) -> Vec<ResourceRecord> {
+    fn answer_records(&self, customer: &Customer, picked: &[ReplicaId]) -> Vec<ResourceRecord> {
         let mut records = Vec::with_capacity(picked.len() + 1);
         records.push(ResourceRecord::new(
             customer.domain().clone(),
@@ -444,7 +457,12 @@ impl AuthoritativeServer for Cdn {
                     .load_balance_pool
                     .saturating_mul(self.cfg.scatter_factor)
                     .min(scattered.len());
-                self.weighted_pick(&scattered[..width], self.cfg.answers_per_response, resolver, now)
+                self.weighted_pick(
+                    &scattered[..width],
+                    self.cfg.answers_per_response,
+                    resolver,
+                    now,
+                )
             }
         };
 
@@ -473,7 +491,11 @@ mod tests {
             .stubs_per_region(6)
             .build();
         let clients = net.add_population(&PopulationSpec::dns_servers(8));
-        let mut cdn = Cdn::deploy(net, &DeploymentSpec::akamai_like(0.4), MappingConfig::default());
+        let mut cdn = Cdn::deploy(
+            net,
+            &DeploymentSpec::akamai_like(0.4),
+            MappingConfig::default(),
+        );
         let name = cdn.add_customer("us.i1.yimg.com").unwrap();
         (cdn, clients, name)
     }
@@ -506,7 +528,9 @@ mod tests {
     fn unknown_name_is_nxdomain() {
         let (cdn, clients, _) = build_cdn(3);
         let other: DomainName = "unknown.example.org".parse().unwrap();
-        assert!(cdn.authoritative_answer(&other, clients[0], SimTime::ZERO).is_none());
+        assert!(cdn
+            .authoritative_answer(&other, clients[0], SimTime::ZERO)
+            .is_none());
     }
 
     #[test]
@@ -577,7 +601,10 @@ mod tests {
         let a = cdn.customers()[0].eligible().to_vec();
         let b = cdn.customers()[1].eligible().to_vec();
         assert_ne!(a, b, "independent subsets expected");
-        assert!(cdn.customers()[1].edge_name().to_string().starts_with("a1001."));
+        assert!(cdn.customers()[1]
+            .edge_name()
+            .to_string()
+            .starts_with("a1001."));
     }
 
     #[test]

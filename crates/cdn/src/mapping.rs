@@ -92,7 +92,10 @@ impl MappingConfig {
             (0.0..=1.0).contains(&self.fallback_probability),
             "fallback probability must be in [0, 1]"
         );
-        assert!(self.scatter_noise >= 0.0, "scatter noise must be non-negative");
+        assert!(
+            self.scatter_noise >= 0.0,
+            "scatter noise must be non-negative"
+        );
     }
 
     /// A configuration with no fallbacks and no scatter — every client is

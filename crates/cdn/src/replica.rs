@@ -58,7 +58,11 @@ pub struct ReplicaServer {
 
 impl ReplicaServer {
     pub(crate) fn new(id: ReplicaId, host: HostId, cdn_owned: bool) -> Self {
-        ReplicaServer { id, host, cdn_owned }
+        ReplicaServer {
+            id,
+            host,
+            cdn_owned,
+        }
     }
 
     /// Identifier of the replica.

@@ -12,7 +12,11 @@ fn build_world(seed: u64, clients: usize) -> (Cdn, Vec<crp_netsim::HostId>, crp_
         .stubs_per_region(3)
         .build();
     let hosts = net.add_population(&PopulationSpec::dns_servers(clients));
-    let mut cdn = Cdn::deploy(net, &DeploymentSpec::akamai_like(0.2), MappingConfig::default());
+    let mut cdn = Cdn::deploy(
+        net,
+        &DeploymentSpec::akamai_like(0.2),
+        MappingConfig::default(),
+    );
     let name = cdn.add_customer("us.i1.yimg.com").expect("valid name");
     (cdn, hosts, name)
 }

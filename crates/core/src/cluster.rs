@@ -205,9 +205,7 @@ impl<N: Ord + Clone> Clustering<N> {
 
     /// Index of the cluster containing `node`, if any.
     pub fn cluster_of(&self, node: &N) -> Option<usize> {
-        self.clusters
-            .iter()
-            .position(|c| c.members.contains(node))
+        self.clusters.iter().position(|c| c.members.contains(node))
     }
 
     /// Nodes sharing a cluster with `node` (excluding `node` itself) —
@@ -235,10 +233,7 @@ impl<N: Ord + Clone> Clustering<N> {
 
     /// Table-I-style summary statistics.
     pub fn summary(&self) -> ClusterSummary {
-        let mut sizes: Vec<usize> = self
-            .multi_clusters()
-            .map(Cluster::len)
-            .collect();
+        let mut sizes: Vec<usize> = self.multi_clusters().map(Cluster::len).collect();
         sizes.sort_unstable();
         let nodes_clustered = sizes.iter().sum();
         let num_clusters = sizes.len();
@@ -280,7 +275,9 @@ impl<N: Ord + Clone> Clustering<N> {
         assert_eq!(ids.len(), nodes.len(), "duplicate node ids");
 
         if nodes.is_empty() {
-            return Clustering { clusters: Vec::new() };
+            return Clustering {
+                clusters: Vec::new(),
+            };
         }
 
         let maps: BTreeMap<&N, &RatioMap<K>> = nodes.iter().map(|(n, m)| (n, m)).collect();
@@ -364,6 +361,15 @@ impl<N: Ord + Clone> Clustering<N> {
             clusters = kept;
         }
 
+        crate::debug_invariant!(
+            crate::invariant::check_disjoint_partition(
+                clusters.iter().map(|c| c.members.iter()),
+                nodes.len()
+            ),
+            "Clustering::smf ({} nodes, threshold {})",
+            nodes.len(),
+            cfg.threshold
+        );
         Clustering { clusters }
     }
 }

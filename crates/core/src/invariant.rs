@@ -1,0 +1,201 @@
+//! Runtime invariant checks for the CRP pipeline.
+//!
+//! The CRP algorithms lean on a handful of numeric invariants that the
+//! type system cannot express: ratio maps are probability distributions,
+//! similarity scores live in `[0, 1]`, SMF clusterings partition their
+//! input. [`debug_invariant!`] asserts these in debug builds (including
+//! `cargo test`) at the places where the values are constructed, so a
+//! violation is caught where it is introduced rather than figures or
+//! rankings downstream. Release builds compile the checks out entirely —
+//! the expressions inside the macro are never evaluated.
+//!
+//! The checkers in this module are ordinary functions returning
+//! `Result<(), String>`, so they are also directly testable against
+//! corrupted inputs without tripping a panic machinery.
+
+/// Asserts a pipeline invariant in debug builds only.
+///
+/// The first argument is an expression evaluating to
+/// `Result<(), String>` (typically one of this module's checkers); the
+/// rest is a `format!`-style context message naming the operation that
+/// produced the value. Compiled out under `not(debug_assertions)`.
+///
+/// # Example
+///
+/// ```
+/// use crp_core::debug_invariant;
+/// use crp_core::invariant::check_unit_interval;
+///
+/// let score = 0.75;
+/// debug_invariant!(check_unit_interval(score), "cosine({:?}, {:?})", "a", "b");
+/// ```
+#[macro_export]
+macro_rules! debug_invariant {
+    ($check:expr, $($ctx:tt)+) => {
+        #[cfg(debug_assertions)]
+        {
+            if let Err(violation) = $check {
+                panic!(
+                    "CRP invariant violated in {}: {}",
+                    format_args!($($ctx)+),
+                    violation
+                );
+            }
+        }
+    };
+}
+
+/// Checks that `entries` forms a ratio map: non-empty, every ratio
+/// finite and in `(0, 1]`, and the ratios summing to 1 within `1e-9`.
+pub fn check_ratio_distribution<'a, I>(entries: I) -> Result<(), String>
+where
+    I: IntoIterator<Item = &'a f64>,
+{
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (i, &ratio) in entries.into_iter().enumerate() {
+        if !ratio.is_finite() {
+            return Err(format!("entry {i} has non-finite ratio {ratio}"));
+        }
+        if ratio <= 0.0 {
+            return Err(format!("entry {i} has non-positive ratio {ratio}"));
+        }
+        if ratio > 1.0 + 1e-9 {
+            return Err(format!("entry {i} has ratio {ratio} > 1"));
+        }
+        sum += ratio;
+        count += 1;
+    }
+    if count == 0 {
+        return Err("ratio map is empty".to_owned());
+    }
+    if (sum - 1.0).abs() > 1e-9 {
+        return Err(format!("ratios sum to {sum}, expected 1"));
+    }
+    Ok(())
+}
+
+/// Checks that a similarity score is finite and in `[0, 1]`.
+pub fn check_unit_interval(score: f64) -> Result<(), String> {
+    if !score.is_finite() {
+        return Err(format!("score {score} is not finite"));
+    }
+    if !(0.0..=1.0).contains(&score) {
+        return Err(format!("score {score} is outside [0, 1]"));
+    }
+    Ok(())
+}
+
+/// Checks that `clusters` partitions `population`: the cluster member
+/// counts sum to the population size and no member appears twice.
+///
+/// Members are compared as `Ord` keys; `population` is the number of
+/// nodes handed to the clustering algorithm.
+pub fn check_disjoint_partition<N, C, M>(clusters: C, population: usize) -> Result<(), String>
+where
+    N: Ord,
+    C: IntoIterator<Item = M>,
+    M: IntoIterator<Item = N>,
+{
+    let mut seen = std::collections::BTreeSet::new();
+    let mut total = 0usize;
+    for (ci, cluster) in clusters.into_iter().enumerate() {
+        let mut size = 0usize;
+        for member in cluster {
+            if !seen.insert(member) {
+                return Err(format!("cluster {ci} repeats a member seen earlier"));
+            }
+            size += 1;
+        }
+        if size == 0 {
+            return Err(format!("cluster {ci} is empty"));
+        }
+        total += size;
+    }
+    if total != population {
+        return Err(format!(
+            "clusters cover {total} nodes, expected {population}"
+        ));
+    }
+    Ok(())
+}
+
+/// Checks that ranked similarity scores are sorted non-increasing and
+/// each lies in `[0, 1]`.
+pub fn check_ranking_scores<'a, I>(scores: I) -> Result<(), String>
+where
+    I: IntoIterator<Item = &'a f64>,
+{
+    let mut prev: Option<f64> = None;
+    for (i, &score) in scores.into_iter().enumerate() {
+        check_unit_interval(score).map_err(|e| format!("rank {i}: {e}"))?;
+        if let Some(p) = prev {
+            if score > p {
+                return Err(format!(
+                    "rank {i} score {score} exceeds preceding score {p}"
+                ));
+            }
+        }
+        prev = Some(score);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_distribution_passes() {
+        assert!(check_ratio_distribution([0.2, 0.3, 0.5].iter()).is_ok());
+        assert!(check_ratio_distribution([1.0].iter()).is_ok());
+    }
+
+    #[test]
+    fn corrupted_distributions_fail() {
+        assert!(check_ratio_distribution([].iter()).is_err());
+        assert!(check_ratio_distribution([0.5, 0.6].iter()).is_err());
+        assert!(check_ratio_distribution([0.5, -0.5, 1.0].iter()).is_err());
+        assert!(check_ratio_distribution([f64::NAN, 1.0].iter()).is_err());
+        assert!(check_ratio_distribution([0.5, 0.5, 0.0].iter()).is_err());
+    }
+
+    #[test]
+    fn unit_interval_bounds() {
+        assert!(check_unit_interval(0.0).is_ok());
+        assert!(check_unit_interval(1.0).is_ok());
+        assert!(check_unit_interval(-1e-12).is_err());
+        assert!(check_unit_interval(1.0 + 1e-12).is_err());
+        assert!(check_unit_interval(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn partition_checks_cover_and_disjointness() {
+        let good = vec![vec!["a", "b"], vec!["c"]];
+        assert!(check_disjoint_partition(good, 3).is_ok());
+        let duplicated = vec![vec!["a", "b"], vec!["b"]];
+        assert!(check_disjoint_partition(duplicated, 3).is_err());
+        let short = vec![vec!["a"]];
+        assert!(check_disjoint_partition(short, 2).is_err());
+        let empty_cluster: Vec<Vec<&str>> = vec![vec![]];
+        assert!(check_disjoint_partition(empty_cluster, 0).is_err());
+    }
+
+    #[test]
+    fn ranking_scores_must_descend() {
+        assert!(check_ranking_scores([0.9, 0.9, 0.2].iter()).is_ok());
+        assert!(check_ranking_scores([0.2, 0.9].iter()).is_err());
+        assert!(check_ranking_scores([0.5, 1.5].iter()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "CRP invariant violated")]
+    fn debug_invariant_fires_on_corrupted_input() {
+        debug_invariant!(check_unit_interval(2.0), "test context {}", "here");
+    }
+
+    #[test]
+    fn debug_invariant_passes_silently() {
+        debug_invariant!(check_unit_interval(0.5), "test context");
+    }
+}

@@ -43,14 +43,15 @@
 
 pub mod cluster;
 pub mod counting;
+pub mod invariant;
 pub mod observation;
 pub mod quality;
 pub mod ratio;
 pub mod relative;
 pub mod select;
 pub mod service;
-pub mod snapshot;
 pub mod similarity;
+pub mod snapshot;
 pub mod tracker;
 
 pub use cluster::{CenterStrategy, Cluster, Clustering, SmfConfig};
@@ -61,6 +62,6 @@ pub use ratio::{RatioMap, RatioMapError};
 pub use relative::{relative_position, RelativeOrder};
 pub use select::Ranking;
 pub use service::CrpService;
-pub use snapshot::ServiceSnapshot;
 pub use similarity::SimilarityMetric;
+pub use snapshot::ServiceSnapshot;
 pub use tracker::{RedirectionTracker, WindowPolicy};

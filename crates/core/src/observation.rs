@@ -91,11 +91,7 @@ mod tests {
 
     #[test]
     fn scripted_source_replays_then_dries_up() {
-        let mut src = ScriptedSource::new(vec![
-            Some(vec![1u32, 2]),
-            None,
-            Some(vec![3]),
-        ]);
+        let mut src = ScriptedSource::new(vec![Some(vec![1u32, 2]), None, Some(vec![3])]);
         assert_eq!(src.observe(SimTime::ZERO), Some(vec![1, 2]));
         assert_eq!(src.observe(SimTime::ZERO), None);
         assert_eq!(src.observe(SimTime::ZERO), Some(vec![3]));

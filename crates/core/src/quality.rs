@@ -183,8 +183,7 @@ mod tests {
 
     #[test]
     fn diameter_buckets_count_good_clusters() {
-        let clustering =
-            Clustering::from_groups(vec![vec![0, 1], vec![100, 104], vec![200, 201]]);
+        let clustering = Clustering::from_groups(vec![vec![0, 1], vec![100, 104], vec![200, 201]]);
         let report = QualityReport::evaluate(&clustering, line_dist);
         // Diameters: 10, 40, 10 ms; all good (centers far apart).
         assert_eq!(report.good_in_diameter_bucket(0.0, 25.0), 2);

@@ -78,6 +78,11 @@ impl<K: Ord + Clone> RatioMap<K> {
         for v in entries.values_mut() {
             *v /= total;
         }
+        crate::debug_invariant!(
+            crate::invariant::check_ratio_distribution(entries.values()),
+            "RatioMap::from_weights ({} entries)",
+            entries.len()
+        );
         Ok(RatioMap { entries })
     }
 
@@ -115,7 +120,7 @@ impl<K: Ord + Clone> RatioMap<K> {
             .iter()
             .max_by(|a, b| a.1.total_cmp(b.1).then_with(|| b.0.cmp(a.0)))
             .map(|(k, v)| (k, *v))
-            .expect("ratio maps are non-empty")
+            .expect("ratio maps are non-empty") // crp-lint: allow(CRP001) — construction guarantees at least one entry
     }
 
     /// The Euclidean norm of the ratio vector.
@@ -131,11 +136,7 @@ impl<K: Ord + Clone> RatioMap<K> {
         } else {
             (other, self)
         };
-        small
-            .entries
-            .iter()
-            .map(|(k, v)| v * large.get(k))
-            .sum()
+        small.entries.iter().map(|(k, v)| v * large.get(k)).sum()
     }
 
     /// The cosine similarity with another map, in `[0, 1]` (§III-B).
@@ -146,7 +147,12 @@ impl<K: Ord + Clone> RatioMap<K> {
     pub fn cosine_similarity(&self, other: &RatioMap<K>) -> f64 {
         let denom = self.l2_norm() * other.l2_norm();
         // Norms are strictly positive by the construction invariant.
-        (self.dot(other) / denom).clamp(0.0, 1.0)
+        let score = (self.dot(other) / denom).clamp(0.0, 1.0);
+        crate::debug_invariant!(
+            crate::invariant::check_unit_interval(score),
+            "RatioMap::cosine_similarity"
+        );
+        score
     }
 
     /// Whether the two maps share any replica server. When false, CRP
@@ -200,7 +206,10 @@ impl fmt::Display for RatioMapError {
         match self {
             RatioMapError::Empty => write!(f, "ratio map has no redirection observations"),
             RatioMapError::InvalidWeight { weight } => {
-                write!(f, "ratio weight {weight} is not a finite non-negative number")
+                write!(
+                    f,
+                    "ratio weight {weight} is not a finite non-negative number"
+                )
             }
         }
     }

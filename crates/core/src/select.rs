@@ -51,6 +51,11 @@ impl<N: Ord> Ranking<N> {
             })
             .collect();
         entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        crate::debug_invariant!(
+            crate::invariant::check_ranking_scores(entries.iter().map(|(_, s)| s)),
+            "Ranking::rank ({} candidates)",
+            entries.len()
+        );
         Ranking { entries }
     }
 
@@ -81,7 +86,10 @@ impl<N: Ord> Ranking<N> {
 
     /// The similarity score of a specific candidate, if ranked.
     pub fn score_of(&self, node: &N) -> Option<f64> {
-        self.entries.iter().find(|(n, _)| n == node).map(|(_, s)| *s)
+        self.entries
+            .iter()
+            .find(|(n, _)| n == node)
+            .map(|(_, s)| *s)
     }
 
     /// Whether the client shares any replica with at least one

@@ -138,7 +138,12 @@ impl<N: Ord + Clone, K: Ord + Clone> CrpService<N, K> {
     ///
     /// Returns [`RatioMapError::Empty`] if the *client* has no usable
     /// observations.
-    pub fn closest<I>(&self, client: &N, candidates: I, now: SimTime) -> Result<Ranking<N>, RatioMapError>
+    pub fn closest<I>(
+        &self,
+        client: &N,
+        candidates: I,
+        now: SimTime,
+    ) -> Result<Ranking<N>, RatioMapError>
     where
         I: IntoIterator<Item = N>,
     {
@@ -164,7 +169,11 @@ impl<N: Ord + Clone, K: Ord + Clone> CrpService<N, K> {
     /// tracker, and removes nodes left with no observations at all.
     /// Returns `(observations_dropped, nodes_removed)` — the bookkeeping
     /// a long-running service performs to bound memory under churn.
-    pub fn prune_stale(&mut self, now: SimTime, max_age: crp_netsim::SimDuration) -> (usize, usize) {
+    pub fn prune_stale(
+        &mut self,
+        now: SimTime,
+        max_age: crp_netsim::SimDuration,
+    ) -> (usize, usize) {
         let cutoff = SimTime::from_millis(now.as_millis().saturating_sub(max_age.as_millis()));
         let mut dropped = 0;
         for tracker in self.trackers.values_mut() {
@@ -192,7 +201,12 @@ impl<N: Ord + Clone, K: Ord + Clone> CrpService<N, K> {
         let ma = self.ratio_map(a, now)?;
         let mb = self.ratio_map(b, now)?;
         let mr = self.ratio_map(reference, now)?;
-        Ok(crate::relative::relative_position(&ma, &mb, &mr, self.metric))
+        Ok(crate::relative::relative_position(
+            &ma,
+            &mb,
+            &mr,
+            self.metric,
+        ))
     }
 
     /// Clusters every node with usable observations using SMF (§IV-B).

@@ -45,11 +45,16 @@ impl SimilarityMetric {
     /// # Ok::<(), crp_core::RatioMapError>(())
     /// ```
     pub fn compare<K: Ord + Clone>(self, a: &RatioMap<K>, b: &RatioMap<K>) -> f64 {
-        match self {
+        let score = match self {
             SimilarityMetric::Cosine => a.cosine_similarity(b),
             SimilarityMetric::Jaccard => jaccard(a, b),
             SimilarityMetric::WeightedOverlap => weighted_overlap(a, b),
-        }
+        };
+        crate::debug_invariant!(
+            crate::invariant::check_unit_interval(score),
+            "SimilarityMetric::{self:?}::compare"
+        );
+        score
     }
 }
 
@@ -74,7 +79,12 @@ fn jaccard<K: Ord + Clone>(a: &RatioMap<K>, b: &RatioMap<K>) -> f64 {
 }
 
 fn weighted_overlap<K: Ord + Clone>(a: &RatioMap<K>, b: &RatioMap<K>) -> f64 {
-    a.iter().map(|(k, va)| va.min(b.get(k))).sum()
+    // The sum of per-key minima is mathematically ≤ 1 but can creep a
+    // few ulps above it in floating point; clamp like cosine does.
+    a.iter()
+        .map(|(k, va)| va.min(b.get(k)))
+        .sum::<f64>()
+        .clamp(0.0, 1.0)
 }
 
 #[cfg(test)]

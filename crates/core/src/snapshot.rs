@@ -124,9 +124,14 @@ mod tests {
 
     #[test]
     fn json_round_trip() {
-        let svc = populated();
+        // Owned keys: deserialization cannot borrow from the JSON text.
+        let mut svc: CrpService<String, String> =
+            CrpService::new(WindowPolicy::LastProbes(5), SimilarityMetric::Cosine);
+        svc.record("a".into(), SimTime::ZERO, vec!["r1".into(), "r2".into()]);
+        svc.record("a".into(), SimTime::from_mins(10), vec!["r1".into()]);
+        svc.record("b".into(), SimTime::from_mins(5), vec!["r3".into()]);
         let json = serde_json::to_string(&ServiceSnapshot::capture(&svc)).unwrap();
-        let back: ServiceSnapshot<&str, &str> = serde_json::from_str(&json).unwrap();
+        let back: ServiceSnapshot<String, String> = serde_json::from_str(&json).unwrap();
         assert_eq!(back, ServiceSnapshot::capture(&svc));
     }
 

@@ -126,11 +126,7 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
     /// removed.
     pub fn prune_before(&mut self, cutoff: SimTime) -> usize {
         let before = self.observations.len();
-        while self
-            .observations
-            .front()
-            .is_some_and(|o| o.time < cutoff)
-        {
+        while self.observations.front().is_some_and(|o| o.time < cutoff) {
             self.observations.pop_front();
         }
         before - self.observations.len()
@@ -167,15 +163,12 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
                 Box::new(history.skip(skip))
             }
             WindowPolicy::MaxAge(max_age) => {
-                let min_time = SimTime::from_millis(
-                    now.as_millis().saturating_sub(max_age.as_millis()),
-                );
+                let min_time =
+                    SimTime::from_millis(now.as_millis().saturating_sub(max_age.as_millis()));
                 Box::new(history.filter(move |o| o.time >= min_time))
             }
         };
-        RatioMap::from_counts(
-            selected.flat_map(|o| o.servers.iter().cloned().map(|s| (s, 1u64))),
-        )
+        RatioMap::from_counts(selected.flat_map(|o| o.servers.iter().cloned().map(|s| (s, 1u64))))
     }
 }
 
@@ -194,7 +187,9 @@ mod tests {
     #[test]
     fn all_window_uses_everything() {
         let t = tracker_with(9);
-        let m = t.ratio_map(WindowPolicy::All, SimTime::from_mins(80)).unwrap();
+        let m = t
+            .ratio_map(WindowPolicy::All, SimTime::from_mins(80))
+            .unwrap();
         // Servers 0,1,2 appear 3 times each.
         for k in 0..3u32 {
             assert!((m.get(&k) - 1.0 / 3.0).abs() < 1e-12);
@@ -216,7 +211,9 @@ mod tests {
     #[test]
     fn last_probes_larger_than_history_is_all() {
         let t = tracker_with(4);
-        let all = t.ratio_map(WindowPolicy::All, SimTime::from_mins(40)).unwrap();
+        let all = t
+            .ratio_map(WindowPolicy::All, SimTime::from_mins(40))
+            .unwrap();
         let big = t
             .ratio_map(WindowPolicy::LastProbes(100), SimTime::from_mins(40))
             .unwrap();
@@ -246,7 +243,9 @@ mod tests {
         assert_eq!(res.unwrap_err(), RatioMapError::Empty);
         let empty: RedirectionTracker<u32> = RedirectionTracker::new();
         assert_eq!(
-            empty.ratio_map(WindowPolicy::All, SimTime::ZERO).unwrap_err(),
+            empty
+                .ratio_map(WindowPolicy::All, SimTime::ZERO)
+                .unwrap_err(),
             RatioMapError::Empty
         );
     }
@@ -258,7 +257,9 @@ mod tests {
             t.record(SimTime::from_mins(i), vec![i as u32]);
         }
         assert_eq!(t.len(), 3);
-        let m = t.ratio_map(WindowPolicy::All, SimTime::from_mins(9)).unwrap();
+        let m = t
+            .ratio_map(WindowPolicy::All, SimTime::from_mins(9))
+            .unwrap();
         assert_eq!(m.get(&0), 0.0);
         assert!(m.get(&9) > 0.0);
     }
@@ -285,7 +286,9 @@ mod tests {
         let mut t = RedirectionTracker::new();
         t.record(SimTime::ZERO, vec![1u32, 2]);
         t.record(SimTime::from_mins(10), vec![1, 1]);
-        let m = t.ratio_map(WindowPolicy::All, SimTime::from_mins(10)).unwrap();
+        let m = t
+            .ratio_map(WindowPolicy::All, SimTime::from_mins(10))
+            .unwrap();
         assert!((m.get(&1) - 0.75).abs() < 1e-12);
         assert!((m.get(&2) - 0.25).abs() < 1e-12);
     }
@@ -299,7 +302,7 @@ mod tests {
     #[test]
     fn future_observations_are_invisible() {
         let t = tracker_with(9); // probes at 0, 10, ..., 80 minutes
-        // Evaluated at minute 35, only the first four probes exist.
+                                 // Evaluated at minute 35, only the first four probes exist.
         let now = SimTime::from_mins(35);
         let all = t.ratio_map(WindowPolicy::All, now).unwrap();
         // Probes 0..=3 saw servers 0,1,2,0.
@@ -310,9 +313,10 @@ mod tests {
         assert_eq!(last2.get(&1), 0.0);
         assert!((last2.get(&0) - 0.5).abs() < 1e-12);
         // Before any probe: no information.
-        assert!(t
-            .ratio_map(WindowPolicy::All, SimTime::ZERO)
-            .is_ok(), "probe at t=0 is known at t=0");
+        assert!(
+            t.ratio_map(WindowPolicy::All, SimTime::ZERO).is_ok(),
+            "probe at t=0 is known at t=0"
+        );
     }
 
     #[test]

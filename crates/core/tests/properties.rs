@@ -1,6 +1,6 @@
 //! Property-based tests for the CRP core invariants.
 
-use crp_core::{Clustering, RatioMap, Ranking, SimilarityMetric, SmfConfig};
+use crp_core::{Clustering, Ranking, RatioMap, SimilarityMetric, SmfConfig};
 use crp_core::{RedirectionTracker, WindowPolicy};
 use crp_netsim::SimTime;
 use proptest::collection::vec;

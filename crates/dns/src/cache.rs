@@ -49,8 +49,13 @@ impl TtlCache {
     /// for the same question.
     pub fn insert(&mut self, response: DnsResponse, now: SimTime) {
         let expires_at = now + response.min_ttl();
-        self.entries
-            .insert(response.question().clone(), Entry { response, expires_at });
+        self.entries.insert(
+            response.question().clone(),
+            Entry {
+                response,
+                expires_at,
+            },
+        );
     }
 
     /// Returns the cached response for `name` if it has not expired at
@@ -117,7 +122,9 @@ mod tests {
     fn expiry_is_exclusive_at_boundary() {
         let mut cache = TtlCache::new();
         cache.insert(response("a.com", 20, 1), SimTime::ZERO);
-        assert!(cache.get(&"a.com".parse().unwrap(), SimTime::from_secs(20)).is_none());
+        assert!(cache
+            .get(&"a.com".parse().unwrap(), SimTime::from_secs(20))
+            .is_none());
     }
 
     #[test]
@@ -125,7 +132,9 @@ mod tests {
         let mut cache = TtlCache::new();
         cache.insert(response("a.com", 20, 1), SimTime::ZERO);
         cache.insert(response("a.com", 20, 2), SimTime::from_secs(5));
-        let hit = cache.get(&"a.com".parse().unwrap(), SimTime::from_secs(10)).unwrap();
+        let hit = cache
+            .get(&"a.com".parse().unwrap(), SimTime::from_secs(10))
+            .unwrap();
         assert_eq!(hit.a_addresses(), vec![SimIp::from_index(2)]);
     }
 
@@ -137,7 +146,9 @@ mod tests {
         let removed = cache.purge_expired(SimTime::from_secs(50));
         assert_eq!(removed, 1);
         assert_eq!(cache.len(), 1);
-        assert!(cache.get(&"b.com".parse().unwrap(), SimTime::from_secs(50)).is_some());
+        assert!(cache
+            .get(&"b.com".parse().unwrap(), SimTime::from_secs(50))
+            .is_some());
     }
 
     #[test]

@@ -63,7 +63,7 @@ impl<'a> DnsKing<'a> {
             b.index()
         )
         .parse()
-        .expect("generated name is valid")
+        .expect("generated name is valid") // crp-lint: allow(CRP001) — generated reverse-probe name is structurally valid
     }
 
     /// One King estimate of RTT(a, b) at time `t`.

@@ -88,9 +88,7 @@ impl FromStr for DomainName {
             return Err(ParseNameError::Empty);
         }
         if trimmed.len() > Self::MAX_NAME_LEN {
-            return Err(ParseNameError::TooLong {
-                len: trimmed.len(),
-            });
+            return Err(ParseNameError::TooLong { len: trimmed.len() });
         }
         let mut labels = Vec::new();
         for raw in trimmed.split('.') {
@@ -161,11 +159,19 @@ impl fmt::Display for ParseNameError {
         match self {
             ParseNameError::Empty => write!(f, "domain name is empty"),
             ParseNameError::TooLong { len } => {
-                write!(f, "domain name is {len} bytes, maximum is {}", DomainName::MAX_NAME_LEN)
+                write!(
+                    f,
+                    "domain name is {len} bytes, maximum is {}",
+                    DomainName::MAX_NAME_LEN
+                )
             }
             ParseNameError::EmptyLabel => write!(f, "domain name contains an empty label"),
             ParseNameError::LabelTooLong { label } => {
-                write!(f, "label `{label}` exceeds {} bytes", DomainName::MAX_LABEL_LEN)
+                write!(
+                    f,
+                    "label `{label}` exceeds {} bytes",
+                    DomainName::MAX_LABEL_LEN
+                )
             }
             ParseNameError::BadCharacter { label } => {
                 write!(f, "label `{label}` contains an invalid character")
@@ -200,7 +206,10 @@ mod tests {
     #[test]
     fn rejects_empty_and_empty_labels() {
         assert_eq!("".parse::<DomainName>(), Err(ParseNameError::Empty));
-        assert_eq!("a..b".parse::<DomainName>(), Err(ParseNameError::EmptyLabel));
+        assert_eq!(
+            "a..b".parse::<DomainName>(),
+            Err(ParseNameError::EmptyLabel)
+        );
     }
 
     #[test]

@@ -167,7 +167,7 @@ impl DnsResponse {
             .iter()
             .map(ResourceRecord::ttl)
             .min()
-            .expect("responses are non-empty")
+            .expect("responses are non-empty") // crp-lint: allow(CRP001) — documented contract: responses are non-empty
     }
 }
 
@@ -223,7 +223,11 @@ mod tests {
         let resp = DnsResponse::new(
             q.clone(),
             vec![
-                ResourceRecord::new(q, SimDuration::from_mins(5), RecordData::Cname(alias.clone())),
+                ResourceRecord::new(
+                    q,
+                    SimDuration::from_mins(5),
+                    RecordData::Cname(alias.clone()),
+                ),
                 ResourceRecord::new(
                     alias,
                     SimDuration::from_secs(20),

@@ -284,7 +284,9 @@ mod tests {
         };
         let name: DomainName = "cdn.example.com".parse().unwrap();
         let _ = r.resolve_uncached(&name, &auth, SimTime::ZERO).unwrap();
-        let _ = r.resolve_uncached(&name, &auth, SimTime::from_secs(1)).unwrap();
+        let _ = r
+            .resolve_uncached(&name, &auth, SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(auth.calls.get(), 2);
         // Cached copy from the second fetch serves a plain resolve.
         let resp = r.resolve(&name, &auth, SimTime::from_secs(2)).unwrap();

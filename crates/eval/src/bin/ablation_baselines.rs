@@ -8,8 +8,8 @@
 //! system's probing bill on the same table.
 
 use crp::{Scenario, ScenarioConfig};
-use crp_baselines::{binning_clustering, BinningConfig, Gnp, GnpConfig, Vivaldi, VivaldiConfig};
 use crp_baselines::asn_clustering;
+use crp_baselines::{binning_clustering, BinningConfig, Gnp, GnpConfig, Vivaldi, VivaldiConfig};
 use crp_core::{QualityReport, SimilarityMetric, WindowPolicy};
 use crp_eval::output;
 use crp_eval::EvalArgs;
@@ -80,14 +80,18 @@ fn main() {
         if let Ok(ranking) = service.closest(&client, scenario.candidates().to_vec(), end) {
             if ranking.has_signal() {
                 if let Some(&pick) = ranking.top() {
-                    penalties[0].1.push(net.rtt(client, pick, end).millis() - optimal);
+                    penalties[0]
+                        .1
+                        .push(net.rtt(client, pick, end).millis() - optimal);
                 }
             }
         }
         // Meridian.
         let entry = scenario.candidates()[i % scenario.candidates().len()];
         let m = overlay.closest_node_query(net, entry, client, end);
-        penalties[1].1.push(net.rtt(client, m.selected, end).millis() - optimal);
+        penalties[1]
+            .1
+            .push(net.rtt(client, m.selected, end).millis() - optimal);
         // Coordinate systems pick the candidate with the lowest
         // estimated RTT.
         let coord_pick = |est: &dyn Fn(HostId) -> Option<f64>| -> Option<HostId> {
@@ -99,10 +103,14 @@ fn main() {
                 .map(|(c, _)| c)
         };
         if let Some(pick) = coord_pick(&|c| vivaldi.estimate(client, c).map(|r| r.millis())) {
-            penalties[2].1.push(net.rtt(client, pick, end).millis() - optimal);
+            penalties[2]
+                .1
+                .push(net.rtt(client, pick, end).millis() - optimal);
         }
         if let Some(pick) = coord_pick(&|c| gnp.estimate(client, c).map(|r| r.millis())) {
-            penalties[3].1.push(net.rtt(client, pick, end).millis() - optimal);
+            penalties[3]
+                .1
+                .push(net.rtt(client, pick, end).millis() - optimal);
         }
     }
 
@@ -147,7 +155,10 @@ fn main() {
         &BinningConfig::default(),
         end,
     );
-    println!("\n  clustering ({} nodes): good clusters <75 ms diameter:", scenario.clients().len());
+    println!(
+        "\n  clustering ({} nodes): good clusters <75 ms diameter:",
+        scenario.clients().len()
+    );
     for (name, clustering) in [("crp", &smf), ("asn", &asn), ("binning", &binning)] {
         let report = QualityReport::evaluate(clustering, |a, b| net.rtt(*a, *b, end).millis());
         let good = report.good_in_diameter_bucket(0.0, 75.0);

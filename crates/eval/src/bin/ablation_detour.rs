@@ -22,7 +22,10 @@ fn main() {
         cdn_scale: args.scale.unwrap_or(1.0),
         ..ScenarioConfig::default()
     });
-    output::section("§II", "one-hop detouring through CDN replicas (SIGCOMM'06 motivation)");
+    output::section(
+        "§II",
+        "one-hop detouring through CDN replicas (SIGCOMM'06 motivation)",
+    );
     output::kv(&[
         ("seed", args.seed.to_string()),
         ("hosts", scenario.clients().len().to_string()),
@@ -62,7 +65,9 @@ fn main() {
                     src.index(),
                     dst.index(),
                     o.direct.millis(),
-                    o.best_detour.map(|d| format!("{:.3}", d.millis())).unwrap_or_default(),
+                    o.best_detour
+                        .map(|d| format!("{:.3}", d.millis()))
+                        .unwrap_or_default(),
                     o.detour_wins()
                 ));
             }

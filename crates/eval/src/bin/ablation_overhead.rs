@@ -21,7 +21,10 @@ fn main() {
         cdn_scale: args.scale.unwrap_or(0.5),
         ..ScenarioConfig::default()
     });
-    output::section("§VI", "commensalism: CRP load on the CDN per client per day");
+    output::section(
+        "§VI",
+        "commensalism: CRP load on the CDN per client per day",
+    );
     output::kv(&[("seed", args.seed.to_string())]);
 
     let day = SimTime::from_hours(24);

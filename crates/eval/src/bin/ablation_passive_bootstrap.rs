@@ -44,7 +44,10 @@ fn main() {
             }
         }
     }
-    println!("\n  active probing @10min: {}", output::summary_line(&active_minutes));
+    println!(
+        "\n  active probing @10min: {}",
+        output::summary_line(&active_minutes)
+    );
     rows.push(format!(
         "active_10min,{:.1}",
         output::mean(&active_minutes).unwrap_or(f64::NAN)
@@ -59,7 +62,8 @@ fn main() {
             let mut done = None;
             let mut burst = 0u64;
             while done.is_none() {
-                let start_min = burst * gap_mins + noise::mix(&[host.key(), burst]) % gap_mins.max(1);
+                let start_min =
+                    burst * gap_mins + noise::mix(&[host.key(), burst]) % gap_mins.max(1);
                 let start = SimTime::from_mins(start_min);
                 if start >= horizon {
                     break;

@@ -17,7 +17,10 @@ fn main() {
         inject_faults: false,
         ..ClosestConfig::paper(&args)
     };
-    output::section("ablation", "similarity metric: cosine vs jaccard vs weighted overlap");
+    output::section(
+        "ablation",
+        "similarity metric: cosine vs jaccard vs weighted overlap",
+    );
     output::kv(&[("seed", args.seed.to_string())]);
 
     let run = run_closest(&cfg);
@@ -30,7 +33,11 @@ fn main() {
         let service = run.service.clone().with_metric(metric);
         let ranks = average_ranks(&run.scenario, &service, &eval_times);
         let series: Vec<f64> = ranks.iter().map(|(_, r)| *r).collect();
-        println!("  {:<18} {}", metric.to_string(), output::summary_line(&series));
+        println!(
+            "  {:<18} {}",
+            metric.to_string(),
+            output::summary_line(&series)
+        );
         rows.push(format!(
             "{},{},{:.3},{:.3}",
             metric,

@@ -15,8 +15,14 @@ fn main() {
     let args = EvalArgs::parse();
     let mut cfg = ClusterExpConfig::paper(&args);
     cfg.thresholds = vec![0.1];
-    output::section("ablation", "SMF center selection: strongest-mappings vs random");
-    output::kv(&[("seed", args.seed.to_string()), ("nodes", cfg.nodes.to_string())]);
+    output::section(
+        "ablation",
+        "SMF center selection: strongest-mappings vs random",
+    );
+    output::kv(&[
+        ("seed", args.seed.to_string()),
+        ("nodes", cfg.nodes.to_string()),
+    ]);
 
     let data = run_clustering(&cfg);
     let (_, smf) = &data.crp[0];
@@ -32,7 +38,10 @@ fn main() {
         smf_quality.good_fraction().unwrap_or(0.0),
         smf_quality.good_in_diameter_bucket(0.0, 75.0),
     )];
-    println!("\n  {:<22} {:>10} {:>9} {:>10} {:>11}", "strategy", "#clustered", "#clusters", "good frac", "good <75ms");
+    println!(
+        "\n  {:<22} {:>10} {:>9} {:>10} {:>11}",
+        "strategy", "#clustered", "#clusters", "good frac", "good <75ms"
+    );
     println!(
         "  {:<22} {:>10} {:>9} {:>10.2} {:>11}",
         "strongest-mappings",

@@ -11,12 +11,18 @@ use crp_eval::{run_closest, ClosestConfig, EvalArgs};
 fn main() {
     let args = EvalArgs::parse();
     let cfg = ClosestConfig::paper(&args);
-    output::section("Fig. 4", "closest-node selection: average latency per client");
+    output::section(
+        "Fig. 4",
+        "closest-node selection: average latency per client",
+    );
     output::kv(&[
         ("seed", args.seed.to_string()),
         ("clients", cfg.clients.to_string()),
         ("candidates", cfg.candidates.to_string()),
-        ("campaign", format!("{}h @ {}", cfg.observe_hours, cfg.probe_interval)),
+        (
+            "campaign",
+            format!("{}h @ {}", cfg.observe_hours, cfg.probe_interval),
+        ),
     ]);
 
     let run = run_closest(&cfg);
@@ -47,7 +53,9 @@ fn main() {
         .filter(|o| o.meridian_ms > 2.0 * o.crp_top5_ms.max(1.0))
         .count() as f64
         / diffs.len() as f64;
-    println!("\n  CRP Top-5 vs Meridian (paper: ~65% within 7 ms, >25% better, ~10% meridian 2x worse):");
+    println!(
+        "\n  CRP Top-5 vs Meridian (paper: ~65% within 7 ms, >25% better, ~10% meridian 2x worse):"
+    );
     output::kv(&[
         ("|diff| < 7 ms", format!("{:.1}%", within_7ms * 100.0)),
         ("CRP better", format!("{:.1}%", crp_wins * 100.0)),
@@ -74,6 +82,11 @@ fn main() {
         "Fig. 4: average latency to the selected server",
         "average latency (ms)",
         "fig4_closest_latency.csv",
-        &[(2, "Meridian"), (3, "CRP Top-1"), (4, "CRP Top-5"), (5, "optimal")],
+        &[
+            (2, "Meridian"),
+            (3, "CRP Top-1"),
+            (4, "CRP Top-5"),
+            (5, "optimal"),
+        ],
     );
 }

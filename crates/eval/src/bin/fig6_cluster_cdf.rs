@@ -12,7 +12,10 @@ fn main() {
     let args = EvalArgs::parse();
     let mut cfg = ClusterExpConfig::paper(&args);
     cfg.thresholds = vec![0.1];
-    output::section("Fig. 6", "CDF of intra- and inter-cluster distances (CRP t=0.1)");
+    output::section(
+        "Fig. 6",
+        "CDF of intra- and inter-cluster distances (CRP t=0.1)",
+    );
     output::kv(&[
         ("seed", args.seed.to_string()),
         ("nodes", cfg.nodes.to_string()),
@@ -29,9 +32,7 @@ fn main() {
     let good = records.iter().filter(|r| r.is_good()).count();
     println!("  {good}/{n} are good (intercluster > intracluster)");
     let under_40 = records.iter().filter(|r| r.diameter_ms < 40.0).count();
-    println!(
-        "  {under_40}/{n} have diameter < 40 ms (paper: most clusters)"
-    );
+    println!("  {under_40}/{n} have diameter < 40 ms (paper: most clusters)");
 
     let rows: Vec<String> = records
         .iter()

@@ -69,11 +69,7 @@ fn main() {
         .map(|i| {
             let cells: Vec<String> = csv_columns
                 .iter()
-                .map(|col| {
-                    col.get(i)
-                        .map(|v| format!("{v:.3}"))
-                        .unwrap_or_default()
-                })
+                .map(|col| col.get(i).map(|v| format!("{v:.3}")).unwrap_or_default())
                 .collect();
             format!("{},{}", i, cells.join(","))
         })
@@ -90,6 +86,11 @@ fn main() {
         "Fig. 8: average rank vs probe interval",
         "average rank",
         "fig8_probe_interval.csv",
-        &[(2, "20 min"), (3, "100 min"), (4, "500 min"), (5, "2000 min")],
+        &[
+            (2, "20 min"),
+            (3, "100 min"),
+            (4, "500 min"),
+            (5, "2000 min"),
+        ],
     );
 }

@@ -12,9 +12,9 @@ use crp_core::{SimilarityMetric, WindowPolicy};
 use crp_eval::closest::average_ranks;
 use crp_eval::output::{self, sorted_series};
 use crp_eval::EvalArgs;
+use crp_netsim::HostId;
 use crp_netsim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
-use crp_netsim::HostId;
 
 fn main() {
     let args = EvalArgs::parse();
@@ -26,7 +26,10 @@ fn main() {
         cdn_scale: args.scale.unwrap_or(1.0),
         ..ScenarioConfig::default()
     });
-    output::section("Fig. 9", "average rank vs probe window size (10-min interval)");
+    output::section(
+        "Fig. 9",
+        "average rank vs probe window size (10-min interval)",
+    );
     output::kv(&[
         ("seed", args.seed.to_string()),
         ("clients", scenario.clients().len().to_string()),
@@ -59,7 +62,11 @@ fn main() {
         let service = base.clone().with_window(w);
         let ranks = average_ranks(&scenario, &service, &eval_times);
         let series: Vec<f64> = ranks.iter().map(|(_, r)| *r).collect();
-        println!("  window {:<12} {}", w.label(), output::summary_line(&series));
+        println!(
+            "  window {:<12} {}",
+            w.label(),
+            output::summary_line(&series)
+        );
         per_client.push(ranks.into_iter().collect());
         csv_columns.push(sorted_series(&series));
     }
@@ -105,6 +112,11 @@ fn main() {
         "Fig. 9: average rank vs probe window size",
         "average rank",
         "fig9_window_size.csv",
-        &[(2, "all probes"), (3, "30 probes"), (4, "10 probes"), (5, "5 probes")],
+        &[
+            (2, "all probes"),
+            (3, "30 probes"),
+            (4, "10 probes"),
+            (5, "5 probes"),
+        ],
     );
 }

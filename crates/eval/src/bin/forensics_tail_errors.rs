@@ -15,7 +15,10 @@ use std::collections::BTreeSet;
 fn main() {
     let args = EvalArgs::parse();
     let cfg = ClosestConfig::paper(&args);
-    output::section("§V-A", "forensics of tail errors (threshold: 80 ms over optimal)");
+    output::section(
+        "§V-A",
+        "forensics of tail errors (threshold: 80 ms over optimal)",
+    );
     output::kv(&[("seed", args.seed.to_string())]);
 
     let run = run_closest(&cfg);
@@ -25,34 +28,38 @@ fn main() {
     for bad_threshold in [80.0, 25.0] {
         println!("\n-- bad-client threshold: {bad_threshold} ms over optimal --");
 
-    let crp_bad: BTreeSet<_> = run
-        .outcomes
-        .iter()
-        .filter(|o| o.crp_top5_ms - o.optimal_ms > bad_threshold)
-        .map(|o| o.client)
-        .collect();
-    let meridian_bad: BTreeSet<_> = run
-        .outcomes
-        .iter()
-        .filter(|o| o.meridian_ms - o.optimal_ms > bad_threshold)
-        .map(|o| o.client)
-        .collect();
-    let both: BTreeSet<_> = crp_bad.intersection(&meridian_bad).collect();
-    let union = crp_bad.union(&meridian_bad).count();
-    let overlap_pct = if union == 0 {
-        0.0
-    } else {
-        both.len() as f64 / union as f64 * 100.0
-    };
-    println!();
-    output::kv(&[
-        ("CRP bad clients", crp_bad.len().to_string()),
-        ("Meridian bad clients", meridian_bad.len().to_string()),
-        (
-            "overlap",
-            format!("{} of {} ({overlap_pct:.0}%, paper: <20%)", both.len(), union),
-        ),
-    ]);
+        let crp_bad: BTreeSet<_> = run
+            .outcomes
+            .iter()
+            .filter(|o| o.crp_top5_ms - o.optimal_ms > bad_threshold)
+            .map(|o| o.client)
+            .collect();
+        let meridian_bad: BTreeSet<_> = run
+            .outcomes
+            .iter()
+            .filter(|o| o.meridian_ms - o.optimal_ms > bad_threshold)
+            .map(|o| o.client)
+            .collect();
+        let both: BTreeSet<_> = crp_bad.intersection(&meridian_bad).collect();
+        let union = crp_bad.union(&meridian_bad).count();
+        let overlap_pct = if union == 0 {
+            0.0
+        } else {
+            both.len() as f64 / union as f64 * 100.0
+        };
+        println!();
+        output::kv(&[
+            ("CRP bad clients", crp_bad.len().to_string()),
+            ("Meridian bad clients", meridian_bad.len().to_string()),
+            (
+                "overlap",
+                format!(
+                    "{} of {} ({overlap_pct:.0}%, paper: <20%)",
+                    both.len(),
+                    union
+                ),
+            ),
+        ]);
 
         let _ = (&crp_bad, &meridian_bad);
     }

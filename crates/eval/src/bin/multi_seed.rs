@@ -109,10 +109,5 @@ fn main() {
         println!("    {label:<42} {m:7.1} ± {sd:4.1}   ({reference})");
         rows.push(format!("{},{m:.3},{sd:.3}", label.replace(',', ";")));
     }
-    output::write_csv(
-        &args.out_dir,
-        "multi_seed.csv",
-        "metric,mean,std",
-        &rows,
-    );
+    output::write_csv(&args.out_dir, "multi_seed.csv", "metric,mean,std", &rows);
 }

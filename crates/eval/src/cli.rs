@@ -39,44 +39,66 @@ impl EvalArgs {
     /// Parses `std::env::args`, aborting the process with a usage
     /// message on malformed input.
     pub fn parse() -> EvalArgs {
-        Self::from_args(std::env::args().skip(1))
+        Self::try_from_args(std::env::args().skip(1)).unwrap_or_else(|message| {
+            eprintln!("{message}");
+            eprintln!(
+                "usage: [--seed N] [--clients N] [--candidates N] [--hours N] \
+                 [--scale X] [--out DIR]"
+            );
+            std::process::exit(2)
+        })
     }
 
     /// Parses from an explicit argument list (testable core of [`parse`]).
     ///
     /// # Panics
     ///
-    /// Panics on unknown flags, missing values, or unparseable numbers.
+    /// Panics on unknown flags, missing values, or unparseable numbers;
+    /// [`EvalArgs::try_from_args`] is the non-panicking form.
     ///
     /// [`parse`]: EvalArgs::parse
     pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> EvalArgs {
+        Self::try_from_args(args).unwrap_or_else(|message| panic!("{message}"))
+    }
+
+    /// Parses from an explicit argument list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on unknown flags, missing
+    /// values, or unparseable numbers.
+    pub fn try_from_args<I: IntoIterator<Item = String>>(args: I) -> Result<EvalArgs, String> {
+        fn number<T: std::str::FromStr>(value: &str, what: &str) -> Result<T, String> {
+            value
+                .parse()
+                .map_err(|_| format!("--{what}: cannot parse `{value}`"))
+        }
+
         let mut map: HashMap<String, String> = HashMap::new();
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             let key = flag
                 .strip_prefix("--")
-                .unwrap_or_else(|| panic!("unexpected argument `{flag}`; flags look like --seed 7"))
+                .ok_or_else(|| format!("unexpected argument `{flag}`; flags look like --seed 7"))?
                 .to_owned();
             let value = it
                 .next()
-                .unwrap_or_else(|| panic!("flag --{key} requires a value"));
+                .ok_or_else(|| format!("flag --{key} requires a value"))?;
             map.insert(key, value);
         }
         let mut out = EvalArgs::default();
         for (k, v) in map {
             match k.as_str() {
-                "seed" => out.seed = v.parse().expect("--seed takes an integer"),
-                "clients" => out.clients = Some(v.parse().expect("--clients takes an integer")),
-                "candidates" => {
-                    out.candidates = Some(v.parse().expect("--candidates takes an integer"))
-                }
-                "hours" => out.hours = Some(v.parse().expect("--hours takes an integer")),
-                "scale" => out.scale = Some(v.parse().expect("--scale takes a float")),
+                "seed" => out.seed = number(&v, "seed takes an integer")?,
+                "clients" => out.clients = Some(number(&v, "clients takes an integer")?),
+                "candidates" => out.candidates = Some(number(&v, "candidates takes an integer")?),
+                "hours" => out.hours = Some(number(&v, "hours takes an integer")?),
+                "scale" => out.scale = Some(number(&v, "scale takes a float")?),
                 "out" => out.out_dir = v,
-                other => panic!("unknown flag --{other}"),
+                other => return Err(format!("unknown flag --{other}")),
             }
         }
-        out
+        Ok(out)
     }
 }
 

@@ -1,7 +1,7 @@
 //! Experiment output: stdout tables and CSV series.
 
 use std::fs;
-use std::io::Write as _;
+use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
 /// Prints a section header matching the paper's table/figure ids.
@@ -26,16 +26,31 @@ pub fn kv(rows: &[(&str, String)]) {
 /// Panics if the directory or file cannot be written — experiment output
 /// is the whole point of the binaries, so failing loudly is correct.
 pub fn write_csv(out_dir: &str, name: &str, header: &str, rows: &[String]) -> PathBuf {
+    // crp-lint: allow(CRP001) — documented panic contract, see above.
+    try_write_csv(out_dir, name, header, rows).expect("write results csv")
+}
+
+/// Fallible form of [`write_csv`] for callers that handle IO errors.
+///
+/// # Errors
+///
+/// Returns any error from creating the directory or writing the file.
+pub fn try_write_csv(
+    out_dir: &str,
+    name: &str,
+    header: &str,
+    rows: &[String],
+) -> io::Result<PathBuf> {
     let dir = Path::new(out_dir);
-    fs::create_dir_all(dir).expect("create results directory");
+    fs::create_dir_all(dir)?;
     let path = dir.join(name);
-    let mut f = fs::File::create(&path).expect("create results file");
-    writeln!(f, "{header}").expect("write csv header");
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "{header}")?;
     for row in rows {
-        writeln!(f, "{row}").expect("write csv row");
+        writeln!(f, "{row}")?;
     }
     println!("  [wrote {}]", path.display());
-    path
+    Ok(path)
 }
 
 /// Writes a gnuplot script rendering a previously-written CSV as the
@@ -55,26 +70,49 @@ pub fn write_gnuplot(
     columns: &[(usize, &str)],
 ) -> PathBuf {
     assert!(!columns.is_empty(), "need at least one column to plot");
+    try_write_gnuplot(out_dir, name, title, ylabel, csv_name, columns)
+        // crp-lint: allow(CRP001) — documented panic contract, see above.
+        .expect("write gnuplot script")
+}
+
+/// Fallible form of [`write_gnuplot`] for callers that handle IO
+/// errors. `columns` must be non-empty (checked by the panicking
+/// wrapper; here an empty list yields a script with an empty plot
+/// list).
+///
+/// # Errors
+///
+/// Returns any error from creating the directory or writing the file.
+pub fn try_write_gnuplot(
+    out_dir: &str,
+    name: &str,
+    title: &str,
+    ylabel: &str,
+    csv_name: &str,
+    columns: &[(usize, &str)],
+) -> io::Result<PathBuf> {
     let dir = Path::new(out_dir);
-    fs::create_dir_all(dir).expect("create results directory");
+    fs::create_dir_all(dir)?;
     let path = dir.join(format!("{name}.gp"));
-    let mut f = fs::File::create(&path).expect("create gnuplot script");
-    writeln!(f, "set datafile separator ','").expect("write script");
-    writeln!(f, "set key top left").expect("write script");
-    writeln!(f, "set title '{title}'").expect("write script");
-    writeln!(f, "set xlabel 'client (sorted per curve)'").expect("write script");
-    writeln!(f, "set ylabel '{ylabel}'").expect("write script");
-    writeln!(f, "set terminal pngcairo size 900,540").expect("write script");
-    writeln!(f, "set output '{name}.png'").expect("write script");
+    let mut f = fs::File::create(&path)?;
+    writeln!(f, "set datafile separator ','")?;
+    writeln!(f, "set key top left")?;
+    writeln!(f, "set title '{title}'")?;
+    writeln!(f, "set xlabel 'client (sorted per curve)'")?;
+    writeln!(f, "set ylabel '{ylabel}'")?;
+    writeln!(f, "set terminal pngcairo size 900,540")?;
+    writeln!(f, "set output '{name}.png'")?;
     let plots: Vec<String> = columns
         .iter()
-        .map(|(col, label)| {
-            format!("'{csv_name}' using 1:{col} with lines lw 2 title '{label}'")
-        })
+        .map(|(col, label)| format!("'{csv_name}' using 1:{col} with lines lw 2 title '{label}'"))
         .collect();
-    writeln!(f, "plot {}", plots.join(", \\\n     ")).expect("write script");
-    println!("  [wrote {} — render with `gnuplot {}`]", path.display(), path.display());
-    path
+    writeln!(f, "plot {}", plots.join(", \\\n     "))?;
+    println!(
+        "  [wrote {} — render with `gnuplot {}`]",
+        path.display(),
+        path.display()
+    );
+    Ok(path)
 }
 
 /// Sorted copy of a series — the paper plots per-client curves sorted
@@ -114,7 +152,10 @@ pub fn summary_line(values: &[f64]) -> String {
         mean(values),
     ) {
         (Some(p10), Some(p50), Some(p90), Some(m)) => {
-            format!("n={} mean={m:.1} p10={p10:.1} p50={p50:.1} p90={p90:.1}", values.len())
+            format!(
+                "n={} mean={m:.1} p10={p10:.1} p50={p50:.1} p90={p90:.1}",
+                values.len()
+            )
         }
         _ => "n=0".to_owned(),
     }

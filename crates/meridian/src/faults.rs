@@ -117,10 +117,7 @@ impl FaultPlan {
             return plan;
         }
         let n = members.len();
-        plan = plan.with_bootstrap_self_recommend(
-            members[0],
-            SimTime::from_hours(bootstrap_hours),
-        );
+        plan = plan.with_bootstrap_self_recommend(members[0], SimTime::from_hours(bootstrap_hours));
         let never = (n as f64 * 0.015).round() as usize;
         for &m in members.iter().skip(1).take(never) {
             plan = plan.with_never_joined(m);

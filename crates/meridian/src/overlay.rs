@@ -155,7 +155,8 @@ impl MeridianOverlay {
         let mut knowledge: Vec<Vec<HostId>> = vec![Vec::new(); n];
         for (i, _) in joined.iter().enumerate() {
             for c in 0..self.cfg.bootstrap_contacts {
-                let j = (noise::mix(&[seed, TAG_BOOTSTRAP, i as u64, c as u64]) % n as u64) as usize;
+                let j =
+                    (noise::mix(&[seed, TAG_BOOTSTRAP, i as u64, c as u64]) % n as u64) as usize;
                 if j != i {
                     knowledge[i].push(joined[j]);
                 }
@@ -302,7 +303,7 @@ impl MeridianOverlay {
                 if d < best.1 {
                     best = (peer, d);
                 }
-                if best_peer.is_none() || d < best_peer.expect("checked").1 {
+                if best_peer.is_none_or(|(_, best_d)| d < best_d) {
                     best_peer = Some((peer, d));
                 }
             }
@@ -423,12 +424,8 @@ mod tests {
     #[test]
     fn overlay_builds_and_populates_rings() {
         let (net, members, _) = setup(30, 0, 1);
-        let overlay = MeridianOverlay::build(
-            &net,
-            &members,
-            MeridianConfig::default(),
-            FaultPlan::none(),
-        );
+        let overlay =
+            MeridianOverlay::build(&net, &members, MeridianConfig::default(), FaultPlan::none());
         assert_eq!(overlay.member_count(), 30);
         assert!(overlay.probes_issued() > 0);
         let populated = members
@@ -441,12 +438,8 @@ mod tests {
     #[test]
     fn queries_return_members_and_beat_random_choice() {
         let (net, members, clients) = setup(40, 10, 2);
-        let overlay = MeridianOverlay::build(
-            &net,
-            &members,
-            MeridianConfig::default(),
-            FaultPlan::none(),
-        );
+        let overlay =
+            MeridianOverlay::build(&net, &members, MeridianConfig::default(), FaultPlan::none());
         let t = SimTime::from_mins(30);
         let mut selected_sum = 0.0;
         let mut random_sum = 0.0;
@@ -455,7 +448,9 @@ mod tests {
             let result = overlay.closest_node_query(&net, entry, client, t);
             assert!(members.contains(&result.selected));
             selected_sum += net.rtt(result.selected, client, t).millis();
-            random_sum += net.rtt(members[(i * 7) % members.len()], client, t).millis();
+            random_sum += net
+                .rtt(members[(i * 7) % members.len()], client, t)
+                .millis();
         }
         assert!(
             selected_sum < random_sum,
@@ -466,12 +461,8 @@ mod tests {
     #[test]
     fn query_is_deterministic() {
         let (net, members, clients) = setup(25, 3, 3);
-        let overlay = MeridianOverlay::build(
-            &net,
-            &members,
-            MeridianConfig::default(),
-            FaultPlan::none(),
-        );
+        let overlay =
+            MeridianOverlay::build(&net, &members, MeridianConfig::default(), FaultPlan::none());
         let a = overlay.closest_node_query(&net, members[0], clients[0], SimTime::ZERO);
         let b = overlay.closest_node_query(&net, members[0], clients[0], SimTime::ZERO);
         assert_eq!(a.selected, b.selected);
@@ -481,13 +472,15 @@ mod tests {
     #[test]
     fn bootstrapping_entry_recommends_itself() {
         let (net, members, clients) = setup(20, 1, 4);
-        let plan = FaultPlan::none()
-            .with_bootstrap_self_recommend(members[0], SimTime::from_hours(10));
+        let plan =
+            FaultPlan::none().with_bootstrap_self_recommend(members[0], SimTime::from_hours(10));
         let overlay = MeridianOverlay::build(&net, &members, MeridianConfig::default(), plan);
-        let during = overlay.closest_node_query(&net, members[0], clients[0], SimTime::from_hours(1));
+        let during =
+            overlay.closest_node_query(&net, members[0], clients[0], SimTime::from_hours(1));
         assert_eq!(during.selected, members[0]);
         assert_eq!(during.hops, 0);
-        let after = overlay.closest_node_query(&net, members[0], clients[0], SimTime::from_hours(11));
+        let after =
+            overlay.closest_node_query(&net, members[0], clients[0], SimTime::from_hours(11));
         // After bootstrap the node answers real queries (may still pick
         // itself legitimately, but usually not).
         assert!(members.contains(&after.selected));
@@ -515,12 +508,8 @@ mod tests {
     #[test]
     fn probe_accounting_increases_per_query() {
         let (net, members, clients) = setup(20, 1, 7);
-        let overlay = MeridianOverlay::build(
-            &net,
-            &members,
-            MeridianConfig::default(),
-            FaultPlan::none(),
-        );
+        let overlay =
+            MeridianOverlay::build(&net, &members, MeridianConfig::default(), FaultPlan::none());
         let before = overlay.probes_issued();
         let r = overlay.closest_node_query(&net, members[0], clients[0], SimTime::ZERO);
         assert!(overlay.probes_issued() > before);
@@ -530,12 +519,8 @@ mod tests {
     #[test]
     fn multi_constraint_query_finds_satisfying_member() {
         let (net, members, clients) = setup(40, 3, 10);
-        let overlay = MeridianOverlay::build(
-            &net,
-            &members,
-            MeridianConfig::default(),
-            FaultPlan::none(),
-        );
+        let overlay =
+            MeridianOverlay::build(&net, &members, MeridianConfig::default(), FaultPlan::none());
         let t = SimTime::from_mins(10);
         // A loose constraint set every member's metro should satisfy for
         // at least one member: within 400 ms of every client.
@@ -563,12 +548,8 @@ mod tests {
     #[should_panic(expected = "at least one constraint")]
     fn multi_constraint_requires_constraints() {
         let (net, members, _) = setup(8, 0, 11);
-        let overlay = MeridianOverlay::build(
-            &net,
-            &members,
-            MeridianConfig::default(),
-            FaultPlan::none(),
-        );
+        let overlay =
+            MeridianOverlay::build(&net, &members, MeridianConfig::default(), FaultPlan::none());
         let _ = overlay.multi_constraint_query(&net, members[0], &[], SimTime::ZERO);
     }
 

@@ -153,11 +153,7 @@ impl RingSet {
 
 /// Greedy max–min diversity: keep `k` members spread as far apart as
 /// possible (seeded with the pair realizing the maximum distance).
-fn diversity_subset<F>(
-    members: &[(HostId, Rtt)],
-    k: usize,
-    inter_rtt: &mut F,
-) -> Vec<(HostId, Rtt)>
+fn diversity_subset<F>(members: &[(HostId, Rtt)], k: usize, inter_rtt: &mut F) -> Vec<(HostId, Rtt)>
 where
     F: FnMut(HostId, HostId) -> Rtt,
 {
@@ -190,13 +186,13 @@ where
                 .iter()
                 .map(|&c| inter_rtt(*host, members[c].0))
                 .min()
-                .expect("chosen is non-empty");
+                .expect("chosen is non-empty"); // crp-lint: allow(CRP001) — chosen starts with one seed member, never empty
             if best_idx.is_none() || min_d > best_min {
                 best_min = min_d;
                 best_idx = Some(i);
             }
         }
-        chosen.push(best_idx.expect("members remain"));
+        chosen.push(best_idx.expect("members remain")); // crp-lint: allow(CRP001) — loop runs only while unchosen members remain
     }
     chosen.sort_unstable();
     chosen.into_iter().map(|i| members[i]).collect()

@@ -1,7 +1,7 @@
 //! Property-based tests for the Meridian baseline.
 
-use crp_meridian::{FaultPlan, MeridianConfig, MeridianOverlay};
 use crp_meridian::rings::RingGeometry;
+use crp_meridian::{FaultPlan, MeridianConfig, MeridianOverlay};
 use crp_netsim::{NetworkBuilder, PopulationSpec, Rtt, SimTime};
 use proptest::prelude::*;
 

@@ -41,7 +41,10 @@ impl fmt::Display for WorldSummary {
             writeln!(f, "  {region}: {} ASes, {} hosts", s.ases, s.hosts)?;
         }
         let (p10, p50, p90) = self.rtt_quantiles_ms;
-        write!(f, "  pairwise RTT p10/p50/p90: {p10:.0}/{p50:.0}/{p90:.0} ms")
+        write!(
+            f,
+            "  pairwise RTT p10/p50/p90: {p10:.0}/{p50:.0}/{p90:.0} ms"
+        )
     }
 }
 
@@ -53,7 +56,10 @@ impl Network {
     ///
     /// Panics if the network has fewer than two hosts.
     pub fn summarize(&self, samples: usize, t: SimTime) -> WorldSummary {
-        assert!(self.host_count() >= 2, "need at least two hosts to sample RTTs");
+        assert!(
+            self.host_count() >= 2,
+            "need at least two hosts to sample RTTs"
+        );
         let mut regions: Vec<(Region, RegionSummary)> = Region::ALL
             .iter()
             .map(|r| (*r, RegionSummary::default()))
@@ -67,8 +73,12 @@ impl Network {
         let n = self.host_count();
         let mut rtts: Vec<f64> = Vec::with_capacity(samples);
         for i in 0..samples {
-            let a = self.hosts()[(crate::noise::mix(&[self.seed(), 0xD1A6, i as u64]) % n as u64) as usize].id();
-            let b = self.hosts()[(crate::noise::mix(&[self.seed(), 0xD1A7, i as u64]) % n as u64) as usize].id();
+            let a = self.hosts()
+                [(crate::noise::mix(&[self.seed(), 0xD1A6, i as u64]) % n as u64) as usize]
+                .id();
+            let b = self.hosts()
+                [(crate::noise::mix(&[self.seed(), 0xD1A7, i as u64]) % n as u64) as usize]
+                .id();
             if a == b {
                 continue;
             }
@@ -118,7 +128,7 @@ impl Network {
         let mut path = vec![to];
         let mut cur = to.index() as u32;
         while cur != from.index() as u32 {
-            cur = parent[cur as usize].expect("graph is connected");
+            cur = parent[cur as usize].expect("graph is connected"); // crp-lint: allow(CRP001) — BFS parents cover every AS: topology is connected by construction
             path.push(self.ases()[cur as usize].id());
         }
         path.reverse();

@@ -109,7 +109,9 @@ impl<'a> KingEstimator<'a> {
             * self.cfg.rel_err_sigma;
         // Clamp so gross outliers cannot produce negative estimates.
         let factor = (1.0 + eps).max(0.2);
-        Some(Rtt::from_millis(truth.millis() * factor + self.cfg.overhead_ms))
+        Some(Rtt::from_millis(
+            truth.millis() * factor + self.cfg.overhead_ms,
+        ))
     }
 
     /// The median of up to `attempts` measurements spread over
@@ -133,7 +135,11 @@ impl<'a> KingEstimator<'a> {
         let step = (span / attempts as u64).max(1);
         let mut got: Vec<Rtt> = (0..attempts)
             .filter_map(|i| {
-                self.estimate(a, b, SimTime::from_millis(start.as_millis() + i as u64 * step))
+                self.estimate(
+                    a,
+                    b,
+                    SimTime::from_millis(start.as_millis() + i as u64 * step),
+                )
             })
             .collect();
         if got.is_empty() {

@@ -128,12 +128,13 @@ impl Network {
 
         // Propagation with per-pair, per-route-epoch inflation.
         let dist_km = ha.location().great_circle_km(hb.location());
-        let phase = noise::mix(&[seed, TAG_EPOCH_PHASE, lo.key(), hi.key()]) % cfg.route_epoch_ms.max(1);
+        let phase =
+            noise::mix(&[seed, TAG_EPOCH_PHASE, lo.key(), hi.key()]) % cfg.route_epoch_ms.max(1);
         let epoch = (t.as_millis() + phase) / cfg.route_epoch_ms.max(1);
         // Inflation mixes peering quality between the two ASes (static,
         // dominant), a static host-pair term, and a route-epoch wobble.
-        let inflation = cfg.inflation_base
-            + cfg.inflation_spread * self.inflation_mix(lo, hi, Some(epoch));
+        let inflation =
+            cfg.inflation_base + cfg.inflation_spread * self.inflation_mix(lo, hi, Some(epoch));
         let prop_ms = 2.0 * dist_km * inflation / cfg.speed_km_per_ms;
         let wobble_ms = cfg.route_wobble_ms
             * noise::uniform(&[seed, TAG_ROUTE_WOBBLE, lo.key(), hi.key(), epoch]);
@@ -150,9 +151,9 @@ impl Network {
             + self.as_congestion_ms(hb.asn().index() as u64, t);
 
         // Per-query jitter (folded to non-negative).
-        let jitter_ms =
-            noise::gaussian(&[seed, TAG_JITTER, lo.key(), hi.key(), t.as_millis()]).abs()
-                * cfg.jitter_sigma_ms;
+        let jitter_ms = noise::gaussian(&[seed, TAG_JITTER, lo.key(), hi.key(), t.as_millis()])
+            .abs()
+            * cfg.jitter_sigma_ms;
 
         let total = (prop_ms + wobble_ms + hop_ms + access_ms + congestion_ms + jitter_ms)
             .max(cfg.min_rtt_ms);
@@ -167,7 +168,11 @@ impl Network {
         let (as_lo, as_hi) = {
             let a = self.host(lo).asn().index() as u64;
             let b = self.host(hi).asn().index() as u64;
-            if a <= b { (a, b) } else { (b, a) }
+            if a <= b {
+                (a, b)
+            } else {
+                (b, a)
+            }
         };
         let u_as = noise::uniform(&[seed, TAG_INFLATION_AS, as_lo, as_hi]);
         let u_host = noise::uniform(&[seed, TAG_INFLATION_STATIC, lo.key(), hi.key()]);
@@ -192,7 +197,11 @@ impl Network {
 
         let drift = if cfg.drift_amplitude_ms > 0.0 {
             cfg.drift_amplitude_ms
-                * noise::smooth(&[seed, TAG_DRIFT, as_index], t.as_millis(), cfg.drift_bucket_ms)
+                * noise::smooth(
+                    &[seed, TAG_DRIFT, as_index],
+                    t.as_millis(),
+                    cfg.drift_bucket_ms,
+                )
         } else {
             0.0
         };
@@ -231,14 +240,26 @@ impl Network {
     /// # Panics
     ///
     /// Panics if `samples` is zero or `end <= start`.
-    pub fn mean_rtt(&self, a: HostId, b: HostId, start: SimTime, end: SimTime, samples: usize) -> Rtt {
+    pub fn mean_rtt(
+        &self,
+        a: HostId,
+        b: HostId,
+        start: SimTime,
+        end: SimTime,
+        samples: usize,
+    ) -> Rtt {
         assert!(samples > 0, "need at least one sample");
         assert!(end > start, "empty sampling interval");
         let span = (end - start).as_millis();
         let step = (span / samples as u64).max(1);
-        let rtts = (0..samples)
-            .map(|i| self.rtt(a, b, SimTime::from_millis(start.as_millis() + i as u64 * step)));
-        Rtt::mean(rtts).expect("samples > 0")
+        let rtts = (0..samples).map(|i| {
+            self.rtt(
+                a,
+                b,
+                SimTime::from_millis(start.as_millis() + i as u64 * step),
+            )
+        });
+        Rtt::mean(rtts).expect("samples > 0") // crp-lint: allow(CRP001) — samples >= 1, so the mean exists
     }
 }
 
@@ -326,7 +347,10 @@ mod tests {
     fn rtt_is_deterministic() {
         let (net, hosts) = net_with_hosts();
         let t = SimTime::from_mins(1234);
-        assert_eq!(net.rtt(hosts[1], hosts[3], t), net.rtt(hosts[1], hosts[3], t));
+        assert_eq!(
+            net.rtt(hosts[1], hosts[3], t),
+            net.rtt(hosts[1], hosts[3], t)
+        );
     }
 
     #[test]
@@ -372,6 +396,12 @@ mod tests {
     #[should_panic(expected = "empty sampling interval")]
     fn mean_rtt_rejects_empty_interval() {
         let (net, hosts) = net_with_hosts();
-        let _ = net.mean_rtt(hosts[0], hosts[1], SimTime::from_mins(1), SimTime::from_mins(1), 3);
+        let _ = net.mean_rtt(
+            hosts[0],
+            hosts[1],
+            SimTime::from_mins(1),
+            SimTime::from_mins(1),
+            3,
+        );
     }
 }

@@ -118,7 +118,11 @@ mod tests {
         let end = smooth(&words, 999, 1_000);
         let mid = smooth(&words, 500, 1_000);
         // Mid-point of a linear ramp lies between (or at) the endpoints.
-        let (lo, hi) = if start <= end { (start, end) } else { (end, start) };
+        let (lo, hi) = if start <= end {
+            (start, end)
+        } else {
+            (end, start)
+        };
         assert!(mid >= lo - 1e-9 && mid <= hi + 1e-9);
     }
 

@@ -172,7 +172,7 @@ impl PopulationSpec {
             }
             draw -= w;
         }
-        self.weights.last().expect("weights non-empty").0
+        self.weights.last().expect("weights non-empty").0 // crp-lint: allow(CRP001) — weights are validated non-empty at construction
     }
 }
 
@@ -251,7 +251,9 @@ mod tests {
             20,
             Region::SouthAmerica,
         ));
-        assert!(ids.iter().all(|id| net.host(*id).region() == Region::SouthAmerica));
+        assert!(ids
+            .iter()
+            .all(|id| net.host(*id).region() == Region::SouthAmerica));
     }
 
     #[test]

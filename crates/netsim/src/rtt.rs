@@ -186,7 +186,9 @@ mod tests {
 
     #[test]
     fn sum_and_div() {
-        let total: Rtt = [Rtt::from_millis(5.0), Rtt::from_millis(15.0)].into_iter().sum();
+        let total: Rtt = [Rtt::from_millis(5.0), Rtt::from_millis(15.0)]
+            .into_iter()
+            .sum();
         assert_eq!(total / 2.0, Rtt::from_millis(10.0));
     }
 

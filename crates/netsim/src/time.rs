@@ -18,7 +18,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// let t = SimTime::ZERO + SimDuration::from_mins(10);
 /// assert_eq!(t.as_millis(), 600_000);
 /// ```
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulation time, in milliseconds.
@@ -30,7 +32,9 @@ pub struct SimTime(u64);
 ///
 /// assert_eq!(SimDuration::from_secs(90), SimDuration::from_millis(90_000));
 /// ```
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(
+    Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -215,7 +219,11 @@ mod tests {
             .collect();
         assert_eq!(
             steps,
-            vec![SimTime::ZERO, SimTime::from_mins(10), SimTime::from_mins(20)]
+            vec![
+                SimTime::ZERO,
+                SimTime::from_mins(10),
+                SimTime::from_mins(20)
+            ]
         );
     }
 
@@ -242,6 +250,9 @@ mod tests {
 
     #[test]
     fn duration_mul() {
-        assert_eq!(SimDuration::from_mins(10).mul(6), SimDuration::from_hours(1));
+        assert_eq!(
+            SimDuration::from_mins(10).mul(6),
+            SimDuration::from_hours(1)
+        );
     }
 }

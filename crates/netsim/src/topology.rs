@@ -319,11 +319,12 @@ impl NetworkBuilder {
                     congestion_scale: rng.random_range(0.5..1.2),
                     reach_km,
                 });
-                let primary = *transits.choose(&mut rng).expect("transit ASes exist");
+                let primary = *transits.choose(&mut rng).expect("transit ASes exist"); // crp-lint: allow(CRP001) — transit tier is non-empty for any valid spec
                 edges.push((primary, id));
                 if rng.random_bool(0.35) && transits.len() > 1 {
-                    let mut secondary = *transits.choose(&mut rng).expect("nonempty");
+                    let mut secondary = *transits.choose(&mut rng).expect("nonempty"); // crp-lint: allow(CRP001) — guarded by transits.len() > 1
                     while secondary == primary {
+                        // crp-lint: allow(CRP001) — guarded by transits.len() > 1
                         secondary = *transits.choose(&mut rng).expect("nonempty");
                     }
                     edges.push((secondary, id));
@@ -467,7 +468,12 @@ impl Network {
     ///
     /// Panics if the region has no eligible AS (never true for generated
     /// topologies) or if the access range is invalid.
-    pub fn add_host(&mut self, region: Region, access_range_ms: (f64, f64), label: String) -> HostId {
+    pub fn add_host(
+        &mut self,
+        region: Region,
+        access_range_ms: (f64, f64),
+        label: String,
+    ) -> HostId {
         self.add_host_with_spread(region, access_range_ms, label, None)
     }
 
@@ -514,7 +520,7 @@ impl Network {
         } else {
             candidates
         };
-        let asn = *pool.choose(&mut self.host_rng).expect("region has ASes");
+        let asn = *pool.choose(&mut self.host_rng).expect("region has ASes"); // crp-lint: allow(CRP001) — every region receives at least one AS
         let reach = spread_km.unwrap_or(self.ases[asn.index()].reach_km);
         // Most hosts live in cities: pick a metro within the AS's reach
         // of its PoP (falling back to the nearest metro) and jitter
@@ -534,9 +540,10 @@ impl Network {
                 *region_metros
                     .iter()
                     .min_by(|a, b| {
-                        pop.great_circle_km(**a).total_cmp(&pop.great_circle_km(**b))
+                        pop.great_circle_km(**a)
+                            .total_cmp(&pop.great_circle_km(**b))
                     })
-                    .expect("regions have metros")
+                    .expect("regions have metros") // crp-lint: allow(CRP001) — every region has at least one metro
             } else {
                 in_reach[self.host_rng.random_range(0..in_reach.len())]
             };
@@ -547,7 +554,8 @@ impl Network {
         let access_ms = if access_range_ms.0 == access_range_ms.1 {
             access_range_ms.0
         } else {
-            self.host_rng.random_range(access_range_ms.0..access_range_ms.1)
+            self.host_rng
+                .random_range(access_range_ms.0..access_range_ms.1)
         };
         let id = HostId(self.hosts.len() as u32);
         self.hosts.push(Host {

@@ -1,0 +1,22 @@
+//! Workspace static analysis for the CRP reproduction.
+//!
+//! `crp-xtask lint` walks every Rust source file in the workspace and
+//! enforces the project's determinism and robustness rules — no panicky
+//! `unwrap`/`expect` in library code, no nondeterministic randomness, no
+//! NaN-unsafe float ordering, no wall-clock reads in simulation crates,
+//! no stray stdout printing from libraries. It is deliberately
+//! dependency-free (std only): a token-level scrubber removes comments
+//! and string literals so substring rules don't false-positive, and a
+//! brace-matching pass locates `#[cfg(test)]` regions so test code is
+//! exempt from the library-only rules.
+//!
+//! Every diagnostic carries a rule ID (`CRP001`..`CRP005`), a severity,
+//! and a `file:line` location. A finding can be suppressed at the site
+//! with a `// crp-lint: allow(CRP00x)` comment on the same line or the
+//! line directly above — the escape hatch for the handful of places
+//! where a panic genuinely is the documented contract.
+
+pub mod lint;
+pub mod scrub;
+
+pub use lint::{lint_root, lint_source, Diagnostic, Rule, Severity, RULES};

@@ -1,0 +1,510 @@
+//! The lint rules and the file/workspace scanners.
+
+use crate::scrub::scrub;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How a finding affects the lint exit status.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint run.
+    Error,
+    /// Reported but does not fail the run.
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Error => f.write_str("error"),
+            Severity::Warning => f.write_str("warning"),
+        }
+    }
+}
+
+/// What part of the workspace a rule applies to.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// Library sources only: `crates/*/src` and the root `src/`,
+    /// excluding binaries, examples, benches, integration tests, and
+    /// `#[cfg(test)]` regions.
+    Library,
+    /// All of `crates/*/src` and the root `src/`, including test
+    /// modules and binaries (rules about determinism apply to tests
+    /// too).
+    CrateSources,
+    /// Library sources of the simulation crates (`crp-netsim`,
+    /// `crp-cdn`, `crp-core`) plus their test modules — simulated time
+    /// must never mix with wall-clock time, even in tests.
+    SimCrates,
+}
+
+/// A static-analysis rule: an ID, the substring patterns that trigger
+/// it, and where it applies.
+pub struct Rule {
+    /// Stable identifier, `CRP001`..`CRP005`.
+    pub id: &'static str,
+    /// Substring patterns (matched against scrubbed source).
+    pub patterns: &'static [&'static str],
+    /// Which files/regions the rule scans.
+    pub scope: Scope,
+    /// Default severity.
+    pub severity: Severity,
+    /// One-line explanation shown with each finding.
+    pub message: &'static str,
+}
+
+/// The rule set, in ID order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "CRP001",
+        patterns: &[".unwrap()", ".expect("],
+        scope: Scope::Library,
+        severity: Severity::Error,
+        message: "panicking unwrap/expect in library code; return a Result \
+                  or document the invariant with crp-lint: allow(CRP001)",
+    },
+    Rule {
+        id: "CRP002",
+        patterns: &["thread_rng", "from_entropy", "rand::random"],
+        scope: Scope::CrateSources,
+        severity: Severity::Error,
+        message: "nondeterministic RNG source; all randomness must flow from \
+                  an explicit seed (StdRng::seed_from_u64 or noise::mix)",
+    },
+    Rule {
+        id: "CRP003",
+        patterns: &[".partial_cmp("],
+        scope: Scope::Library,
+        severity: Severity::Error,
+        message: "NaN-unsafe float ordering; use f64::total_cmp for \
+                  similarity scores and latencies",
+    },
+    Rule {
+        id: "CRP004",
+        patterns: &[
+            "std::time::Instant",
+            "std::time::SystemTime",
+            "Instant::now",
+            "SystemTime::now",
+        ],
+        scope: Scope::SimCrates,
+        severity: Severity::Error,
+        message: "wall-clock time in a simulation crate; simulated code must \
+                  use crp_netsim::SimTime exclusively",
+    },
+    Rule {
+        id: "CRP005",
+        patterns: &["println!", "eprintln!"],
+        scope: Scope::Library,
+        severity: Severity::Warning,
+        message: "stdout/stderr printing from a library crate; output is \
+                  reserved for crp-eval binaries and examples",
+    },
+];
+
+/// Crates whose library code is a simulation path (CRP004).
+const SIM_CRATES: &[&str] = &["netsim", "cdn", "core"];
+
+/// Crates allowed to print from library code (CRP005 exemption).
+const OUTPUT_CRATES: &[&str] = &["eval"];
+
+/// A single lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path as reported (relative to the linted root).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule ID (`CRP001`..).
+    pub rule: &'static str,
+    /// Effective severity.
+    pub severity: Severity,
+    /// The matched pattern.
+    pub pattern: &'static str,
+    /// Rule explanation.
+    pub message: &'static str,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}[{}]: `{}` — {}",
+            self.file.display(),
+            self.line,
+            self.severity,
+            self.rule,
+            self.pattern,
+            self.message
+        )
+    }
+}
+
+/// How a file is classified for rule scoping.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum FileKind {
+    /// `crates/<name>/src` or root `src/` non-binary code.
+    Library,
+    /// `src/bin/**` under a crate — an executable entry point.
+    Binary,
+    /// Integration tests, benches, examples, build scripts.
+    Harness,
+}
+
+struct FileClass {
+    kind: FileKind,
+    /// Short crate name (`core`, `cdn`, ... or `crp` for the root).
+    crate_name: String,
+}
+
+/// Directories never scanned.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+fn classify(rel: &Path) -> Option<FileClass> {
+    let parts: Vec<&str> = rel
+        .components()
+        .map(|c| c.as_os_str().to_str().unwrap_or(""))
+        .collect();
+    if parts
+        .iter()
+        .any(|p| matches!(*p, "tests" | "benches" | "examples"))
+        || parts.last().is_some_and(|f| *f == "build.rs")
+    {
+        let crate_name = if parts.first() == Some(&"crates") {
+            parts.get(1).unwrap_or(&"crp").to_string()
+        } else {
+            "crp".to_string()
+        };
+        return Some(FileClass {
+            kind: FileKind::Harness,
+            crate_name,
+        });
+    }
+    if parts.first() == Some(&"crates") {
+        let crate_name = (*parts.get(1)?).to_string();
+        if parts.get(2) != Some(&"src") {
+            return None;
+        }
+        let kind = if parts.get(3) == Some(&"bin") || parts.get(3) == Some(&"main.rs") {
+            FileKind::Binary
+        } else {
+            FileKind::Library
+        };
+        return Some(FileClass { kind, crate_name });
+    }
+    if parts.first() == Some(&"src") {
+        return Some(FileClass {
+            kind: FileKind::Library,
+            crate_name: "crp".to_string(),
+        });
+    }
+    None
+}
+
+fn rule_applies(rule: &Rule, class: &FileClass, in_test_region: bool) -> bool {
+    match rule.scope {
+        Scope::Library => {
+            if class.kind != FileKind::Library || in_test_region {
+                return false;
+            }
+            // crp-eval's library exists to produce experiment output.
+            !(rule.id == "CRP005" && OUTPUT_CRATES.contains(&class.crate_name.as_str()))
+        }
+        Scope::CrateSources => class.kind != FileKind::Harness,
+        Scope::SimCrates => {
+            class.kind == FileKind::Library && SIM_CRATES.contains(&class.crate_name.as_str())
+        }
+    }
+}
+
+/// Byte ranges covered by `#[cfg(test)]` items, found by brace matching
+/// on scrubbed source.
+fn test_regions(scrubbed: &str) -> Vec<(usize, usize)> {
+    let bytes = scrubbed.as_bytes();
+    let mut regions = Vec::new();
+    let mut search = 0usize;
+    while let Some(found) = scrubbed[search..].find("#[cfg(test)]") {
+        let attr_start = search + found;
+        let mut i = attr_start + "#[cfg(test)]".len();
+        // Find the item's opening brace; stop at `;` (e.g. `mod tests;`
+        // — the out-of-line file is classified separately).
+        let mut open = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' => {
+                    open = Some(i);
+                    break;
+                }
+                b';' => break,
+                _ => i += 1,
+            }
+        }
+        let Some(open) = open else {
+            search = i.max(attr_start + 1);
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut j = open;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        regions.push((attr_start, j));
+        search = j.max(attr_start + 1);
+    }
+    regions
+}
+
+/// Lints one file's source text. `rel` is the path used in diagnostics
+/// and for scope classification; `demoted` lists rule IDs reduced to
+/// warnings.
+pub fn lint_source(rel: &Path, source: &str, demoted: &[String]) -> Vec<Diagnostic> {
+    let Some(class) = classify(rel) else {
+        return Vec::new();
+    };
+    let scrubbed = scrub(source);
+    let regions = test_regions(&scrubbed);
+    let mut diagnostics = Vec::new();
+
+    let mut offset = 0usize;
+    let original_lines: Vec<&str> = source.lines().collect();
+    for (line_idx, line) in scrubbed.lines().enumerate() {
+        let line_start = offset;
+        offset += line.len() + 1;
+        let in_test = regions
+            .iter()
+            .any(|&(start, end)| line_start >= start && line_start <= end);
+        for rule in RULES {
+            if !rule_applies(rule, &class, in_test) {
+                continue;
+            }
+            for pattern in rule.patterns {
+                if !line.contains(pattern) {
+                    continue;
+                }
+                if allowed(&original_lines, line_idx, rule.id) {
+                    continue;
+                }
+                let severity = if demoted.iter().any(|d| d == rule.id) {
+                    Severity::Warning
+                } else {
+                    rule.severity
+                };
+                diagnostics.push(Diagnostic {
+                    file: rel.to_path_buf(),
+                    line: line_idx + 1,
+                    rule: rule.id,
+                    severity,
+                    pattern,
+                    message: rule.message,
+                });
+            }
+        }
+    }
+    diagnostics
+}
+
+/// Whether line `line_idx` (0-based) carries or inherits a
+/// `crp-lint: allow(<rule>)` comment: same line, or the directly
+/// preceding line when that line is only a comment.
+fn allowed(original_lines: &[&str], line_idx: usize, rule_id: &str) -> bool {
+    let marker_here = original_lines
+        .get(line_idx)
+        .is_some_and(|l| has_allow(l, rule_id));
+    if marker_here {
+        return true;
+    }
+    line_idx > 0
+        && original_lines
+            .get(line_idx - 1)
+            .is_some_and(|l| l.trim_start().starts_with("//") && has_allow(l, rule_id))
+}
+
+fn has_allow(line: &str, rule_id: &str) -> bool {
+    let Some(pos) = line.find("crp-lint:") else {
+        return false;
+    };
+    let rest = &line[pos + "crp-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return false;
+    };
+    let Some(close) = rest[open..].find(')') else {
+        return false;
+    };
+    rest[open + "allow(".len()..open + close]
+        .split(',')
+        .any(|r| r.trim() == rule_id)
+}
+
+/// Recursively lints every `.rs` file under `root`, skipping
+/// `target/`, `vendor/`, `.git/`, and `fixtures/` directories.
+/// Diagnostics are sorted by path, then line.
+///
+/// # Errors
+///
+/// Returns an error when a directory or file cannot be read.
+pub fn lint_root(root: &Path, demoted: &[String]) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut diagnostics = Vec::new();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        diagnostics.extend(lint_source(&rel, &source, demoted));
+    }
+    Ok(diagnostics)
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_str().unwrap_or("");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_path() -> PathBuf {
+        PathBuf::from("crates/core/src/demo.rs")
+    }
+
+    #[test]
+    fn unwrap_in_library_is_flagged() {
+        let diags = lint_source(&lib_path(), "fn f() { x.unwrap(); }\n", &[]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "CRP001");
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_is_exempt() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(lint_source(&lib_path(), src, &[]).is_empty());
+    }
+
+    #[test]
+    fn unwrap_after_test_region_is_flagged() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn g() { y.unwrap(); }\n";
+        let diags = lint_source(&lib_path(), src, &[]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 5);
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let same = "fn f() { x.unwrap(); } // crp-lint: allow(CRP001)\n";
+        assert!(lint_source(&lib_path(), same, &[]).is_empty());
+        let above = "// safe: crp-lint: allow(CRP001)\nfn f() { x.unwrap(); }\n";
+        assert!(lint_source(&lib_path(), above, &[]).is_empty());
+        let wrong_rule = "fn f() { x.unwrap(); } // crp-lint: allow(CRP002)\n";
+        assert_eq!(lint_source(&lib_path(), wrong_rule, &[]).len(), 1);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trigger() {
+        let src = "// mentions .unwrap()\nlet s = \".unwrap()\";\n";
+        assert!(lint_source(&lib_path(), src, &[]).is_empty());
+    }
+
+    #[test]
+    fn rng_rule_applies_even_in_tests_and_bins() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { let r = thread_rng(); }\n}\n";
+        let diags = lint_source(&lib_path(), src, &[]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "CRP002");
+        let bin = PathBuf::from("crates/eval/src/bin/tool.rs");
+        let diags = lint_source(&bin, "fn main() { rand::random::<u8>(); }\n", &[]);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "CRP002");
+    }
+
+    #[test]
+    fn wall_clock_only_flagged_in_sim_crates() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let sim = lint_source(&PathBuf::from("crates/netsim/src/clock.rs"), src, &[]);
+        assert!(sim.iter().any(|d| d.rule == "CRP004"));
+        let nonsim = lint_source(&PathBuf::from("crates/eval/src/timing.rs"), src, &[]);
+        assert!(nonsim.iter().all(|d| d.rule != "CRP004"));
+    }
+
+    #[test]
+    fn println_warned_in_libraries_but_not_eval_or_bins() {
+        let src = "fn f() { println!(\"x\"); }\n";
+        let lib = lint_source(&lib_path(), src, &[]);
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib[0].rule, "CRP005");
+        assert_eq!(lib[0].severity, Severity::Warning);
+        assert!(lint_source(&PathBuf::from("crates/eval/src/output.rs"), src, &[]).is_empty());
+        assert!(lint_source(&PathBuf::from("crates/eval/src/bin/fig4.rs"), src, &[]).is_empty());
+    }
+
+    #[test]
+    fn harness_code_is_exempt_from_library_rules() {
+        let src = "fn f() { x.unwrap(); a.partial_cmp(&b); }\n";
+        for p in [
+            "crates/core/tests/properties.rs",
+            "crates/bench/benches/similarity.rs",
+            "examples/quickstart.rs",
+            "tests/extensions.rs",
+        ] {
+            assert!(
+                lint_source(&PathBuf::from(p), src, &[]).is_empty(),
+                "{p} should be exempt"
+            );
+        }
+    }
+
+    #[test]
+    fn demotion_turns_errors_into_warnings() {
+        let diags = lint_source(
+            &lib_path(),
+            "fn f() { x.unwrap(); }\n",
+            &["CRP001".to_string()],
+        );
+        assert_eq!(diags[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn partial_cmp_is_flagged() {
+        let diags = lint_source(
+            &lib_path(),
+            "v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n",
+            &[],
+        );
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"CRP003"));
+        assert!(rules.contains(&"CRP001"));
+    }
+
+    #[test]
+    fn non_workspace_paths_are_ignored() {
+        assert!(lint_source(&PathBuf::from("README.rs"), "x.unwrap();", &[]).is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! `crp-xtask` — workspace automation CLI.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p crp-xtask -- lint [--root <dir>] [--warn <RULE>]... [--quiet]
+//! cargo run -p crp-xtask -- rules
+//! ```
+//!
+//! `lint` exits nonzero when any error-severity finding remains;
+//! `--warn CRP00x` demotes a rule to warning for the run.
+
+use crp_xtask::{lint_root, Severity, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_command(&args[1..]),
+        Some("rules") => {
+            for rule in RULES {
+                println!("{} [{}] {}", rule.id, rule.severity, rule.message);
+            }
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`");
+            usage();
+            ExitCode::from(2)
+        }
+        None => {
+            usage();
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() {
+    eprintln!("usage: crp-xtask lint [--root <dir>] [--warn <RULE>]... [--quiet]");
+    eprintln!("       crp-xtask rules");
+}
+
+fn lint_command(args: &[String]) -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut demoted: Vec<String> = Vec::new();
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("--root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--warn" => match it.next() {
+                Some(rule) => demoted.push(rule.clone()),
+                None => {
+                    eprintln!("--warn requires a rule ID");
+                    return ExitCode::from(2);
+                }
+            },
+            "--quiet" => quiet = true,
+            other => {
+                eprintln!("unknown lint option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // When invoked via `cargo run -p crp-xtask`, the working directory
+    // is already the workspace root; CARGO_MANIFEST_DIR lets the tool
+    // also work from anywhere inside the tree.
+    if root == PathBuf::from(".") {
+        if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+            let candidate = PathBuf::from(manifest);
+            if let Some(ws) = candidate.parent().and_then(|p| p.parent()) {
+                if ws.join("Cargo.toml").is_file() {
+                    root = ws.to_path_buf();
+                }
+            }
+        }
+    }
+
+    let diagnostics = match lint_root(&root, &demoted) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("lint failed to read {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for diag in &diagnostics {
+        match diag.severity {
+            Severity::Error => errors += 1,
+            Severity::Warning => warnings += 1,
+        }
+        if !quiet {
+            println!("{diag}");
+        }
+    }
+    println!(
+        "crp-xtask lint: {errors} error(s), {warnings} warning(s) in {}",
+        root.display()
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

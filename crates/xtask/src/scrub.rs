@@ -1,0 +1,273 @@
+//! Comment and string-literal scrubbing.
+//!
+//! The lint rules are substring patterns, so they must not fire on
+//! occurrences inside comments, doc comments, or string literals (the
+//! linter's own source would otherwise flag itself). [`scrub`] replaces
+//! the *contents* of comments and string/char literals with spaces while
+//! preserving every newline and byte offset, so line numbers computed on
+//! the scrubbed text match the original file.
+
+/// Returns `source` with comment and string/char-literal contents
+/// blanked to spaces. Newlines are preserved, so the result has the
+/// same line structure as the input.
+pub fn scrub(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                i = blank_line_comment(bytes, i, &mut out);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i = blank_block_comment(bytes, i, &mut out);
+            }
+            b'"' => {
+                i = blank_string(bytes, i, &mut out);
+            }
+            b'r' | b'b' if starts_raw_string(bytes, i) => {
+                i = blank_raw_string(bytes, i, &mut out);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                out.push(b'b');
+                i = blank_string(bytes, i + 1, &mut out);
+            }
+            b'\'' => {
+                i = blank_char_or_lifetime(bytes, i, &mut out);
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+
+    String::from_utf8(out).expect("scrubbing preserves UTF-8 structure") // crp-lint: allow(CRP001) — scrubber only writes ASCII or copied bytes
+}
+
+fn push_blanked(out: &mut Vec<u8>, byte: u8) {
+    // Keep newlines for line numbering; blank everything else. Multibyte
+    // UTF-8 continuation bytes collapse to spaces, which is fine — the
+    // output only needs ASCII pattern structure and newline positions.
+    if byte == b'\n' {
+        out.push(b'\n');
+    } else {
+        out.push(b' ');
+    }
+}
+
+fn blank_line_comment(bytes: &[u8], mut i: usize, out: &mut Vec<u8>) -> usize {
+    while i < bytes.len() && bytes[i] != b'\n' {
+        push_blanked(out, bytes[i]);
+        i += 1;
+    }
+    i
+}
+
+fn blank_block_comment(bytes: &[u8], mut i: usize, out: &mut Vec<u8>) -> usize {
+    // Rust block comments nest.
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            push_blanked(out, bytes[i]);
+            push_blanked(out, bytes[i + 1]);
+            i += 2;
+        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+            depth -= 1;
+            push_blanked(out, bytes[i]);
+            push_blanked(out, bytes[i + 1]);
+            i += 2;
+            if depth == 0 {
+                break;
+            }
+        } else {
+            push_blanked(out, bytes[i]);
+            i += 1;
+        }
+    }
+    i
+}
+
+fn blank_string(bytes: &[u8], mut i: usize, out: &mut Vec<u8>) -> usize {
+    // Opening quote stays so the text still lexes visually.
+    out.push(b'"');
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                push_blanked(out, bytes[i]);
+                if i + 1 < bytes.len() {
+                    push_blanked(out, bytes[i + 1]);
+                }
+                i += 2;
+            }
+            b'"' => {
+                out.push(b'"');
+                return i + 1;
+            }
+            c => {
+                push_blanked(out, c);
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn starts_raw_string(bytes: &[u8], i: usize) -> bool {
+    // r"..."  r#"..."#  br"..."  br#"..."#  — but not raw identifiers
+    // like r#fn.
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) != Some(&b'r') {
+            return false;
+        }
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    // A raw identifier (r#name) has a hash but no quote, so requiring
+    // the quote here rejects it.
+    bytes.get(j) == Some(&b'"')
+}
+
+fn blank_raw_string(bytes: &[u8], mut i: usize, out: &mut Vec<u8>) -> usize {
+    if bytes[i] == b'b' {
+        out.push(b'b');
+        i += 1;
+    }
+    out.push(b'r');
+    i += 1;
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        out.push(b'#');
+        hashes += 1;
+        i += 1;
+    }
+    out.push(b'"');
+    i += 1;
+    // Scan for closing `"` followed by `hashes` hash marks.
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && bytes.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                out.push(b'"');
+                for _ in 0..hashes {
+                    out.push(b'#');
+                }
+                return i + 1 + hashes;
+            }
+        }
+        push_blanked(out, bytes[i]);
+        i += 1;
+    }
+    i
+}
+
+fn blank_char_or_lifetime(bytes: &[u8], i: usize, out: &mut Vec<u8>) -> usize {
+    // Distinguish 'a (lifetime) from 'a' (char literal): a lifetime is a
+    // quote followed by an identifier NOT terminated by another quote.
+    let next = bytes.get(i + 1).copied();
+    let is_ident = next.is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_');
+    if is_ident && bytes.get(i + 2) != Some(&b'\'') {
+        out.push(b'\'');
+        return i + 1;
+    }
+    // Char literal: 'x', '\n', '\u{1F600}', '\''.
+    out.push(b'\'');
+    let mut j = i + 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => {
+                push_blanked(out, bytes[j]);
+                if j + 1 < bytes.len() {
+                    push_blanked(out, bytes[j + 1]);
+                }
+                j += 2;
+            }
+            b'\'' => {
+                out.push(b'\'');
+                return j + 1;
+            }
+            b'\n' => {
+                // Not actually a char literal (stray quote); bail out.
+                out.push(b'\n');
+                return j + 1;
+            }
+            c => {
+                push_blanked(out, c);
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::scrub;
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let s = scrub("let x = 1; // call .unwrap() here\nlet y = 2;");
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("let y = 2;"));
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let s = scrub("a /* outer /* inner unwrap() */ still comment */ b");
+        assert!(!s.contains("unwrap"));
+        assert!(s.starts_with('a'));
+        assert!(s.ends_with('b'));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let s = scrub(r#"let msg = "please .unwrap() me"; real();"#);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("real();"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let s = scrub(r#"let m = "quote \" unwrap()"; after();"#);
+        assert!(!s.contains("unwrap"));
+        assert!(s.contains("after();"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let s = scrub(r####"let m = r#"raw "quoted" unwrap()"#; after();"####);
+        assert!(!s.contains("unwrap"), "{s}");
+        assert!(s.contains("after();"), "{s}");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = scrub("fn f<'a>(x: &'a str) -> char { 'u' }");
+        assert!(s.contains("fn f<'a>(x: &'a str)"));
+        assert!(!s.contains("'u'") || s.contains("' '"));
+        let s2 = scrub(r"let q = '\''; done();");
+        assert!(s2.contains("done();"));
+    }
+
+    #[test]
+    fn offsets_and_newlines_preserved() {
+        let src = "line1 \"str\nstill str\" line3\n// c\nend";
+        let s = scrub(src);
+        assert_eq!(s.len(), src.len());
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+}

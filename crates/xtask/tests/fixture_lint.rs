@@ -1,0 +1,122 @@
+//! End-to-end tests for the lint pass, driven over the fixture tree in
+//! `tests/fixtures/` (which the workspace walk itself skips).
+
+use crp_xtask::{lint_root, Severity};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// The complete expected finding set for the fixture tree, as
+/// `(path, line, rule)` tuples.
+const EXPECTED: &[(&str, usize, &str)] = &[
+    ("crates/core/src/clock.rs", 3, "CRP004"),
+    ("crates/core/src/clock.rs", 6, "CRP004"),
+    ("crates/demo/src/lib.rs", 4, "CRP001"),
+    ("crates/demo/src/lib.rs", 8, "CRP002"),
+    ("crates/demo/src/lib.rs", 13, "CRP003"),
+    ("crates/demo/src/lib.rs", 17, "CRP005"),
+];
+
+#[test]
+fn fixture_tree_reports_exactly_the_planted_violations() {
+    let diags = lint_root(&fixtures_root(), &[]).expect("fixture tree is readable");
+    let got: Vec<(String, usize, &str)> = diags
+        .iter()
+        .map(|d| (d.file.to_string_lossy().replace('\\', "/"), d.line, d.rule))
+        .collect();
+    let want: Vec<(String, usize, &str)> = EXPECTED
+        .iter()
+        .map(|&(f, l, r)| (f.to_owned(), l, r))
+        .collect();
+    assert_eq!(got, want, "full diagnostics: {diags:#?}");
+}
+
+#[test]
+fn allow_markers_suppress_fixture_lines() {
+    // lib.rs lines 21 and 26 carry `.expect(` calls covered by same-line
+    // and preceding-line allow markers; neither may appear.
+    let diags = lint_root(&fixtures_root(), &[]).expect("fixture tree is readable");
+    for diag in &diags {
+        assert!(
+            !(diag.file.ends_with("lib.rs") && (diag.line == 21 || diag.line == 26)),
+            "allow marker failed to suppress {diag}"
+        );
+    }
+}
+
+#[test]
+fn severities_match_rule_definitions() {
+    let diags = lint_root(&fixtures_root(), &[]).expect("fixture tree is readable");
+    for diag in &diags {
+        let expected = if diag.rule == "CRP005" {
+            Severity::Warning
+        } else {
+            Severity::Error
+        };
+        assert_eq!(diag.severity, expected, "severity mismatch: {diag}");
+    }
+}
+
+#[test]
+fn demotion_turns_every_fixture_error_into_a_warning() {
+    let demoted: Vec<String> = ["CRP001", "CRP002", "CRP003", "CRP004"]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    let diags = lint_root(&fixtures_root(), &demoted).expect("fixture tree is readable");
+    assert_eq!(diags.len(), EXPECTED.len());
+    assert!(diags.iter().all(|d| d.severity == Severity::Warning));
+}
+
+#[test]
+fn binary_exits_nonzero_on_fixture_tree() {
+    let output = Command::new(env!("CARGO_BIN_EXE_crp-xtask"))
+        .args(["lint", "--root"])
+        .arg(fixtures_root())
+        .output()
+        .expect("run crp-xtask");
+    assert!(
+        !output.status.success(),
+        "lint must fail on the fixture tree"
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for rule in ["CRP001", "CRP002", "CRP003", "CRP004", "CRP005"] {
+        assert!(stdout.contains(rule), "missing {rule} in output:\n{stdout}");
+    }
+    assert!(stdout.contains("5 error(s), 1 warning(s)"), "{stdout}");
+}
+
+#[test]
+fn binary_exits_zero_on_the_workspace() {
+    let output = Command::new(env!("CARGO_BIN_EXE_crp-xtask"))
+        .args(["lint", "--quiet", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("run crp-xtask");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "workspace must lint clean:\n{stdout}"
+    );
+    assert!(stdout.contains("0 error(s)"), "{stdout}");
+}
+
+#[test]
+fn binary_rejects_unknown_options() {
+    let output = Command::new(env!("CARGO_BIN_EXE_crp-xtask"))
+        .args(["lint", "--bogus"])
+        .output()
+        .expect("run crp-xtask");
+    assert_eq!(output.status.code(), Some(2));
+}

@@ -1,0 +1,7 @@
+//! Lint fixture: wall-clock time inside a simulation crate.
+
+use std::time::Instant;
+
+pub fn wall_clock_in_sim_path() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,35 @@
+//! Lint fixture: deliberate violations, one per numbered line below.
+
+pub fn naked_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn seeded_badly() -> u64 {
+    let rng = thread_rng();
+    rng
+}
+
+pub fn nan_unsafe(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+pub fn noisy() {
+    println!("library crates must stay quiet");
+}
+
+pub fn justified(x: Option<u32>) -> u32 {
+    x.expect("fixture: suppressed by same-line marker") // crp-lint: allow(CRP001) — fixture
+}
+
+pub fn justified_above(x: Option<u32>) -> u32 {
+    // crp-lint: allow(CRP001) — fixture, preceding-line marker
+    x.expect("fixture: suppressed by preceding-line marker")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+    }
+}

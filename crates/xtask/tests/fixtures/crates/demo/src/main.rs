@@ -1,0 +1,5 @@
+//! Lint fixture: binary entry points are allowed to print.
+
+fn main() {
+    println!("binaries may print");
+}

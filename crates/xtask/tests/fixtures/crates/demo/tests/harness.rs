@@ -1,0 +1,6 @@
+//! Lint fixture: integration tests are harness code — no library rules.
+
+#[test]
+fn harness_code_may_unwrap() {
+    Some(1u32).unwrap();
+}

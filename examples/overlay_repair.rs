@@ -65,13 +65,14 @@ fn main() {
         // The relay dies. Repair with a cluster mate — no probing, no
         // re-running relay selection.
         let mates = clustering.peers_of(&relay);
-        let Some(&replacement) = mates
-            .iter()
-            .filter(|m| ***m != src && ***m != dst)
-            .min_by(|a, b| {
-                // The overlay can afford to check its few mates.
-                (rtt(src, ***a) + rtt(***a, dst)).total_cmp(&(rtt(src, ***b) + rtt(***b, dst)))
-            })
+        let Some(&replacement) =
+            mates
+                .iter()
+                .filter(|m| ***m != src && ***m != dst)
+                .min_by(|a, b| {
+                    // The overlay can afford to check its few mates.
+                    (rtt(src, ***a) + rtt(***a, dst)).total_cmp(&(rtt(src, ***b) + rtt(***b, dst)))
+                })
         else {
             continue; // relay was unclustered; full reselection needed
         };

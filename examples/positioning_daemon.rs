@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         WindowPolicy::LastProbes(30),
         SimilarityMetric::Cosine,
     );
-    println!("daemon: {} nodes position-capable by noon", service.node_count());
+    println!(
+        "daemon: {} nodes position-capable by noon",
+        service.node_count()
+    );
 
     // --- Phase 2: application queries. --------------------------------
     // Pick query participants from a real cluster so the answers carry
@@ -121,9 +124,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let restored: ServiceSnapshot<crp_netsim::HostId, crp_cdn::ReplicaId> =
         serde_json::from_str(&json)?;
     let service2 = restored.restore();
-    let same = nodes[..30].iter().all(|n| {
-        service.ratio_map(n, noon).ok() == service2.ratio_map(n, noon).ok()
-    });
+    let same = nodes[..30]
+        .iter()
+        .all(|n| service.ratio_map(n, noon).ok() == service2.ratio_map(n, noon).ok());
     println!(
         "restart: restored daemon answers identically: {}",
         if same { "yes" } else { "NO — bug!" }

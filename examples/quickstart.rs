@@ -8,7 +8,7 @@
 //! ```
 
 use crp::{Scenario, ScenarioConfig};
-use crp_core::{RatioMap, Ranking, SimilarityMetric, WindowPolicy};
+use crp_core::{Ranking, RatioMap, SimilarityMetric, WindowPolicy};
 use crp_netsim::{SimDuration, SimTime};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,11 +24,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c = RatioMap::from_weights([("x", 0.1), ("y", 0.9)])?;
 
     println!("paper worked example:");
-    println!("  cos_sim(A, B) = {:.3}  (paper: 0.740)", a.cosine_similarity(&b));
-    println!("  cos_sim(A, C) = {:.3}  (paper: 0.991)", a.cosine_similarity(&c));
+    println!(
+        "  cos_sim(A, B) = {:.3}  (paper: 0.740)",
+        a.cosine_similarity(&b)
+    );
+    println!(
+        "  cos_sim(A, C) = {:.3}  (paper: 0.991)",
+        a.cosine_similarity(&c)
+    );
 
     let ranking = Ranking::rank(&a, [("B", &b), ("C", &c)], SimilarityMetric::Cosine);
-    println!("  A selects server {}\n", ranking.top().expect("two candidates"));
+    println!(
+        "  A selects server {}\n",
+        ranking.top().expect("two candidates")
+    );
 
     // ------------------------------------------------------------------
     // Part 2 — the same decision made from live (simulated) redirections.
@@ -59,7 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  {client}: no redirections observed (cannot position)");
             continue;
         };
-        let Some(&choice) = ranking.top() else { continue };
+        let Some(&choice) = ranking.top() else {
+            continue;
+        };
         let chosen_rtt = scenario.mean_rtt(client, choice, SimTime::ZERO, end);
         let best = scenario.rtt_ordered_candidates(client, SimTime::ZERO, end);
         let rank = best
@@ -71,6 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             best[0].0, best[0].1,
         );
     }
-    println!("\ntotal DNS lookups per host over 6h: {} (and zero pings)", 2 * 36);
+    println!(
+        "\ntotal DNS lookups per host over 6h: {} (and zero pings)",
+        2 * 36
+    );
     Ok(())
 }

@@ -73,11 +73,8 @@ impl<'a> DetourFinder<'a> {
     ) -> DetourOutcome {
         let net = self.cdn.network();
         let direct = net.rtt(src, dst, t);
-        let waypoints: BTreeSet<ReplicaId> = src_map
-            .keys()
-            .chain(dst_map.keys())
-            .copied()
-            .collect();
+        let waypoints: BTreeSet<ReplicaId> =
+            src_map.keys().chain(dst_map.keys()).copied().collect();
         let mut best: Option<(Rtt, ReplicaId)> = None;
         for replica in &waypoints {
             let hop = self.cdn.replicas()[replica.index()].host();
@@ -85,7 +82,7 @@ impl<'a> DetourFinder<'a> {
                 continue;
             }
             let total = net.rtt(src, hop, t) + net.rtt(hop, dst, t);
-            if best.is_none() || total < best.expect("checked").0 {
+            if best.is_none_or(|(best_total, _)| total < best_total) {
                 best = Some((total, *replica));
             }
         }
@@ -143,8 +140,8 @@ mod tests {
                 if let (Some(detour), Some(w)) = (outcome.best_detour, outcome.waypoint) {
                     // Recompute and confirm the reported latency.
                     let hop = scenario.cdn().replicas()[w.index()].host();
-                    let recomputed =
-                        scenario.network().rtt(src, hop, end) + scenario.network().rtt(hop, dst, end);
+                    let recomputed = scenario.network().rtt(src, hop, end)
+                        + scenario.network().rtt(hop, dst, end);
                     assert_eq!(detour, recomputed);
                 }
             }

@@ -56,7 +56,7 @@ impl NameAssessment {
     pub fn passes_active(&self, max_mean_rtt_ms: f64) -> bool {
         let rtt = self
             .mean_replica_rtt_ms
-            .expect("active policy measured replica RTTs");
+            .expect("active policy measured replica RTTs"); // crp-lint: allow(CRP001) — documented # Panics contract: active policy requires measured RTTs
         self.passes_passive() && rtt <= max_mean_rtt_ms
     }
 }
@@ -204,10 +204,17 @@ mod tests {
         let (cdn, near, _, names) = world();
         let eval = NameEvaluator::new(&cdn, near, 10, SimDuration::from_mins(10));
         let picked = eval.select(&names, SimTime::ZERO, None);
-        assert_eq!(picked.len(), 2, "both names should pass for a well-covered host");
+        assert_eq!(
+            picked.len(),
+            2,
+            "both names should pass for a well-covered host"
+        );
         for a in &picked {
             assert!(a.passes_passive());
-            assert!(a.mean_replica_rtt_ms.is_none(), "passive mode must not ping");
+            assert!(
+                a.mean_replica_rtt_ms.is_none(),
+                "passive mode must not ping"
+            );
         }
     }
 

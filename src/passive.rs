@@ -54,11 +54,8 @@ impl<'a> PassiveMonitor<'a> {
     /// observations.
     pub fn browse(&mut self, t: SimTime) {
         self.browse_events += 1;
-        let pick = (noise::mix(&[
-            self.resolver.host().key(),
-            0xB20,
-            self.browse_events,
-        ]) % self.names.len() as u64) as usize;
+        let pick = (noise::mix(&[self.resolver.host().key(), 0xB20, self.browse_events])
+            % self.names.len() as u64) as usize;
         let name = self.names[pick].clone();
         let hits_before = self.resolver.stats().cache_hits;
         if let Ok(resp) = self.resolver.resolve(&name, self.cdn, t) {
@@ -128,7 +125,11 @@ mod tests {
             .stubs_per_region(6)
             .build();
         let host = net.add_population(&PopulationSpec::dns_servers(1))[0];
-        let mut cdn = Cdn::deploy(net, &DeploymentSpec::akamai_like(0.4), MappingConfig::default());
+        let mut cdn = Cdn::deploy(
+            net,
+            &DeploymentSpec::akamai_like(0.4),
+            MappingConfig::default(),
+        );
         let names = vec![
             cdn.add_customer("us.i1.yimg.com").unwrap(),
             cdn.add_customer("www.foxnews.com").unwrap(),
@@ -154,7 +155,11 @@ mod tests {
         let mut monitor = PassiveMonitor::new(&cdn, host, names);
         // A burst every 20 minutes for 6 hours.
         for burst in 0..18u64 {
-            monitor.browse_session(SimTime::from_mins(burst * 20), SimDuration::from_secs(60), 5);
+            monitor.browse_session(
+                SimTime::from_mins(burst * 20),
+                SimDuration::from_secs(60),
+                5,
+            );
         }
         assert!(monitor.is_bootstrapped());
         let map = monitor

@@ -113,7 +113,11 @@ mod tests {
             .stubs_per_region(4)
             .build();
         let hosts = net.add_population(&PopulationSpec::dns_servers(clients));
-        let mut cdn = Cdn::deploy(net, &DeploymentSpec::akamai_like(0.3), MappingConfig::default());
+        let mut cdn = Cdn::deploy(
+            net,
+            &DeploymentSpec::akamai_like(0.3),
+            MappingConfig::default(),
+        );
         let yahoo = cdn.add_customer("us.i1.yimg.com").unwrap();
         let fox = cdn.add_customer("www.foxnews.com").unwrap();
         (cdn, hosts, vec![yahoo, fox])
@@ -140,7 +144,11 @@ mod tests {
             }
         }
         assert!(distinct.len() >= 3, "no rotation: {distinct:?}");
-        assert!(distinct.len() < 25, "implausibly scattered: {}", distinct.len());
+        assert!(
+            distinct.len() < 25,
+            "implausibly scattered: {}",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -168,19 +176,16 @@ mod tests {
         for i in 0..40u64 {
             let t = SimTime::from_mins(i * 10);
             if let Some(obs) = unfiltered.observe(t) {
-                unfiltered_cdn_owned += obs
-                    .iter()
-                    .filter(|r| cdn.ip_is_cdn_owned(r.ip()))
-                    .count();
+                unfiltered_cdn_owned += obs.iter().filter(|r| cdn.ip_is_cdn_owned(r.ip())).count();
             }
             if let Some(obs) = filtered.observe(t) {
-                filtered_cdn_owned += obs
-                    .iter()
-                    .filter(|r| cdn.ip_is_cdn_owned(r.ip()))
-                    .count();
+                filtered_cdn_owned += obs.iter().filter(|r| cdn.ip_is_cdn_owned(r.ip())).count();
             }
         }
-        assert!(unfiltered_cdn_owned > 0, "scenario failed to trigger fallbacks");
+        assert!(
+            unfiltered_cdn_owned > 0,
+            "scenario failed to trigger fallbacks"
+        );
         assert_eq!(filtered_cdn_owned, 0, "filter leaked CDN-owned answers");
     }
 

@@ -103,7 +103,7 @@ impl Scenario {
         let names = cfg
             .customer_names
             .iter()
-            .map(|n| cdn.add_customer(n).expect("customer names are valid"))
+            .map(|n| cdn.add_customer(n).expect("customer names are valid")) // crp-lint: allow(CRP001) — customer names come from the validated config
             .collect();
         Scenario {
             cdn,

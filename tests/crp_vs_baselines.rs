@@ -40,7 +40,9 @@ fn crp_and_meridian_are_comparable_without_faults() {
         let Ok(ranking) = service.closest(&client, s.candidates().to_vec(), end) else {
             continue;
         };
-        let Some(&crp_pick) = ranking.top() else { continue };
+        let Some(&crp_pick) = ranking.top() else {
+            continue;
+        };
         let entry = s.candidates()[i % s.candidates().len()];
         let m = overlay.closest_node_query(s.network(), entry, client, end);
         crp_total += s.network().rtt(client, crp_pick, end).millis();
@@ -69,12 +71,8 @@ fn meridian_faults_degrade_its_answers() {
     for &c in s.candidates() {
         plan = plan.with_bootstrap_self_recommend(c, SimTime::from_hours(10));
     }
-    let faulty = MeridianOverlay::build(
-        s.network(),
-        s.candidates(),
-        MeridianConfig::default(),
-        plan,
-    );
+    let faulty =
+        MeridianOverlay::build(s.network(), s.candidates(), MeridianConfig::default(), plan);
     let mut healthy_total = 0.0;
     let mut faulty_total = 0.0;
     for (i, &client) in s.clients().iter().enumerate() {

@@ -26,7 +26,10 @@ fn name_selection_keeps_usable_names_for_most_clients() {
     }
     // Most (client, name) combinations are usable under full-ish
     // coverage.
-    assert!(kept_total >= 10, "only {kept_total}/20 name assessments passed");
+    assert!(
+        kept_total >= 10,
+        "only {kept_total}/20 name assessments passed"
+    );
 }
 
 #[test]
@@ -77,8 +80,7 @@ fn detour_outcomes_are_internally_consistent() {
     let mut checked = 0;
     for (i, &a) in s.clients().iter().enumerate() {
         for &b in &s.clients()[i + 1..] {
-            let (Ok(ma), Ok(mb)) = (service.ratio_map(&a, end), service.ratio_map(&b, end))
-            else {
+            let (Ok(ma), Ok(mb)) = (service.ratio_map(&a, end), service.ratio_map(&b, end)) else {
                 continue;
             };
             let o = finder.find(a, b, &ma, &mb, end);

@@ -35,7 +35,11 @@ fn probe_against_unknown_names_yields_no_observations() {
         .stubs_per_region(3)
         .build();
     let host = net.add_population(&PopulationSpec::dns_servers(1))[0];
-    let cdn = Cdn::deploy(net, &DeploymentSpec::akamai_like(0.2), MappingConfig::default());
+    let cdn = Cdn::deploy(
+        net,
+        &DeploymentSpec::akamai_like(0.2),
+        MappingConfig::default(),
+    );
     // Valid name, but the CDN does not serve it.
     let name: DomainName = "www.not-a-customer.example".parse().unwrap();
     let mut probe = CdnProbe::new(&cdn, host, vec![name]);

@@ -62,7 +62,9 @@ fn selection_beats_random_on_average() {
         let Some(&pick) = ranking.top() else { continue };
         let random = scenario.candidates()[(i * 7) % scenario.candidates().len()];
         crp_sum += scenario.mean_rtt(client, pick, SimTime::ZERO, end).millis();
-        random_sum += scenario.mean_rtt(client, random, SimTime::ZERO, end).millis();
+        random_sum += scenario
+            .mean_rtt(client, random, SimTime::ZERO, end)
+            .millis();
         n += 1;
     }
     assert!(n >= 10, "too few positionable clients: {n}");
@@ -154,5 +156,8 @@ fn king_ground_truth_is_usable() {
     let truth = scenario.network().rtt(a, b, SimTime::from_mins(30));
     let est = est.expect("5 attempts rarely all fail");
     let ratio = est.millis() / truth.millis();
-    assert!((0.5..2.0).contains(&ratio), "king est {est} vs truth {truth}");
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "king est {est} vs truth {truth}"
+    );
 }

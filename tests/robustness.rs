@@ -13,7 +13,11 @@ fn outage_world() -> (Cdn, Vec<HostId>, crp_dns::DomainName) {
         .stubs_per_region(8)
         .build();
     let clients = net.add_population(&PopulationSpec::dns_servers(6));
-    let mut cdn = Cdn::deploy(net, &DeploymentSpec::akamai_like(0.4), MappingConfig::default());
+    let mut cdn = Cdn::deploy(
+        net,
+        &DeploymentSpec::akamai_like(0.4),
+        MappingConfig::default(),
+    );
     let name = cdn.add_customer("us.i1.yimg.com").unwrap();
     (cdn, clients, name)
 }
@@ -42,9 +46,7 @@ fn maps_adapt_across_a_replica_outage() {
     let mut probe = CdnProbe::new(&cdn, client, vec![name.clone()]);
     let mut after_service: CrpService<HostId, ReplicaId> =
         CrpService::new(WindowPolicy::LastProbes(12), SimilarityMetric::Cosine);
-    for t in
-        SimTime::from_hours(4).iter_until(SimTime::from_hours(8), SimDuration::from_mins(10))
-    {
+    for t in SimTime::from_hours(4).iter_until(SimTime::from_hours(8), SimDuration::from_mins(10)) {
         if let Some(servers) = probe.observe(t) {
             after_service.record(client, t, servers);
         }
@@ -134,10 +136,8 @@ fn service_churn_cycle_is_clean() {
     assert_eq!(service.node_count(), initial - 4);
 
     // Long idle period: everything ages out.
-    let (dropped, removed) = service.prune_stale(
-        SimTime::from_hours(100),
-        SimDuration::from_hours(1),
-    );
+    let (dropped, removed) =
+        service.prune_stale(SimTime::from_hours(100), SimDuration::from_hours(1));
     assert!(dropped > 0);
     assert_eq!(removed, initial - 4);
     assert_eq!(service.node_count(), 0);

@@ -1,0 +1,580 @@
+//! A workspace-local, dependency-free stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API the CRP test suites use:
+//! [`Strategy`] with [`Strategy::prop_map`], ranges / tuples / regex
+//! string literals as strategies, [`collection::vec`],
+//! [`sample::select`], the [`proptest!`] macro, and the `prop_assert*`
+//! macros. Cases are drawn from a generator seeded deterministically
+//! from the test's name, so failures reproduce across runs without any
+//! persistence file.
+//!
+//! Differences from upstream, by design: no shrinking (a failing case is
+//! reported as-is) and `prop_assert!` panics like `assert!` instead of
+//! returning an error value.
+
+/// Deterministic generator backing all strategies (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from a stable hash of `label` (typically the test name).
+    pub fn deterministic(label: &str) -> Self {
+        // FNV-1a, then a SplitMix64 scramble so similar names diverge.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Widening-multiply range reduction; bias is negligible for
+        // test-case generation.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+/// Test-case generation configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A recipe for generating values of an output type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (hi - lo) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+);
+
+/// String literals act as regex-shaped generators, as in upstream
+/// proptest. The supported grammar covers the workspace's patterns:
+/// literals, `[a-z0-9_]` classes, `(...)` groups, `|` alternation, and
+/// the `?`, `*`, `+`, `{m}`, `{m,n}` repeaters (`*`/`+` capped at 8).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let ast = regex::parse(self);
+        let mut out = String::new();
+        regex::emit(&ast, rng, &mut out);
+        out
+    }
+}
+
+mod regex {
+    use super::TestRng;
+
+    pub enum Node {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Group(Box<Node>),
+        Seq(Vec<Node>),
+        Alt(Vec<Node>),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    pub fn parse(pattern: &str) -> Node {
+        let chars: Vec<char> = pattern.chars().collect();
+        let (node, consumed) = parse_alt(&chars, 0);
+        assert!(
+            consumed == chars.len(),
+            "unsupported regex strategy: {pattern}"
+        );
+        node
+    }
+
+    fn parse_alt(chars: &[char], mut pos: usize) -> (Node, usize) {
+        let mut branches = Vec::new();
+        loop {
+            let (seq, next) = parse_seq(chars, pos);
+            branches.push(seq);
+            pos = next;
+            if chars.get(pos) == Some(&'|') {
+                pos += 1;
+            } else {
+                break;
+            }
+        }
+        if branches.len() == 1 {
+            (branches.pop().expect("non-empty"), pos)
+        } else {
+            (Node::Alt(branches), pos)
+        }
+    }
+
+    fn parse_seq(chars: &[char], mut pos: usize) -> (Node, usize) {
+        let mut items = Vec::new();
+        while pos < chars.len() && chars[pos] != '|' && chars[pos] != ')' {
+            let (atom, next) = parse_atom(chars, pos);
+            pos = next;
+            // Postfix repeaters bind to the preceding atom.
+            let (atom, next) = parse_postfix(atom, chars, pos);
+            pos = next;
+            items.push(atom);
+        }
+        (Node::Seq(items), pos)
+    }
+
+    fn parse_atom(chars: &[char], pos: usize) -> (Node, usize) {
+        match chars[pos] {
+            '(' => {
+                let (inner, next) = parse_alt(chars, pos + 1);
+                assert!(chars.get(next) == Some(&')'), "unbalanced group");
+                (Node::Group(Box::new(inner)), next + 1)
+            }
+            '[' => parse_class(chars, pos + 1),
+            '\\' => {
+                let c = *chars.get(pos + 1).expect("dangling escape");
+                (Node::Literal(c), pos + 2)
+            }
+            c => {
+                assert!(
+                    !matches!(c, '.' | '^' | '$' | '*' | '+' | '?' | '{'),
+                    "unsupported regex metacharacter `{c}`"
+                );
+                (Node::Literal(c), pos + 1)
+            }
+        }
+    }
+
+    fn parse_class(chars: &[char], mut pos: usize) -> (Node, usize) {
+        let mut ranges = Vec::new();
+        while chars.get(pos) != Some(&']') {
+            let lo = *chars.get(pos).expect("unterminated class");
+            if chars.get(pos + 1) == Some(&'-') && chars.get(pos + 2) != Some(&']') {
+                let hi = *chars.get(pos + 2).expect("unterminated class");
+                ranges.push((lo, hi));
+                pos += 3;
+            } else {
+                ranges.push((lo, lo));
+                pos += 1;
+            }
+        }
+        (Node::Class(ranges), pos + 1)
+    }
+
+    fn parse_postfix(atom: Node, chars: &[char], pos: usize) -> (Node, usize) {
+        match chars.get(pos) {
+            Some('?') => (Node::Repeat(Box::new(atom), 0, 1), pos + 1),
+            Some('*') => (Node::Repeat(Box::new(atom), 0, 8), pos + 1),
+            Some('+') => (Node::Repeat(Box::new(atom), 1, 8), pos + 1),
+            Some('{') => {
+                let close = chars[pos..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .expect("unterminated repetition")
+                    + pos;
+                let spec: String = chars[pos + 1..close].iter().collect();
+                let (lo, hi) = match spec.split_once(',') {
+                    None => {
+                        let n: u32 = spec.parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad repetition lower bound"),
+                        hi.parse().expect("bad repetition upper bound"),
+                    ),
+                };
+                (Node::Repeat(Box::new(atom), lo, hi), close + 1)
+            }
+            _ => (atom, pos),
+        }
+    }
+
+    pub fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Literal(c) => out.push(*c),
+            Node::Class(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|(lo, hi)| u64::from(*hi) - u64::from(*lo) + 1)
+                    .sum();
+                let mut draw = rng.below(total);
+                for (lo, hi) in ranges {
+                    let span = u64::from(*hi) - u64::from(*lo) + 1;
+                    if draw < span {
+                        let c =
+                            char::from_u32(*lo as u32 + draw as u32).expect("class range is valid");
+                        out.push(c);
+                        return;
+                    }
+                    draw -= span;
+                }
+            }
+            Node::Group(inner) => emit(inner, rng, out),
+            Node::Seq(items) => {
+                for item in items {
+                    emit(item, rng, out);
+                }
+            }
+            Node::Alt(branches) => {
+                let pick = rng.below(branches.len() as u64) as usize;
+                emit(&branches[pick], rng, out);
+            }
+            Node::Repeat(inner, lo, hi) => {
+                let count = lo + rng.below(u64::from(hi - lo) + 1) as u32;
+                for _ in 0..count {
+                    emit(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use core::ops::Range;
+
+    /// A strategy for `Vec`s whose length is drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// Output of [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Strategies drawing from explicit value sets.
+
+    use super::{Strategy, TestRng};
+
+    /// A strategy choosing uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "cannot select from no options");
+        Select { options }
+    }
+
+    /// Output of [`select`].
+    #[derive(Clone, Debug)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Asserts a property-test condition (panics like `assert!`; this
+/// stand-in does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Skips the current case when its precondition fails. Only valid
+/// directly inside a `proptest!` body (it early-returns from the
+/// per-case closure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+/// Equality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion for property tests.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` item
+/// becomes a `#[test]` that draws `cases` inputs and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)*
+                // The per-case closure lets `prop_assume!` skip a case
+                // by returning early; `false` marks a skipped case.
+                let __ran: bool = (move || {
+                    $body
+                    true
+                })();
+                let _ = __ran;
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges");
+        for _ in 0..1_000 {
+            let x = (3u32..17).generate(&mut rng);
+            assert!((3..17).contains(&x));
+            let y = (0.5f64..2.5).generate(&mut rng);
+            assert!((0.5..2.5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn regex_strategy_matches_shape() {
+        let mut rng = crate::TestRng::deterministic("regex");
+        for _ in 0..500 {
+            let s = "[a-z0-9]{1,12}(-[a-z0-9]{1,6})?".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 19, "{s}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'),
+                "{s}"
+            );
+            assert!(!s.starts_with('-'), "{s}");
+        }
+    }
+
+    #[test]
+    fn vec_and_select_and_map() {
+        let mut rng = crate::TestRng::deterministic("vec");
+        let strat = prop::collection::vec((0u32..5, 0.0f64..1.0), 2..6).prop_map(|v| v.len());
+        for _ in 0..200 {
+            let n = strat.generate(&mut rng);
+            assert!((2..6).contains(&n));
+        }
+        let pick = prop::sample::select(vec!["a", "b"]);
+        for _ in 0..50 {
+            assert!(["a", "b"].contains(&pick.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::deterministic("same-label");
+        let mut b = crate::TestRng::deterministic("same-label");
+        for _ in 0..64 {
+            assert_eq!(
+                (0u64..1_000_000).generate(&mut a),
+                (0u64..1_000_000).generate(&mut b)
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_surface_compiles(x in 0u32..10, label in "[a-z]{1,4}") {
+            prop_assert!(x < 10);
+            prop_assert_ne!(label.len(), 0);
+            prop_assert_eq!(label.len(), label.chars().count());
+        }
+    }
+}

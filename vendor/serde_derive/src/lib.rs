@@ -1,0 +1,561 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! workspace-local serde stand-in.
+//!
+//! Implemented directly on `proc_macro` tokens (syn/quote are not
+//! available offline). The supported item shapes are exactly what the
+//! CRP workspace declares: plain structs (named, tuple, unit) and enums
+//! whose variants are unit, tuple, or struct-like, with ordinary type
+//! parameters. Field types never need to be understood — generated code
+//! only calls trait methods on field *values*.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One generic parameter as declared on the item.
+struct Param {
+    /// Parameter name (`N`), or the lifetime/const source text.
+    name: String,
+    /// Full declaration source, bounds included (`N: Ord + Clone`).
+    src: String,
+    /// Whether bounds may be appended (type parameters only).
+    is_type: bool,
+}
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    params: Vec<Param>,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.body {
+        Body::Struct(fields) => serialize_struct(&item.name, fields),
+        Body::Enum(variants) => serialize_enum(&item.name, variants),
+    };
+    let (decl, args) = render_generics(&item.params, "::serde::Serialize");
+    let code = format!(
+        "impl{decl} ::serde::Serialize for {name}{args} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}",
+        name = item.name,
+    );
+    parse_generated(&code)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.body {
+        Body::Struct(fields) => deserialize_struct(&item.name, fields),
+        Body::Enum(variants) => deserialize_enum(&item.name, variants),
+    };
+    let (decl, args) = render_generics(&item.params, "::serde::Deserialize");
+    let code = format!(
+        "impl{decl} ::serde::Deserialize for {name}{args} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}",
+        name = item.name,
+    );
+    parse_generated(&code)
+}
+
+fn parse_generated(code: &str) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive generated invalid code: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == name)
+    }
+
+    /// Skips attributes (`#[...]`, including doc comments) and
+    /// visibility (`pub`, `pub(...)`).
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            if self.at_punct('#') {
+                self.pos += 1;
+                if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    self.pos += 1;
+                }
+            } else if self.at_ident("pub") {
+                self.pos += 1;
+                if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs_and_vis();
+    let kind = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("item name");
+    let params = if cur.at_punct('<') {
+        parse_generics(&mut cur)
+    } else {
+        Vec::new()
+    };
+    // Any `where` clause would sit here; none of the workspace types
+    // use one, so reject loudly rather than mis-parse.
+    if cur.at_ident("where") {
+        panic!("serde_derive: `where` clauses are not supported (type `{name}`)");
+    }
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_struct_body(&mut cur, &name)),
+        "enum" => Body::Enum(parse_enum_body(&mut cur, &name)),
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, params, body }
+}
+
+/// Parses `<...>` after the item name into individual parameters.
+fn parse_generics(cur: &mut Cursor) -> Vec<Param> {
+    cur.pos += 1; // consume '<'
+    let mut depth = 1usize;
+    let mut groups: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    loop {
+        let t = match cur.next() {
+            Some(t) => t,
+            None => panic!("serde_derive: unterminated generics"),
+        };
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    groups.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        groups.last_mut().expect("groups is never empty").push(t);
+    }
+    groups
+        .into_iter()
+        .filter(|g| !g.is_empty())
+        .map(|tokens| {
+            let src = tokens
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ");
+            let is_lifetime =
+                matches!(tokens.first(), Some(TokenTree::Punct(p)) if p.as_char() == '\'');
+            let is_const =
+                matches!(tokens.first(), Some(TokenTree::Ident(i)) if i.to_string() == "const");
+            if is_lifetime || is_const {
+                let name = if is_const {
+                    tokens.get(1).map(ToString::to_string).unwrap_or_default()
+                } else {
+                    tokens
+                        .iter()
+                        .take(2)
+                        .map(ToString::to_string)
+                        .collect::<String>()
+                };
+                Param {
+                    name,
+                    src,
+                    is_type: false,
+                }
+            } else {
+                let name = match tokens.first() {
+                    Some(TokenTree::Ident(i)) => i.to_string(),
+                    other => panic!("serde_derive: unsupported generic parameter {other:?}"),
+                };
+                Param {
+                    name,
+                    src,
+                    is_type: true,
+                }
+            }
+        })
+        .collect()
+}
+
+fn parse_struct_body(cur: &mut Cursor, name: &str) -> Fields {
+    match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde_derive: malformed struct `{name}` body: {other:?}"),
+    }
+}
+
+fn parse_enum_body(cur: &mut Cursor, name: &str) -> Vec<Variant> {
+    let group = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!("serde_derive: malformed enum `{name}` body: {other:?}"),
+    };
+    let mut inner = Cursor::new(group.stream());
+    let mut variants = Vec::new();
+    loop {
+        inner.skip_attrs_and_vis();
+        let vname = match inner.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant in `{name}`, found {other:?}"),
+        };
+        let fields = match inner.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                inner.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                inner.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        if inner.at_punct('=') {
+            panic!("serde_derive: explicit discriminants are not supported (`{name}::{vname}`)");
+        }
+        variants.push(Variant {
+            name: vname,
+            fields,
+        });
+        if inner.at_punct(',') {
+            inner.pos += 1;
+        }
+    }
+    variants
+}
+
+/// Extracts field names from the token stream of a `{ ... }` field list.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut cur = Cursor::new(stream);
+    let mut names = Vec::new();
+    loop {
+        cur.skip_attrs_and_vis();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        names.push(name);
+        // Skip the type: everything until a comma outside angle brackets.
+        let mut depth = 0usize;
+        while let Some(t) = cur.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        cur.pos += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            cur.pos += 1;
+        }
+    }
+    names
+}
+
+/// Counts fields in a tuple struct/variant `( ... )` token stream.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0usize;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma does not introduce a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+/// Renders `impl<...>` parameter declarations (with `extra_bound` added
+/// to every type parameter) and the `<...>` argument list for the type.
+fn render_generics(params: &[Param], extra_bound: &str) -> (String, String) {
+    if params.is_empty() {
+        return (String::new(), String::new());
+    }
+    let decl = params
+        .iter()
+        .map(|p| {
+            if p.is_type {
+                if p.src.contains(':') {
+                    format!("{} + {extra_bound}", p.src)
+                } else {
+                    format!("{}: {extra_bound}", p.src)
+                }
+            } else {
+                p.src.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let args = params
+        .iter()
+        .map(|p| p.name.clone())
+        .collect::<Vec<_>>()
+        .join(", ");
+    (format!("<{decl}>"), format!("<{args}>"))
+}
+
+/// `("a", to_value(a)), ("b", to_value(b))` from bound names.
+fn object_pairs(names: &[String], access: impl Fn(&str) -> String) -> String {
+    names
+        .iter()
+        .map(|n| {
+            format!(
+                "(\"{n}\".to_string(), ::serde::Serialize::to_value(&{})),",
+                access(n)
+            )
+        })
+        .collect()
+}
+
+fn serialize_struct(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => format!(
+            "::serde::Value::Object(vec![{}])",
+            object_pairs(names, |n| format!("self.{n}"))
+        ),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    }
+}
+
+fn serialize_enum(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                ),
+                Fields::Tuple(1) => format!(
+                    "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                     ::serde::Serialize::to_value(__f0))]),\n"
+                ),
+                Fields::Tuple(n) => {
+                    let binders = (0..*n)
+                        .map(|i| format!("__f{i}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let items: String = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(__f{i}),"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({binders}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Value::Array(vec![{items}]))]),\n"
+                    )
+                }
+                Fields::Named(fields) => {
+                    let binders = fields.join(", ");
+                    let pairs = object_pairs(fields, |n| n.to_string());
+                    format!(
+                        "{name}::{vn} {{ {binders} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Value::Object(vec![{pairs}]))]),\n"
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{\n{arms}}}")
+}
+
+fn deserialize_struct(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Named(names) => {
+            let inits: String = names
+                .iter()
+                .map(|n| format!("{n}: ::serde::Deserialize::from_value(__v.field(\"{n}\")?)?,\n"))
+                .collect();
+            format!("Ok({name} {{\n{inits}}})")
+        }
+        Fields::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        Fields::Tuple(n) => {
+            let inits = tuple_inits(*n);
+            format!("{}\nOk({name}({inits}))", tuple_prelude(name, *n))
+        }
+        Fields::Unit => format!(
+            "match __v {{\n\
+                 ::serde::Value::Null => Ok({name}),\n\
+                 __other => Err(::serde::Error::custom(format!(\
+                     \"expected null for unit struct `{name}`, got {{__other:?}}\"))),\n\
+             }}"
+        ),
+    }
+}
+
+/// Shared guard for positional payloads: binds `__items` to the array.
+fn tuple_prelude(what: &str, n: usize) -> String {
+    format!(
+        "let __items = __v.as_array().ok_or_else(|| \
+             ::serde::Error::custom(\"expected array for `{what}`\"))?;\n\
+         if __items.len() != {n} {{\n\
+             return Err(::serde::Error::custom(format!(\
+                 \"`{what}` expects {n} elements, got {{}}\", __items.len())));\n\
+         }}"
+    )
+}
+
+fn tuple_inits(n: usize) -> String {
+    (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+        .collect()
+}
+
+fn deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{vn}\" => Ok({name}::{vn}),\n", vn = v.name))
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => None,
+                Fields::Tuple(1) => Some(format!(
+                    "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                )),
+                Fields::Tuple(n) => {
+                    let prelude = tuple_prelude(&format!("{name}::{vn}"), *n)
+                        .replace("__v.as_array", "__inner.as_array");
+                    let inits = tuple_inits(*n);
+                    Some(format!(
+                        "\"{vn}\" => {{\n{prelude}\nOk({name}::{vn}({inits}))\n}}\n"
+                    ))
+                }
+                Fields::Named(fields) => {
+                    let inits: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_value(__inner.field(\"{f}\")?)?,\n"
+                            )
+                        })
+                        .collect();
+                    Some(format!("\"{vn}\" => Ok({name}::{vn} {{\n{inits}}}),\n"))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match __v {{\n\
+             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::Error::custom(format!(\
+                     \"unknown `{name}` variant `{{__other}}`\"))),\n\
+             }},\n\
+             ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{\n\
+                     {data_arms}\
+                     __other => Err(::serde::Error::custom(format!(\
+                         \"unknown `{name}` variant `{{__other}}`\"))),\n\
+                 }}\n\
+             }}\n\
+             __other => Err(::serde::Error::custom(format!(\
+                 \"expected `{name}` value, got {{__other:?}}\"))),\n\
+         }}"
+    )
+}
