@@ -400,6 +400,7 @@ impl AuthoritativeServer for Cdn {
         let customer_idx = *self.by_domain.get(query)?;
         let customer = &self.customers[customer_idx];
         self.queries_answered.fetch_add(1, Ordering::Relaxed);
+        crp_telemetry::counter_add("cdn.queries", 1);
 
         let shortlist = self.shortlist(resolver, customer_idx);
         let mut ranked: Vec<(f64, ReplicaId)> = shortlist
@@ -412,8 +413,12 @@ impl AuthoritativeServer for Cdn {
         let well_covered = ranked
             .first()
             .is_some_and(|(ms, _)| *ms <= self.cfg.coverage_radius_ms);
+        if let Some((best_ms, _)) = ranked.first() {
+            crp_telemetry::observe("cdn.best_candidate_ms", *best_ms);
+        }
 
         let picked = if well_covered {
+            crp_telemetry::counter_add("cdn.answers.load_balanced", 1);
             let pool = &ranked[..ranked.len().min(self.cfg.load_balance_pool)];
             self.weighted_pick(pool, self.cfg.answers_per_response, resolver, now)
         } else {
@@ -425,6 +430,7 @@ impl AuthoritativeServer for Cdn {
             ]);
             if fallback_draw < self.cfg.fallback_probability && !self.fallbacks.is_empty() {
                 self.fallback_answers.fetch_add(1, Ordering::Relaxed);
+                crp_telemetry::counter_add("cdn.answers.fallback", 1);
                 let pool: Vec<(f64, ReplicaId)> = self
                     .fallbacks
                     .iter()
@@ -434,6 +440,7 @@ impl AuthoritativeServer for Cdn {
                 self.weighted_pick(&pool, self.cfg.answers_per_response, resolver, now)
             } else {
                 self.scattered_answers.fetch_add(1, Ordering::Relaxed);
+                crp_telemetry::counter_add("cdn.answers.scattered", 1);
                 // The CDN cannot localize this resolver: re-rank the
                 // shortlist under heavy measurement noise so answers
                 // scatter far and wide, epoch to epoch.

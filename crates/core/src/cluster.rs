@@ -280,6 +280,15 @@ impl<N: Ord + Clone> Clustering<N> {
             };
         }
 
+        crp_telemetry::counter_add("core.smf.runs", 1);
+        if crp_telemetry::enabled() {
+            for (_, map) in nodes {
+                crp_telemetry::observe_unit("core.smf.mapping_strength", map.strongest().1);
+            }
+        }
+        let mut joins = 0u64;
+        let mut merges = 0u64;
+
         let maps: BTreeMap<&N, &RatioMap<K>> = nodes.iter().map(|(n, m)| (n, m)).collect();
         let mut clusters: Vec<Cluster<N>> = Vec::new();
         // Indices into `clusters` whose centers attract pass-1 joiners.
@@ -298,7 +307,9 @@ impl<N: Ord + Clone> Clustering<N> {
                 });
                 for (node, map) in order {
                     let joined = try_join(map, node, &mut clusters, &active_centers, &maps, cfg);
-                    if !joined {
+                    if joined {
+                        joins += 1;
+                    } else {
                         active_centers.push(clusters.len());
                         clusters.push(Cluster::singleton(node.clone()));
                     }
@@ -317,7 +328,9 @@ impl<N: Ord + Clone> Clustering<N> {
                         continue;
                     }
                     let joined = try_join(map, node, &mut clusters, &active_centers, &maps, cfg);
-                    if !joined {
+                    if joined {
+                        joins += 1;
+                    } else {
                         clusters.push(Cluster::singleton(node.clone()));
                     }
                 }
@@ -349,6 +362,7 @@ impl<N: Ord + Clone> Clustering<N> {
                     if s > cfg.threshold {
                         clusters[ci].members.push(other);
                         absorbed.insert(cj);
+                        merges += 1;
                     }
                 }
             }
@@ -370,6 +384,9 @@ impl<N: Ord + Clone> Clustering<N> {
             nodes.len(),
             cfg.threshold
         );
+        crp_telemetry::counter_add("core.smf.joins", joins);
+        crp_telemetry::counter_add("core.smf.merges", merges);
+        crp_telemetry::gauge_set("core.smf.clusters", clusters.len() as f64);
         Clustering { clusters }
     }
 }

@@ -51,6 +51,10 @@ impl<N: Ord> Ranking<N> {
             })
             .collect();
         entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        crp_telemetry::counter_add("core.ranking.builds", 1);
+        if let Some((_, top)) = entries.first() {
+            crp_telemetry::observe_unit("core.ranking.top_score", *top);
+        }
         crate::debug_invariant!(
             crate::invariant::check_ranking_scores(entries.iter().map(|(_, s)| s)),
             "Ranking::rank ({} candidates)",

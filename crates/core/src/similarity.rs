@@ -45,6 +45,7 @@ impl SimilarityMetric {
     /// # Ok::<(), crp_core::RatioMapError>(())
     /// ```
     pub fn compare<K: Ord + Clone>(self, a: &RatioMap<K>, b: &RatioMap<K>) -> f64 {
+        crp_telemetry::counter_add("core.similarity.calls", 1);
         let score = match self {
             SimilarityMetric::Cosine => a.cosine_similarity(b),
             SimilarityMetric::Jaccard => jaccard(a, b),

@@ -95,9 +95,11 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
             );
         }
         self.observations.push_back(Observation::new(time, servers));
+        crp_telemetry::counter_add("core.tracker.observations", 1);
         if let Some(cap) = self.capacity {
             while self.observations.len() > cap {
                 self.observations.pop_front();
+                crp_telemetry::counter_add("core.tracker.evictions", 1);
             }
         }
     }
@@ -129,7 +131,9 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
         while self.observations.front().is_some_and(|o| o.time < cutoff) {
             self.observations.pop_front();
         }
-        before - self.observations.len()
+        let removed = before - self.observations.len();
+        crp_telemetry::counter_add("core.tracker.pruned", removed as u64);
+        removed
     }
 
     /// Builds the node's ratio map from the observations selected by
@@ -153,6 +157,7 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
         window: WindowPolicy,
         now: SimTime,
     ) -> Result<RatioMap<K>, RatioMapError> {
+        crp_telemetry::counter_add("core.ratio_map.builds", 1);
         // Only history known at `now` participates.
         let known = self.observations.partition_point(|o| o.time <= now);
         let history = self.observations.iter().take(known);

@@ -18,6 +18,7 @@ use crp_netsim::{HostId, SimDuration, SimTime};
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "ablation_baselines");
     let scenario = Scenario::build(ScenarioConfig {
         seed: args.seed,
         candidate_servers: args.candidates.unwrap_or(120),

@@ -33,6 +33,7 @@ fn rand_index(a: &Clustering<HostId>, b: &Clustering<HostId>, nodes: &[HostId]) 
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "ablation_cluster_stability");
     let scenario = Scenario::build(ScenarioConfig {
         seed: args.seed,
         candidate_servers: 0,

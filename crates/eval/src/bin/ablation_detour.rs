@@ -15,6 +15,7 @@ use crp_netsim::{SimDuration, SimTime};
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "ablation_detour");
     let scenario = Scenario::build(ScenarioConfig {
         seed: args.seed,
         candidate_servers: 0,

@@ -15,6 +15,7 @@ use std::collections::BTreeSet;
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "ablation_name_filter");
     output::section("§VI", "ablation: CDN-owned-address answer filtering");
     output::kv(&[
         ("seed", args.seed.to_string()),

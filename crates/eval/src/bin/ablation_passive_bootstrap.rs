@@ -15,6 +15,7 @@ use crp_netsim::{noise, SimDuration, SimTime};
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "ablation_passive_bootstrap");
     let scenario = Scenario::build(ScenarioConfig {
         seed: args.seed,
         candidate_servers: 0,

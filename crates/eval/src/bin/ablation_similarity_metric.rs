@@ -13,6 +13,7 @@ use crp_netsim::SimTime;
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "ablation_similarity_metric");
     let cfg = ClosestConfig {
         inject_faults: false,
         ..ClosestConfig::paper(&args)

@@ -13,6 +13,7 @@ use crp_netsim::SimTime;
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "ablation_smf_init");
     let mut cfg = ClusterExpConfig::paper(&args);
     cfg.thresholds = vec![0.1];
     output::section(

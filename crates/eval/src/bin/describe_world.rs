@@ -13,6 +13,7 @@ use crp_netsim::SimTime;
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "describe_world");
     let scenario = Scenario::build(ScenarioConfig {
         seed: args.seed,
         candidate_servers: args.candidates.unwrap_or(240),

@@ -10,6 +10,7 @@ use crp_eval::{run_closest, ClosestConfig, EvalArgs};
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "fig4_closest_latency");
     let cfg = ClosestConfig::paper(&args);
     output::section(
         "Fig. 4",

@@ -11,6 +11,7 @@ use crp_netsim::SimTime;
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "fig5_relative_error");
     let cfg = ClosestConfig::paper(&args);
     output::section("Fig. 5", "relative error of the recommendations");
     output::kv(&[

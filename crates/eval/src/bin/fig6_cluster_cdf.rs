@@ -10,6 +10,7 @@ use crp_eval::{run_clustering, ClusterExpConfig, EvalArgs};
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "fig6_cluster_cdf");
     let mut cfg = ClusterExpConfig::paper(&args);
     cfg.thresholds = vec![0.1];
     output::section(

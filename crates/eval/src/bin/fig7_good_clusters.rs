@@ -10,6 +10,7 @@ use crp_eval::{run_clustering, ClusterExpConfig, EvalArgs};
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "fig7_good_clusters");
     let mut cfg = ClusterExpConfig::paper(&args);
     cfg.thresholds = vec![0.1];
     output::section("Fig. 7", "good clusters per diameter bucket: CRP vs ASN");

@@ -15,6 +15,7 @@ use crp_netsim::{SimDuration, SimTime};
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "fig8_probe_interval");
     let hours = args.hours.unwrap_or(120);
     let scenario = Scenario::build(ScenarioConfig {
         seed: args.seed,

@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "fig9_window_size");
     let hours = args.hours.unwrap_or(48);
     let scenario = Scenario::build(ScenarioConfig {
         seed: args.seed,

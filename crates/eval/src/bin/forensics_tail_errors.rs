@@ -14,6 +14,7 @@ use std::collections::BTreeSet;
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "forensics_tail_errors");
     let cfg = ClosestConfig::paper(&args);
     output::section(
         "§V-A",

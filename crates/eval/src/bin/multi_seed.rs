@@ -26,6 +26,7 @@ fn mean_std(v: &[f64]) -> (f64, f64) {
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "multi_seed");
     output::section("multi-seed", format!("{SEEDS} independent worlds").as_str());
 
     let mut crp_better = Vec::new();

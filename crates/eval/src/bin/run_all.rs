@@ -4,8 +4,16 @@
 //! ```text
 //! cargo run --release -p crp-eval --bin run_all [-- --seed 42 ...]
 //! ```
+//!
+//! Flags are forwarded verbatim to every experiment, so `--telemetry
+//! <dir>` makes each binary dump its own JSONL stream and summary there;
+//! run_all then folds the per-experiment summaries into
+//! `<out>/telemetry_summary.json`.
 
+use crp_eval::EvalArgs;
+use std::path::Path;
 use std::process::Command;
+use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
     "fig4_closest_latency",
@@ -31,6 +39,7 @@ fn main() {
     let me = std::env::current_exe().expect("current executable path");
     let dir = me.parent().expect("executable has a parent directory");
     let mut failures = Vec::new();
+    let mut durations: Vec<(&str, f64)> = Vec::new();
     for exp in EXPERIMENTS {
         let path = dir.join(exp);
         if !path.exists() {
@@ -39,19 +48,72 @@ fn main() {
             continue;
         }
         eprintln!("[run_all] running {exp} ...");
-        let status = Command::new(&path)
-            .args(&args)
-            .status()
-            .expect("spawn experiment");
-        if !status.success() {
-            eprintln!("[run_all] {exp} FAILED with {status}");
-            failures.push(*exp);
+        let started = Instant::now();
+        match Command::new(&path).args(&args).status() {
+            Ok(status) if status.success() => {
+                durations.push((exp, started.elapsed().as_secs_f64()));
+            }
+            Ok(status) => {
+                eprintln!("[run_all] {exp} FAILED with {status}");
+                failures.push(*exp);
+            }
+            Err(err) => {
+                eprintln!("[run_all] {exp} FAILED to spawn: {err}");
+                failures.push(*exp);
+            }
         }
     }
+
+    eprintln!("[run_all] wall-clock durations:");
+    for (exp, secs) in &durations {
+        eprintln!("[run_all]   {exp:<28} {secs:7.2}s");
+    }
+
+    // Fold the per-experiment telemetry summaries into one file.
+    if let Ok(parsed) = EvalArgs::try_from_args(args.clone()) {
+        if let Some(tdir) = &parsed.telemetry {
+            match aggregate_summaries(Path::new(tdir), &parsed.out_dir) {
+                Ok(n) => eprintln!("[run_all] aggregated {n} telemetry summaries"),
+                Err(err) => {
+                    eprintln!("[run_all] telemetry aggregation failed: {err}");
+                    failures.push("telemetry_aggregation");
+                }
+            }
+        }
+    }
+
     if failures.is_empty() {
         eprintln!("[run_all] all {} experiments completed", EXPERIMENTS.len());
     } else {
         eprintln!("[run_all] failures: {failures:?}");
         std::process::exit(1);
     }
+}
+
+/// Collects every `<telemetry_dir>/*_summary.json` into
+/// `<out_dir>/telemetry_summary.json` (an object keyed `experiments` →
+/// array of summaries, in experiment order). Returns how many summaries
+/// were folded in.
+fn aggregate_summaries(telemetry_dir: &Path, out_dir: &str) -> Result<usize, String> {
+    let mut entries: Vec<serde::Value> = Vec::new();
+    for exp in EXPERIMENTS {
+        let path = telemetry_dir.join(format!("{exp}_summary.json"));
+        let Ok(raw) = std::fs::read_to_string(&path) else {
+            continue; // experiment failed or predates telemetry
+        };
+        let value = serde_json::parse(&raw)
+            .map_err(|e| format!("{}: malformed summary: {e}", path.display()))?;
+        entries.push(value);
+    }
+    let count = entries.len();
+    let combined = serde::Value::Object(vec![(
+        "experiments".to_owned(),
+        serde::Value::Array(entries),
+    )]);
+    let json = serde_json::to_string(&combined).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;
+    let out_path = Path::new(out_dir).join("telemetry_summary.json");
+    std::fs::write(&out_path, json + "\n").map_err(|e| e.to_string())?;
+    eprintln!("[run_all] wrote {}", out_path.display());
+    Ok(count)
 }

@@ -11,6 +11,7 @@ use crp_eval::{run_clustering, ClusterExpConfig, EvalArgs};
 
 fn main() {
     let args = EvalArgs::parse();
+    let _telemetry = crp_eval::telemetry::session(&args, "table1_cluster_summary");
     let cfg = ClusterExpConfig::paper(&args);
     output::section("Table I", "cluster summary: CRP thresholds vs ASN");
     output::kv(&[

@@ -1,0 +1,120 @@
+//! CI validator for a telemetry run:
+//!
+//! ```text
+//! telemetry_check <dir> <experiment>
+//! ```
+//!
+//! Checks that `<dir>/<experiment>.jsonl` is well-formed JSONL and that
+//! `<dir>/<experiment>_summary.json` deserializes into a
+//! [`TelemetrySummary`] whose event counters match the stream: each
+//! `event.<name>` counter must equal the number of `kind == "event"`
+//! lines carrying that name, and `events_recorded` must equal the total.
+//! Exits non-zero with a diagnostic on any mismatch.
+
+use crp_telemetry::TelemetrySummary;
+use serde::Deserialize as _;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [dir, experiment] = args.as_slice() else {
+        eprintln!("usage: telemetry_check <dir> <experiment>");
+        return ExitCode::from(2);
+    };
+    match check(Path::new(dir), experiment) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(err) => {
+            eprintln!("telemetry_check: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn str_field(value: &serde::Value, name: &str) -> Result<String, serde::Error> {
+    match value.field(name)? {
+        serde::Value::String(s) => Ok(s.clone()),
+        other => Err(serde::Error::custom(format!(
+            "field `{name}` is not a string: {other:?}"
+        ))),
+    }
+}
+
+fn check(dir: &Path, experiment: &str) -> Result<String, String> {
+    let jsonl_path = dir.join(format!("{experiment}.jsonl"));
+    let raw = std::fs::read_to_string(&jsonl_path)
+        .map_err(|e| format!("{}: {e}", jsonl_path.display()))?;
+
+    let total_records = raw.lines().count();
+    let mut event_lines = 0u64;
+    let mut span_pairs = 0u64;
+    let mut per_name: BTreeMap<String, u64> = BTreeMap::new();
+    for (i, line) in raw.lines().enumerate() {
+        let value = serde_json::parse(line)
+            .map_err(|e| format!("{}:{}: malformed JSONL: {e}", jsonl_path.display(), i + 1))?;
+        let kind = str_field(&value, "kind")
+            .map_err(|e| format!("{}:{}: {e}", jsonl_path.display(), i + 1))?;
+        match kind.as_str() {
+            "event" => {
+                event_lines += 1;
+                let name = str_field(&value, "name")
+                    .map_err(|e| format!("{}:{}: {e}", jsonl_path.display(), i + 1))?;
+                *per_name.entry(name).or_insert(0) += 1;
+            }
+            "span_end" => span_pairs += 1,
+            "span_start" => {}
+            other => {
+                return Err(format!(
+                    "{}:{}: unknown record kind `{other}`",
+                    jsonl_path.display(),
+                    i + 1
+                ))
+            }
+        }
+    }
+
+    let summary_path = dir.join(format!("{experiment}_summary.json"));
+    let raw = std::fs::read_to_string(&summary_path)
+        .map_err(|e| format!("{}: {e}", summary_path.display()))?;
+    let value = serde_json::parse(&raw).map_err(|e| format!("{}: {e}", summary_path.display()))?;
+    let summary = TelemetrySummary::from_value(&value)
+        .map_err(|e| format!("{}: not a TelemetrySummary: {e}", summary_path.display()))?;
+
+    if summary.experiment != experiment {
+        return Err(format!(
+            "summary names experiment `{}`, expected `{experiment}`",
+            summary.experiment
+        ));
+    }
+    if summary.events_recorded != event_lines {
+        return Err(format!(
+            "summary says {} events, stream has {event_lines}",
+            summary.events_recorded
+        ));
+    }
+    if summary.spans_recorded != span_pairs {
+        return Err(format!(
+            "summary says {} spans, stream has {span_pairs} span_end records",
+            summary.spans_recorded
+        ));
+    }
+    for (name, n) in &per_name {
+        let counter = format!("event.{name}");
+        if summary.counter(&counter) != Some(*n) {
+            return Err(format!(
+                "counter `{counter}` is {:?}, stream has {n} `{name}` events",
+                summary.counter(&counter)
+            ));
+        }
+    }
+    Ok(format!(
+        "{experiment}: {total_records} JSONL records ok ({event_lines} events across {} names, \
+         {span_pairs} spans); summary consistent with {} counters",
+        per_name.len(),
+        summary.counters.len()
+    ))
+}

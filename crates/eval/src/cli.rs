@@ -20,6 +20,8 @@ pub struct EvalArgs {
     pub scale: Option<f64>,
     /// Output directory for CSV series (default `results`).
     pub out_dir: String,
+    /// Telemetry output directory; `None` leaves telemetry disabled.
+    pub telemetry: Option<String>,
 }
 
 impl Default for EvalArgs {
@@ -31,6 +33,7 @@ impl Default for EvalArgs {
             hours: None,
             scale: None,
             out_dir: "results".to_owned(),
+            telemetry: None,
         }
     }
 }
@@ -43,7 +46,7 @@ impl EvalArgs {
             eprintln!("{message}");
             eprintln!(
                 "usage: [--seed N] [--clients N] [--candidates N] [--hours N] \
-                 [--scale X] [--out DIR]"
+                 [--scale X] [--out DIR] [--telemetry DIR]"
             );
             std::process::exit(2)
         })
@@ -95,6 +98,7 @@ impl EvalArgs {
                 "hours" => out.hours = Some(number(&v, "hours takes an integer")?),
                 "scale" => out.scale = Some(number(&v, "scale takes a float")?),
                 "out" => out.out_dir = v,
+                "telemetry" => out.telemetry = Some(v),
                 other => return Err(format!("unknown flag --{other}")),
             }
         }
@@ -119,13 +123,22 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let a = parse("--seed 7 --clients 100 --candidates 30 --hours 12 --scale 0.5 --out /tmp/r");
+        let a = parse(
+            "--seed 7 --clients 100 --candidates 30 --hours 12 --scale 0.5 --out /tmp/r \
+             --telemetry /tmp/t",
+        );
         assert_eq!(a.seed, 7);
         assert_eq!(a.clients, Some(100));
         assert_eq!(a.candidates, Some(30));
         assert_eq!(a.hours, Some(12));
         assert_eq!(a.scale, Some(0.5));
         assert_eq!(a.out_dir, "/tmp/r");
+        assert_eq!(a.telemetry.as_deref(), Some("/tmp/t"));
+    }
+
+    #[test]
+    fn telemetry_defaults_off() {
+        assert_eq!(parse("--seed 3").telemetry, None);
     }
 
     #[test]

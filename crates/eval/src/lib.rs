@@ -20,6 +20,7 @@ pub mod cli;
 pub mod closest;
 pub mod clusterexp;
 pub mod output;
+pub mod telemetry;
 
 pub use cli::EvalArgs;
 pub use closest::{run_closest, ClientOutcome, ClosestConfig};

@@ -1,0 +1,110 @@
+//! Telemetry wiring shared by the experiment binaries.
+//!
+//! Each binary calls [`session`] right after parsing its flags. With
+//! `--telemetry <dir>` this installs a [`crp_telemetry::JsonlSink`]
+//! writing `<dir>/<experiment>.jsonl`; when the returned
+//! [`TelemetrySession`] drops at the end of `main`, the aggregated
+//! [`TelemetrySummary`] lands in `<dir>/<experiment>_summary.json`.
+//! Without the flag nothing is installed and every instrumentation hook
+//! across the workspace stays on its near-zero disabled path.
+
+use crate::EvalArgs;
+use crp_telemetry::{JsonlSink, TelemetrySummary};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Keeps a per-run telemetry collector alive; see [`session`].
+///
+/// Dropping the session finalizes the run: it tears down the global
+/// collector and writes the summary JSON next to the JSONL stream.
+#[must_use = "bind to a variable that lives until the end of main"]
+pub struct TelemetrySession {
+    dir: Option<PathBuf>,
+    experiment: &'static str,
+}
+
+/// Starts telemetry for `experiment` according to `args`.
+///
+/// A sink failure (unwritable directory) degrades to metrics-only
+/// collection with a warning rather than aborting the experiment.
+pub fn session(args: &EvalArgs, experiment: &'static str) -> TelemetrySession {
+    let dir = args.telemetry.as_ref().map(PathBuf::from);
+    if let Some(dir) = &dir {
+        let path = dir.join(format!("{experiment}.jsonl"));
+        match JsonlSink::create(&path) {
+            Ok(sink) => crp_telemetry::install(Box::new(sink)),
+            Err(err) => {
+                eprintln!(
+                    "[telemetry] cannot create {}: {err}; collecting metrics only",
+                    path.display()
+                );
+                crp_telemetry::install_metrics_only();
+            }
+        }
+    }
+    TelemetrySession { dir, experiment }
+}
+
+/// Writes `summary` as JSON to `<dir>/<experiment>_summary.json`.
+///
+/// # Errors
+///
+/// Returns any serialization or file-system error.
+pub fn write_summary(dir: &Path, summary: &TelemetrySummary) -> std::io::Result<PathBuf> {
+    let json = serde_json::to_string(summary)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}_summary.json", summary.experiment));
+    fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+impl Drop for TelemetrySession {
+    fn drop(&mut self) {
+        let Some(summary) = crp_telemetry::shutdown(self.experiment) else {
+            return;
+        };
+        let Some(dir) = &self.dir else { return };
+        match write_summary(dir, &summary) {
+            Ok(path) => println!("  [wrote {}]", path.display()),
+            Err(err) => eprintln!("[telemetry] cannot write summary: {err}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args_with(dir: Option<&Path>) -> EvalArgs {
+        EvalArgs {
+            telemetry: dir.map(|d| d.to_string_lossy().into_owned()),
+            ..EvalArgs::default()
+        }
+    }
+
+    // One test drives both the disabled and enabled paths: the session
+    // manipulates the process-global collector, so parallel test threads
+    // must not share it.
+    #[test]
+    fn session_lifecycle() {
+        let s = session(&args_with(None), "t_disabled");
+        assert!(!crp_telemetry::enabled());
+        drop(s);
+        assert!(crp_telemetry::shutdown("t_disabled").is_none());
+
+        let dir = std::env::temp_dir().join("crp-eval-telemetry-test");
+        let _ = fs::remove_dir_all(&dir);
+        let s = session(&args_with(Some(&dir)), "t_session");
+        crp_telemetry::counter_add("test.calls", 3);
+        crp_telemetry::event(5, "test.tick", &[]);
+        drop(s);
+        assert!(dir.join("t_session.jsonl").exists());
+        let raw = fs::read_to_string(dir.join("t_session_summary.json")).expect("summary written");
+        let value = serde_json::parse(&raw).expect("valid json");
+        let summary = <TelemetrySummary as serde::Deserialize>::from_value(&value).expect("shape");
+        assert_eq!(summary.experiment, "t_session");
+        assert_eq!(summary.counter("test.calls"), Some(3));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

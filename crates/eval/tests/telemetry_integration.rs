@@ -1,0 +1,113 @@
+//! End-to-end check of `--telemetry`: runs `fig9_window_size` at a tiny
+//! scale and cross-checks the JSONL stream against the summary — every
+//! `event.<name>` counter must equal the stream's event count for that
+//! name, and the summary's tracker counter must equal the total
+//! independently recomputed from the per-host event fields.
+
+use crp_telemetry::TelemetrySummary;
+use serde::Deserialize as _;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::process::Command;
+
+fn str_field(value: &Value, name: &str) -> String {
+    match value.field(name).expect("field present") {
+        Value::String(s) => s.clone(),
+        other => panic!("field `{name}` is not a string: {other:?}"),
+    }
+}
+
+fn u64_field(value: &Value, name: &str) -> u64 {
+    match value.field(name).expect("field present") {
+        Value::Int(i) if *i >= 0 => *i as u64,
+        Value::UInt(u) => *u,
+        other => panic!("field `{name}` is not an unsigned integer: {other:?}"),
+    }
+}
+
+#[test]
+fn fig9_telemetry_stream_matches_summary() {
+    let dir = std::env::temp_dir().join(format!("crp-telemetry-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out_dir = dir.join("results");
+    let clients = 12usize;
+    let candidates = 8usize;
+    let status = Command::new(env!("CARGO_BIN_EXE_fig9_window_size"))
+        .args(["--seed", "5", "--hours", "12", "--scale", "0.25"])
+        .args(["--clients", &clients.to_string()])
+        .args(["--candidates", &candidates.to_string()])
+        .arg("--out")
+        .arg(&out_dir)
+        .arg("--telemetry")
+        .arg(&dir)
+        .status()
+        .expect("run fig9_window_size");
+    assert!(status.success(), "fig9_window_size failed: {status}");
+
+    // Walk the JSONL stream, counting independently of the summary.
+    let jsonl = std::fs::read_to_string(dir.join("fig9_window_size.jsonl"))
+        .expect("telemetry JSONL written");
+    let mut event_lines = 0u64;
+    let mut span_pairs = 0u64;
+    let mut per_name: BTreeMap<String, u64> = BTreeMap::new();
+    let mut observations_from_events = 0u64;
+    let mut hosts_observed = 0u64;
+    for line in jsonl.lines() {
+        let value = serde_json::parse(line).expect("every JSONL line parses");
+        match str_field(&value, "kind").as_str() {
+            "event" => {
+                event_lines += 1;
+                let name = str_field(&value, "name");
+                if name == "scenario.host_observed" {
+                    hosts_observed += 1;
+                    let fields = value.field("fields").expect("event fields");
+                    observations_from_events += u64_field(fields, "observations");
+                }
+                *per_name.entry(name).or_insert(0) += 1;
+            }
+            "span_end" => span_pairs += 1,
+            "span_start" => {}
+            other => panic!("unknown record kind `{other}` in line: {line}"),
+        }
+    }
+    assert!(event_lines > 0, "instrumentation emitted no events");
+
+    let raw = std::fs::read_to_string(dir.join("fig9_window_size_summary.json"))
+        .expect("telemetry summary written");
+    let summary = TelemetrySummary::from_value(&serde_json::parse(&raw).expect("summary is JSON"))
+        .expect("summary deserializes");
+
+    assert_eq!(summary.experiment, "fig9_window_size");
+    assert_eq!(summary.events_recorded, event_lines);
+    assert_eq!(summary.spans_recorded, span_pairs);
+    for (name, n) in &per_name {
+        assert_eq!(
+            summary.counter(&format!("event.{name}")),
+            Some(*n),
+            "counter/stream mismatch for event `{name}`"
+        );
+    }
+
+    // Independent totals: every probed host emits one event whose
+    // `observations` field counts its tracker records.
+    assert_eq!(hosts_observed, (clients + candidates) as u64);
+    assert_eq!(
+        summary.counter("core.tracker.observations"),
+        Some(observations_from_events),
+        "tracker counter disagrees with the per-host event fields"
+    );
+
+    // The instrumented subsystems all reported in.
+    for counter in ["cdn.queries", "core.ratio_map.builds", "netsim.rtt_samples"] {
+        assert!(
+            summary.counter(counter).unwrap_or(0) > 0,
+            "expected counter `{counter}` to be non-zero"
+        );
+    }
+    assert!(
+        summary.histogram("core.ranking.top_score").is_some(),
+        "ranking histogram missing"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -61,6 +61,7 @@ impl FaultPlan {
     /// itself to every query.
     pub fn with_bootstrap_self_recommend(mut self, node: HostId, until: SimTime) -> Self {
         self.bootstrap_until.insert(node, until);
+        crp_telemetry::counter_add("meridian.faults.planned", 1);
         self
     }
 
@@ -68,6 +69,7 @@ impl FaultPlan {
     /// itself for the whole experiment.
     pub fn with_never_joined(mut self, node: HostId) -> Self {
         self.never_joined.insert(node);
+        crp_telemetry::counter_add("meridian.faults.planned", 1);
         self
     }
 
@@ -76,6 +78,7 @@ impl FaultPlan {
     pub fn with_site_isolated_pair(mut self, a: HostId, b: HostId) -> Self {
         self.site_twin.insert(a, b);
         self.site_twin.insert(b, a);
+        crp_telemetry::counter_add("meridian.faults.planned", 1);
         self
     }
 

@@ -250,6 +250,18 @@ impl MeridianOverlay {
 
         // Entry-node faults.
         if let Some(behavior) = self.faults.behavior_at(entry, t) {
+            crp_telemetry::counter_add("meridian.faulted_entries", 1);
+            if crp_telemetry::enabled() {
+                let kind = match behavior {
+                    FaultBehavior::SelfRecommend => "self_recommend",
+                    FaultBehavior::SiteIsolated { .. } => "site_isolated",
+                };
+                crp_telemetry::event(
+                    t.as_millis(),
+                    "meridian.entry_fault",
+                    &[("entry", entry.index().into()), ("kind", kind.into())],
+                );
+            }
             let selected = match behavior {
                 FaultBehavior::SelfRecommend => entry,
                 FaultBehavior::SiteIsolated { twin } => {
@@ -264,24 +276,28 @@ impl MeridianOverlay {
                 }
             };
             let rtt = self.measure(net, selected, target, t);
-            return QueryResult {
+            let result = QueryResult {
                 selected,
                 selected_rtt: rtt,
                 hops: 0,
                 probes: self.probes.load(Ordering::Relaxed) - probes_before,
             };
+            note_query(&result);
+            return result;
         }
 
         // If the entry never joined (healthy but absent), fall back to
         // self-recommendation like the deployment did.
         let Some(&start_idx) = self.index_of.get(&entry) else {
             let rtt = self.measure(net, entry, target, t);
-            return QueryResult {
+            let result = QueryResult {
                 selected: entry,
                 selected_rtt: rtt,
                 hops: 0,
                 probes: self.probes.load(Ordering::Relaxed) - probes_before,
             };
+            note_query(&result);
+            return result;
         };
         probes_before = self.probes.load(Ordering::Relaxed);
 
@@ -324,12 +340,14 @@ impl MeridianOverlay {
             }
         }
 
-        QueryResult {
+        let result = QueryResult {
             selected: best.0,
             selected_rtt: best.1,
             hops,
             probes: self.probes.load(Ordering::Relaxed) - probes_before,
-        }
+        };
+        note_query(&result);
+        result
     }
 
     /// Answers a multi-constraint query (the second spatial query of the
@@ -403,6 +421,13 @@ impl MeridianOverlay {
         self.probes.fetch_add(1, Ordering::Relaxed);
         net.rtt(a, b, t)
     }
+}
+
+/// Records per-query telemetry (hop count and probe cost).
+fn note_query(result: &QueryResult) {
+    crp_telemetry::counter_add("meridian.queries", 1);
+    crp_telemetry::counter_add("meridian.query_probes", result.probes);
+    crp_telemetry::observe("meridian.query_hops", f64::from(result.hops));
 }
 
 #[cfg(test)]

@@ -161,6 +161,21 @@ impl Region {
         self.center().jitter_km(self.spread_km(), rng)
     }
 
+    /// Stable kebab-case identifier, used in metric names and file
+    /// columns where the display name's spaces would be awkward.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Region::NorthAmerica => "north-america",
+            Region::SouthAmerica => "south-america",
+            Region::Europe => "europe",
+            Region::Africa => "africa",
+            Region::MiddleEast => "middle-east",
+            Region::SouthAsia => "south-asia",
+            Region::EastAsia => "east-asia",
+            Region::Oceania => "oceania",
+        }
+    }
+
     /// Stable small integer used to derive noise streams.
     pub fn index(self) -> u64 {
         Region::ALL

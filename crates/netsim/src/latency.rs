@@ -120,6 +120,7 @@ impl Network {
             let jitter = noise::uniform(&[self.seed(), TAG_SELF, a.key(), t.as_millis()]) * 0.2;
             return Rtt::from_millis(cfg.min_rtt_ms + jitter);
         }
+        self.count_rtt_sample(a);
         // Order the pair so every noise stream is symmetric.
         let (lo, hi) = if a.key() <= b.key() { (a, b) } else { (b, a) };
         let ha = self.host(lo);
@@ -158,6 +159,25 @@ impl Network {
         let total = (prop_ms + wobble_ms + hop_ms + access_ms + congestion_ms + jitter_ms)
             .max(cfg.min_rtt_ms);
         Rtt::from_millis(total)
+    }
+
+    /// Telemetry accounting for one distinct-host RTT sample, keyed by
+    /// the querying endpoint's region and AS tier. A single disabled
+    /// check up front keeps the hot path at one relaxed atomic load.
+    fn count_rtt_sample(&self, a: HostId) {
+        if !crp_telemetry::enabled() {
+            return;
+        }
+        crp_telemetry::counter_add("netsim.rtt_samples", 1);
+        let host = self.host(a);
+        let region = host.region().slug();
+        crp_telemetry::counter_add(&format!("netsim.rtt_samples.region.{region}"), 1);
+        let tier = match self.ases()[host.asn().index() as usize].tier() {
+            crate::topology::AsTier::Tier1 => "tier1",
+            crate::topology::AsTier::Transit => "transit",
+            crate::topology::AsTier::Stub => "stub",
+        };
+        crp_telemetry::counter_add(&format!("netsim.rtt_samples.tier.{tier}"), 1);
     }
 
     /// The normalized inflation mix for a host pair: 45% AS-pair peering

@@ -1,0 +1,326 @@
+//! Metric primitives: fixed-bucket histograms and bucket presets.
+//!
+//! Counters and gauges are plain integers/floats held by the collector;
+//! histograms carry enough structure (bucket boundaries, counts, value
+//! range) to warrant a dedicated type. Everything here is deterministic:
+//! identical observation sequences produce identical state, and
+//! summaries iterate in name order.
+
+use serde::{Deserialize, Serialize};
+
+/// Default bucket upper bounds for [`crate::observe`]: powers of two
+/// from 2⁻¹⁰ (~0.001) to 2³⁰ (~10⁹), covering unit-interval scores,
+/// millisecond latencies, and simulated-hour durations alike. Values
+/// above the last bound land in the overflow bucket.
+pub fn default_bounds() -> Vec<f64> {
+    (-10..=30).map(|e: i32| (e as f64).exp2()).collect()
+}
+
+/// Bucket upper bounds for values confined to `[0, 1]` (similarity
+/// scores, mapping strengths): twenty buckets of width 0.05.
+pub fn unit_bounds() -> Vec<f64> {
+    (1..=20).map(|i| i as f64 * 0.05).collect()
+}
+
+/// A histogram over fixed, ascending bucket boundaries.
+///
+/// Bucket `i` counts values `v <= bounds[i]` (and greater than the
+/// previous bound); values above the last bound land in an implicit
+/// overflow bucket. The exact minimum and maximum observed values are
+/// tracked so quantile estimates can be clamped to the observed range.
+///
+/// # Example
+///
+/// ```
+/// use crp_telemetry::metrics::Histogram;
+///
+/// let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+/// for v in [0.5, 3.0, 4.0, 90.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 4);
+/// assert_eq!(h.quantile(0.5), Some(10.0)); // upper bound of the median's bucket
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// One count per bound, plus the overflow bucket at the end.
+    counts: Vec<u64>,
+    finite: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-finite, or not strictly
+    /// ascending.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        for pair in bounds.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "histogram bounds must be strictly ascending"
+            );
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            finite: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation. Non-finite values are counted in the
+    /// overflow bucket but excluded from the min/max/sum statistics, so
+    /// a stray NaN cannot poison the summary.
+    pub fn record(&mut self, value: f64) {
+        let idx = if value.is_finite() {
+            self.finite += 1;
+            self.sum += value;
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+            self.bounds.partition_point(|b| *b < value)
+        } else {
+            self.bounds.len()
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The bucket boundaries.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, overflow bucket last (`bounds().len() + 1`
+    /// entries).
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Mean of the finite observations, or `None` if there are none.
+    pub fn mean(&self) -> Option<f64> {
+        (self.finite > 0).then(|| self.sum / self.finite as f64)
+    }
+
+    /// Smallest finite observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.min.is_finite().then_some(self.min)
+    }
+
+    /// Largest finite observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.max.is_finite().then_some(self.max)
+    }
+
+    /// The `q`-quantile estimate (`0 < q <= 1`), or `None` if the
+    /// histogram is empty.
+    ///
+    /// The estimate is the upper bound of the bucket containing the
+    /// rank-`ceil(q·n)` observation, clamped to the observed
+    /// `[min, max]` range — so a single-sample histogram reports the
+    /// sample itself at every quantile, and a saturated overflow bucket
+    /// reports the largest observed value rather than infinity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!(q > 0.0 && q <= 1.0, "quantile must be in (0, 1]");
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        let mut idx = self.counts.len() - 1;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                idx = i;
+                break;
+            }
+        }
+        let raw = if idx < self.bounds.len() {
+            self.bounds[idx]
+        } else {
+            // Overflow bucket: no upper bound; fall back to the largest
+            // observed value (or the last bound if nothing finite).
+            self.max().unwrap_or(*self.bounds.last()?)
+        };
+        match (self.min(), self.max()) {
+            (Some(lo), Some(hi)) => Some(raw.clamp(lo, hi)),
+            _ => Some(raw),
+        }
+    }
+
+    /// Condenses the histogram into its serializable summary form.
+    pub fn summarize(&self, name: &str) -> HistogramSummary {
+        HistogramSummary {
+            name: name.to_owned(),
+            count: self.count(),
+            min: self.min().unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+            mean: self.mean().unwrap_or(0.0),
+            p50: self.quantile(0.50).unwrap_or(0.0),
+            p90: self.quantile(0.90).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// The serializable digest of one histogram.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Metric name.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest finite observation (0 when empty).
+    pub min: f64,
+    /// Largest finite observation (0 when empty).
+    pub max: f64,
+    /// Mean of finite observations (0 when empty).
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        let s = h.summarize("x");
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, 0.0);
+    }
+
+    #[test]
+    fn single_sample_reports_itself_at_every_quantile() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.record(7.0);
+        // The raw bucket bound is 10.0, but clamping to the observed
+        // range pins every quantile to the lone sample.
+        for q in [0.01, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(7.0), "q={q}");
+        }
+        assert_eq!(h.mean(), Some(7.0));
+        assert_eq!(h.min(), Some(7.0));
+        assert_eq!(h.max(), Some(7.0));
+    }
+
+    #[test]
+    fn saturated_overflow_bucket_reports_observed_max() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        for _ in 0..5 {
+            h.record(1_000.0); // all in the overflow bucket
+        }
+        assert_eq!(h.bucket_counts(), &[0, 0, 5]);
+        assert_eq!(h.quantile(0.5), Some(1_000.0));
+        assert_eq!(h.quantile(0.99), Some(1_000.0));
+        assert_eq!(h.max(), Some(1_000.0));
+    }
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        let mut h = Histogram::new(&[1.0, 2.0, 3.0]);
+        h.record(1.0); // exactly on a bound -> that bucket
+        h.record(1.000001); // just above -> next bucket
+        h.record(3.0);
+        assert_eq!(h.bucket_counts(), &[1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let mut h = Histogram::new(&[1.0, 2.0, 3.0, 4.0]);
+        for v in [0.5, 1.5, 2.5, 3.5] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.25), Some(1.0));
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(0.75), Some(3.0));
+        assert_eq!(h.quantile(1.0), Some(3.5)); // clamped to max
+    }
+
+    #[test]
+    fn non_finite_values_cannot_poison_statistics() {
+        let mut h = Histogram::new(&[1.0]);
+        h.record(0.5);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(0.5));
+        assert_eq!(h.max(), Some(0.5));
+        // NaN/inf sit in the overflow bucket.
+        assert_eq!(h.bucket_counts(), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_bounds_rejected() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bound")]
+    fn empty_bounds_rejected() {
+        let _ = Histogram::new(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be")]
+    fn zero_quantile_rejected() {
+        let mut h = Histogram::new(&[1.0]);
+        h.record(0.5);
+        let _ = h.quantile(0.0);
+    }
+
+    #[test]
+    fn preset_bounds_are_valid() {
+        // Constructing validates ordering and finiteness.
+        let _ = Histogram::new(&default_bounds());
+        let _ = Histogram::new(&unit_bounds());
+        assert_eq!(unit_bounds().len(), 20);
+        assert!((unit_bounds()[19] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let mut h = Histogram::new(&unit_bounds());
+        for v in [0.1, 0.2, 0.90] {
+            h.record(v);
+        }
+        let s = h.summarize("core.similarity.score");
+        let text = serde_json::to_string(&s).expect("serialize summary");
+        let back: HistogramSummary = serde_json::from_str(&text).expect("parse summary");
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,248 @@
+//! The structured records that flow into a [`crate::sink::Sink`].
+//!
+//! Records are keyed exclusively by **simulated time** in milliseconds
+//! (`crp_netsim::SimTime::as_millis`); wall-clock time never appears, so
+//! two runs of the same seeded experiment emit byte-identical streams.
+//! The telemetry crate stores the raw `u64` rather than `SimTime` itself
+//! to stay dependency-free — `crp-netsim` is itself an instrumented
+//! crate and must be able to depend on this one.
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// A single structured field on an event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Signed integer field.
+    I64(i64),
+    /// Floating-point field.
+    F64(f64),
+    /// String field.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_owned())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl Serialize for FieldValue {
+    fn to_value(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => v.to_value(),
+            FieldValue::I64(v) => v.to_value(),
+            FieldValue::F64(v) => v.to_value(),
+            FieldValue::Str(v) => v.to_value(),
+        }
+    }
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+/// One record in the telemetry stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Record {
+    /// A point event at a simulated instant.
+    Event {
+        /// Simulated time in milliseconds.
+        time_ms: u64,
+        /// Event name, dotted-path style (`probe.round`).
+        name: String,
+        /// Structured payload, in insertion order.
+        fields: Vec<(String, FieldValue)>,
+    },
+    /// The opening edge of a span.
+    SpanStart {
+        /// Simulated start time in milliseconds.
+        time_ms: u64,
+        /// Span name.
+        name: String,
+    },
+    /// The closing edge of a span.
+    SpanEnd {
+        /// Simulated end time in milliseconds.
+        time_ms: u64,
+        /// Simulated start time, repeated so each line is
+        /// self-contained.
+        start_ms: u64,
+        /// Span name.
+        name: String,
+    },
+}
+
+impl Record {
+    /// The record's simulated timestamp in milliseconds.
+    pub fn time_ms(&self) -> u64 {
+        match self {
+            Record::Event { time_ms, .. }
+            | Record::SpanStart { time_ms, .. }
+            | Record::SpanEnd { time_ms, .. } => *time_ms,
+        }
+    }
+
+    /// The record's name.
+    pub fn name(&self) -> &str {
+        match self {
+            Record::Event { name, .. }
+            | Record::SpanStart { name, .. }
+            | Record::SpanEnd { name, .. } => name,
+        }
+    }
+
+    /// Encodes the record as one line of JSON (no trailing newline).
+    ///
+    /// The shape is stable: `kind` is `"event"`, `"span_start"`, or
+    /// `"span_end"`; `t_ms` is the simulated timestamp; events carry a
+    /// `fields` object, span ends a `start_ms`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a float field is non-finite.
+    pub fn to_json_line(&self) -> Result<String, serde::Error> {
+        let value = match self {
+            Record::Event {
+                time_ms,
+                name,
+                fields,
+            } => Value::Object(vec![
+                ("kind".to_owned(), Value::String("event".to_owned())),
+                ("t_ms".to_owned(), time_ms.to_value()),
+                ("name".to_owned(), Value::String(name.clone())),
+                (
+                    "fields".to_owned(),
+                    Value::Object(
+                        fields
+                            .iter()
+                            .map(|(k, v)| (k.clone(), v.to_value()))
+                            .collect(),
+                    ),
+                ),
+            ]),
+            Record::SpanStart { time_ms, name } => Value::Object(vec![
+                ("kind".to_owned(), Value::String("span_start".to_owned())),
+                ("t_ms".to_owned(), time_ms.to_value()),
+                ("name".to_owned(), Value::String(name.clone())),
+            ]),
+            Record::SpanEnd {
+                time_ms,
+                start_ms,
+                name,
+            } => Value::Object(vec![
+                ("kind".to_owned(), Value::String("span_end".to_owned())),
+                ("t_ms".to_owned(), time_ms.to_value()),
+                ("start_ms".to_owned(), start_ms.to_value()),
+                ("name".to_owned(), Value::String(name.clone())),
+            ]),
+        };
+        serde_json::to_string(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_encodes_stable_json() {
+        let r = Record::Event {
+            time_ms: 600_000,
+            name: "probe.round".to_owned(),
+            fields: vec![
+                ("hosts".to_owned(), FieldValue::U64(12)),
+                ("window".to_owned(), FieldValue::Str("10 probes".to_owned())),
+            ],
+        };
+        let line = r.to_json_line().expect("encode");
+        assert_eq!(
+            line,
+            r#"{"kind":"event","t_ms":600000,"name":"probe.round","fields":{"hosts":12,"window":"10 probes"}}"#
+        );
+    }
+
+    #[test]
+    fn span_edges_encode_kind_and_times() {
+        let start = Record::SpanStart {
+            time_ms: 5,
+            name: "campaign".to_owned(),
+        };
+        let end = Record::SpanEnd {
+            time_ms: 11,
+            start_ms: 5,
+            name: "campaign".to_owned(),
+        };
+        assert!(start.to_json_line().expect("encode").contains("span_start"));
+        let end_line = end.to_json_line().expect("encode");
+        assert!(end_line.contains("span_end"));
+        assert!(end_line.contains("\"start_ms\":5"));
+        assert_eq!(end.time_ms(), 11);
+        assert_eq!(end.name(), "campaign");
+    }
+
+    #[test]
+    fn non_finite_field_is_an_encode_error() {
+        let r = Record::Event {
+            time_ms: 0,
+            name: "bad".to_owned(),
+            fields: vec![("x".to_owned(), FieldValue::F64(f64::NAN))],
+        };
+        assert!(r.to_json_line().is_err());
+    }
+
+    #[test]
+    fn field_value_conversions() {
+        assert_eq!(FieldValue::from(3u64), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-3i64), FieldValue::I64(-3));
+        assert_eq!(FieldValue::from(0.5f64), FieldValue::F64(0.5));
+        assert_eq!(FieldValue::from("x"), FieldValue::Str("x".to_owned()));
+        assert_eq!(FieldValue::U64(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,112 @@
+//! The deterministic, serializable digest of one instrumented run.
+//!
+//! A [`TelemetrySummary`] is produced when a collector is shut down. All
+//! collections are sorted by metric name, so two runs of the same seeded
+//! experiment serialize to byte-identical JSON.
+
+use crate::metrics::HistogramSummary;
+use serde::{Deserialize, Serialize};
+
+/// One named monotonic counter.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CounterEntry {
+    /// Counter name, dotted-path style (`core.similarity.calls`).
+    pub name: String,
+    /// Final value.
+    pub value: u64,
+}
+
+/// One named gauge (last value written wins).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GaugeEntry {
+    /// Gauge name.
+    pub name: String,
+    /// Last value set.
+    pub value: f64,
+}
+
+/// Aggregated metrics for one experiment run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySummary {
+    /// Experiment name (usually the eval binary name).
+    pub experiment: String,
+    /// Total events emitted to the sink.
+    pub events_recorded: u64,
+    /// Total spans completed (start/end pairs emitted).
+    pub spans_recorded: u64,
+    /// Records the sink failed to persist (0 for memory/no-op sinks).
+    pub sink_dropped: u64,
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterEntry>,
+    /// Gauges, sorted by name.
+    pub gauges: Vec<GaugeEntry>,
+    /// Histogram digests, sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl TelemetrySummary {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|g| g.name == name).map(|g| g.value)
+    }
+
+    /// Looks up a histogram digest by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySummary {
+        TelemetrySummary {
+            experiment: "fig9_window_size".to_owned(),
+            events_recorded: 3,
+            spans_recorded: 1,
+            sink_dropped: 0,
+            counters: vec![
+                CounterEntry {
+                    name: "cdn.queries".to_owned(),
+                    value: 120,
+                },
+                CounterEntry {
+                    name: "core.similarity.calls".to_owned(),
+                    value: 900,
+                },
+            ],
+            gauges: vec![GaugeEntry {
+                name: "core.smf.clusters".to_owned(),
+                value: 4.0,
+            }],
+            histograms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn lookups_find_entries_by_name() {
+        let s = sample();
+        assert_eq!(s.counter("cdn.queries"), Some(120));
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.gauge("core.smf.clusters"), Some(4.0));
+        assert_eq!(s.gauge("missing"), None);
+        assert!(s.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let s = sample();
+        let text = serde_json::to_string(&s).expect("serialize");
+        let back: TelemetrySummary = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, s);
+    }
+}

@@ -34,15 +34,16 @@ pub enum Scope {
     /// too).
     CrateSources,
     /// Library sources of the simulation crates (`crp-netsim`,
-    /// `crp-cdn`, `crp-core`) plus their test modules — simulated time
-    /// must never mix with wall-clock time, even in tests.
+    /// `crp-cdn`, `crp-core`, `crp-telemetry`) plus their test modules —
+    /// simulated time must never mix with wall-clock time, even in
+    /// tests.
     SimCrates,
 }
 
 /// A static-analysis rule: an ID, the substring patterns that trigger
 /// it, and where it applies.
 pub struct Rule {
-    /// Stable identifier, `CRP001`..`CRP005`.
+    /// Stable identifier, `CRP001`..`CRP006`.
     pub id: &'static str,
     /// Substring patterns (matched against scrubbed source).
     pub patterns: &'static [&'static str],
@@ -101,13 +102,27 @@ pub const RULES: &[Rule] = &[
         message: "stdout/stderr printing from a library crate; output is \
                   reserved for crp-eval binaries and examples",
     },
+    Rule {
+        id: "CRP006",
+        patterns: &["File::create(", "OpenOptions::new(", "fs::write("],
+        scope: Scope::Library,
+        severity: Severity::Error,
+        message: "direct file I/O from library code; telemetry flows through \
+                  crp-telemetry sinks, experiment output through crp-eval",
+    },
 ];
 
-/// Crates whose library code is a simulation path (CRP004).
-const SIM_CRATES: &[&str] = &["netsim", "cdn", "core"];
+/// Crates whose library code is a simulation path (CRP004). The
+/// telemetry crate is included because its records are keyed on
+/// simulated time — mixing in the wall clock would break determinism.
+const SIM_CRATES: &[&str] = &["netsim", "cdn", "core", "telemetry"];
 
 /// Crates allowed to print from library code (CRP005 exemption).
 const OUTPUT_CRATES: &[&str] = &["eval"];
+
+/// Crates whose purpose *is* file I/O (CRP006 exemption): the telemetry
+/// sink layer, the experiment-output helpers, and the dev tooling.
+const FILE_IO_CRATES: &[&str] = &["telemetry", "eval", "xtask"];
 
 /// A single lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -209,7 +224,11 @@ fn rule_applies(rule: &Rule, class: &FileClass, in_test_region: bool) -> bool {
                 return false;
             }
             // crp-eval's library exists to produce experiment output.
-            !(rule.id == "CRP005" && OUTPUT_CRATES.contains(&class.crate_name.as_str()))
+            if rule.id == "CRP005" && OUTPUT_CRATES.contains(&class.crate_name.as_str()) {
+                return false;
+            }
+            // Sink/output/tooling crates are the sanctioned I/O paths.
+            !(rule.id == "CRP006" && FILE_IO_CRATES.contains(&class.crate_name.as_str()))
         }
         Scope::CrateSources => class.kind != FileKind::Harness,
         Scope::SimCrates => {
@@ -501,6 +520,35 @@ mod tests {
         let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
         assert!(rules.contains(&"CRP003"));
         assert!(rules.contains(&"CRP001"));
+    }
+
+    #[test]
+    fn file_io_flagged_outside_sanctioned_crates() {
+        let src = "fn f() { let _ = std::fs::File::create(\"x\"); }\n";
+        let lib = lint_source(&lib_path(), src, &[]);
+        assert!(lib.iter().any(|d| d.rule == "CRP006"));
+        assert_eq!(lib[0].severity, Severity::Error);
+        for sanctioned in [
+            "crates/telemetry/src/sink.rs",
+            "crates/eval/src/output.rs",
+            "crates/xtask/src/lint.rs",
+        ] {
+            assert!(
+                lint_source(&PathBuf::from(sanctioned), src, &[]).is_empty(),
+                "{sanctioned} should be exempt from CRP006"
+            );
+        }
+        let write = "fn f() { std::fs::write(\"x\", \"y\").ok(); }\n";
+        assert!(lint_source(&lib_path(), write, &[])
+            .iter()
+            .any(|d| d.rule == "CRP006"));
+    }
+
+    #[test]
+    fn wall_clock_flagged_in_telemetry_crate() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let diags = lint_source(&PathBuf::from("crates/telemetry/src/lib.rs"), src, &[]);
+        assert!(diags.iter().any(|d| d.rule == "CRP004"));
     }
 
     #[test]

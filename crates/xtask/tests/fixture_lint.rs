@@ -26,6 +26,8 @@ const EXPECTED: &[(&str, usize, &str)] = &[
     ("crates/demo/src/lib.rs", 8, "CRP002"),
     ("crates/demo/src/lib.rs", 13, "CRP003"),
     ("crates/demo/src/lib.rs", 17, "CRP005"),
+    ("crates/demo/src/sinkio.rs", 5, "CRP006"),
+    ("crates/demo/src/sinkio.rs", 10, "CRP006"),
 ];
 
 #[test]
@@ -45,11 +47,16 @@ fn fixture_tree_reports_exactly_the_planted_violations() {
 #[test]
 fn allow_markers_suppress_fixture_lines() {
     // lib.rs lines 21 and 26 carry `.expect(` calls covered by same-line
-    // and preceding-line allow markers; neither may appear.
+    // and preceding-line allow markers; sinkio.rs line 15 carries a
+    // marker-covered `File::create`. None may appear.
     let diags = lint_root(&fixtures_root(), &[]).expect("fixture tree is readable");
     for diag in &diags {
         assert!(
             !(diag.file.ends_with("lib.rs") && (diag.line == 21 || diag.line == 26)),
+            "allow marker failed to suppress {diag}"
+        );
+        assert!(
+            !(diag.file.ends_with("sinkio.rs") && diag.line == 15),
             "allow marker failed to suppress {diag}"
         );
     }
@@ -70,7 +77,7 @@ fn severities_match_rule_definitions() {
 
 #[test]
 fn demotion_turns_every_fixture_error_into_a_warning() {
-    let demoted: Vec<String> = ["CRP001", "CRP002", "CRP003", "CRP004"]
+    let demoted: Vec<String> = ["CRP001", "CRP002", "CRP003", "CRP004", "CRP006"]
         .iter()
         .map(|s| (*s).to_owned())
         .collect();
@@ -91,10 +98,10 @@ fn binary_exits_nonzero_on_fixture_tree() {
         "lint must fail on the fixture tree"
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
-    for rule in ["CRP001", "CRP002", "CRP003", "CRP004", "CRP005"] {
+    for rule in ["CRP001", "CRP002", "CRP003", "CRP004", "CRP005", "CRP006"] {
         assert!(stdout.contains(rule), "missing {rule} in output:\n{stdout}");
     }
-    assert!(stdout.contains("5 error(s), 1 warning(s)"), "{stdout}");
+    assert!(stdout.contains("7 error(s), 1 warning(s)"), "{stdout}");
 }
 
 #[test]

@@ -1,0 +1,16 @@
+//! Fixture: direct file I/O from library code — CRP006 territory.
+
+/// Writes telemetry straight to disk (flagged).
+pub fn dump(path: &str, data: &str) {
+    let _ = std::fs::write(path, data);
+}
+
+/// Opens a log file by hand (flagged).
+pub fn open_log(path: &str) {
+    let _ = std::fs::File::create(path);
+}
+
+/// Sanctioned escape hatch with a marker (suppressed).
+pub fn allowed(path: &str) {
+    let _ = std::fs::File::create(path); // crp-lint: allow(CRP006)
+}

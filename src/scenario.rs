@@ -158,15 +158,29 @@ impl Scenario {
         metric: SimilarityMetric,
     ) -> CrpService<HostId, ReplicaId> {
         let mut service = CrpService::new(window, metric);
+        let campaign = crp_telemetry::span(start.as_millis(), "scenario.observe");
         for &host in hosts {
             let mut probe = CdnProbe::new(&self.cdn, host, self.names.to_vec())
                 .filter_cdn_owned(self.filter_cdn_owned);
+            let mut recorded = 0u64;
             for t in start.iter_until(end, interval) {
                 if let Some(servers) = probe.observe(t) {
                     service.record(host, t, servers);
+                    recorded += 1;
                 }
             }
+            if crp_telemetry::enabled() {
+                crp_telemetry::event(
+                    end.as_millis(),
+                    "scenario.host_observed",
+                    &[
+                        ("host", host.index().into()),
+                        ("observations", recorded.into()),
+                    ],
+                );
+            }
         }
+        campaign.end(end.as_millis());
         service
     }
 

@@ -1,0 +1,77 @@
+//! Telemetry must be a pure observer: enabling it cannot change any
+//! experiment output, and identical runs must produce identical
+//! telemetry. One test function drives all phases because the collector
+//! is process-global — parallel test threads must not share it.
+
+use crp::{Scenario, ScenarioConfig};
+use crp_core::{SimilarityMetric, WindowPolicy};
+use crp_netsim::{SimDuration, SimTime};
+use std::fmt::Write as _;
+
+/// Runs a small fixed-seed campaign and renders everything downstream
+/// code consumes — per-host ratio maps and the per-client Top-3
+/// rankings — into one comparable string.
+fn campaign_fingerprint() -> String {
+    let scenario = Scenario::build(ScenarioConfig {
+        seed: 7,
+        candidate_servers: 8,
+        clients: 4,
+        cdn_scale: 0.25,
+        ..ScenarioConfig::default()
+    });
+    let now = SimTime::from_hours(2);
+    let service = scenario.observe_all(
+        SimTime::ZERO,
+        now,
+        SimDuration::from_mins(10),
+        WindowPolicy::LastProbes(10),
+        SimilarityMetric::Cosine,
+    );
+    let mut out = String::new();
+    for &host in scenario.candidates().iter().chain(scenario.clients()) {
+        if let Ok(map) = service.ratio_map(&host, now) {
+            let _ = writeln!(out, "map {host}: {map:?}");
+        }
+    }
+    for &client in scenario.clients() {
+        if let Ok(ranking) = service.closest(&client, scenario.candidates().iter().copied(), now) {
+            let _ = writeln!(out, "rank {client}: {:?}", ranking.top_k(3));
+        }
+    }
+    out
+}
+
+#[test]
+fn telemetry_never_perturbs_results_and_is_itself_deterministic() {
+    // Phase 1: baseline with telemetry disabled.
+    assert!(!crp_telemetry::enabled());
+    let baseline = campaign_fingerprint();
+    assert!(!baseline.is_empty());
+
+    // Phase 2: full telemetry (memory sink). Outputs must be identical.
+    let (sink, records) = crp_telemetry::MemorySink::shared();
+    crp_telemetry::install(Box::new(sink));
+    let observed = campaign_fingerprint();
+    let summary_a = crp_telemetry::shutdown("determinism").expect("collector installed");
+    assert_eq!(baseline, observed, "telemetry changed experiment output");
+    assert!(
+        summary_a.counter("core.tracker.observations").unwrap_or(0) > 0,
+        "instrumentation did not fire: {summary_a:?}"
+    );
+    assert!(!records.lock().expect("sink store").is_empty());
+
+    // Phase 3: a second instrumented run collects the identical summary.
+    crp_telemetry::install_metrics_only();
+    let again = campaign_fingerprint();
+    let summary_b = crp_telemetry::shutdown("determinism").expect("collector installed");
+    assert_eq!(baseline, again);
+    assert_eq!(
+        summary_a.counters, summary_b.counters,
+        "same seed must aggregate identical counters"
+    );
+    assert_eq!(summary_a.histograms, summary_b.histograms);
+
+    // Phase 4: disabled again — still the same output.
+    assert!(!crp_telemetry::enabled());
+    assert_eq!(campaign_fingerprint(), baseline);
+}
