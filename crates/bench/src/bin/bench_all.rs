@@ -1,0 +1,259 @@
+//! Runs every named benchmark under a fixed plan and writes
+//! machine-readable results:
+//!
+//! ```text
+//! cargo run --release -p crp-bench --bin bench_all [-- --quick]
+//!     [--label <name>] [--out <dir>] [--snapshot <file>]
+//! ```
+//!
+//! Output goes to `<out>/bench.json` (default `results/bench.json`) and
+//! a snapshot copy at `--snapshot` (default `BENCH_<label>.json` in the
+//! working directory) — the start of the repo's perf trajectory.
+//! `bench_check` diffs a later run against such a snapshot.
+//!
+//! The binary installs the counting global allocator, so every result
+//! also reports allocation pressure per iteration.
+
+use crp_bench::harness::Runner;
+use crp_bench::{observed_scenario, synthetic_map, synthetic_maps};
+use crp_core::{
+    Clustering, Ranking, RatioMap, RedirectionTracker, SimilarityMetric, SmfConfig, WindowPolicy,
+};
+use crp_dns::{AuthoritativeServer, DomainName};
+use crp_meridian::{FaultPlan, MeridianConfig, MeridianOverlay};
+use crp_netsim::{HostId, NetworkBuilder, PopulationSpec, SimTime};
+use crp_telemetry::profile::CountingAllocator;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+struct Options {
+    quick: bool,
+    label: String,
+    out_dir: PathBuf,
+    snapshot: Option<PathBuf>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        quick: false,
+        label: "baseline".to_owned(),
+        out_dir: PathBuf::from("results"),
+        snapshot: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--label" => {
+                opts.label = it.next().ok_or("--label needs a value")?.clone();
+            }
+            "--out" => {
+                opts.out_dir = PathBuf::from(it.next().ok_or("--out needs a value")?);
+            }
+            "--snapshot" => {
+                opts.snapshot = Some(PathBuf::from(it.next().ok_or("--snapshot needs a value")?));
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if opts.label.is_empty() || opts.label.contains(['/', '\\']) {
+        return Err(format!("invalid label {:?}", opts.label));
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!("usage: bench_all [--quick] [--label <name>] [--out <dir>] [--snapshot <file>]");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_options(&args) {
+        Ok(opts) => opts,
+        Err(err) => {
+            eprintln!("bench_all: {err}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut runner = Runner::new(opts.quick);
+    register_all(&mut runner);
+    let report = runner.into_report(&opts.label);
+
+    println!(
+        "{:<34} {:>12} {:>12} {:>14} {:>10} {:>8}",
+        "benchmark", "p50", "p95", "throughput/s", "B/iter", "allocs"
+    );
+    for r in &report.results {
+        println!(
+            "{:<34} {:>12} {:>12} {:>14.1} {:>10} {:>8}",
+            r.name,
+            format_ns(r.p50_ns),
+            format_ns(r.p95_ns),
+            r.throughput_per_sec,
+            r.alloc_bytes_per_iter,
+            r.allocs_per_iter
+        );
+    }
+
+    let json = match serde_json::to_string(&report) {
+        Ok(json) => json + "\n",
+        Err(err) => {
+            eprintln!("bench_all: failed to serialize report: {err}");
+            return ExitCode::from(1);
+        }
+    };
+    let out_path = opts.out_dir.join("bench.json");
+    let snapshot = opts
+        .snapshot
+        .unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", opts.label)));
+    if let Err(err) = std::fs::create_dir_all(&opts.out_dir) {
+        eprintln!("bench_all: cannot create {}: {err}", opts.out_dir.display());
+        return ExitCode::from(1);
+    }
+    for path in [&out_path, &snapshot] {
+        if let Err(err) = std::fs::write(path, &json) {
+            eprintln!("bench_all: cannot write {}: {err}", path.display());
+            return ExitCode::from(1);
+        }
+        eprintln!("bench_all: wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Registers every named benchmark. Names are stable identifiers — the
+/// regression gate keys on them, so renames show up as missing/added.
+fn register_all(runner: &mut Runner) {
+    // --- similarity kernels (§III: the innermost loop of every query)
+    let a16 = synthetic_map(1, 16, 1_000);
+    let b16 = synthetic_map(2, 16, 1_000);
+    runner.run("similarity/cosine_16", 30, 2_000, || {
+        a16.cosine_similarity(&b16)
+    });
+    let a12 = synthetic_map(3, 12, 200);
+    let b12 = synthetic_map(4, 12, 200);
+    runner.run("similarity/all_metrics_12", 30, 500, || {
+        let mut acc = 0.0f64;
+        for metric in SimilarityMetric::ALL {
+            acc += metric.compare(&a12, &b12);
+        }
+        acc
+    });
+
+    // --- ratio-map construction
+    let weights: Vec<(u32, f64)> = (0..32u32).map(|i| (i, 1.0 + f64::from(i))).collect();
+    runner.run("ratio_map/from_weights_32", 30, 1_000, || {
+        RatioMap::from_weights(weights.clone())
+    });
+    let counts: Vec<(u32, u64)> = (0..30u32).map(|i| (i % 12, 1 + u64::from(i))).collect();
+    runner.run("ratio_map/from_counts_30", 30, 1_000, || {
+        RatioMap::from_counts(counts.clone())
+    });
+
+    // --- redirection tracker (per-probe bookkeeping + window derivation)
+    runner.run("tracker/ingest_1000_bounded30", 20, 20, || {
+        let mut t = RedirectionTracker::<u32>::with_capacity(30);
+        for i in 0..1_000u64 {
+            t.record(SimTime::from_mins(i), vec![(i % 9) as u32]);
+        }
+        t
+    });
+    let mut full = RedirectionTracker::new();
+    for i in 0..720usize {
+        full.record(
+            SimTime::from_mins(10 * i as u64),
+            vec![(i % 7) as u32, ((i * 3) % 7) as u32],
+        );
+    }
+    let now = SimTime::from_mins(7_200);
+    runner.run("tracker/window_last30_of_720", 30, 500, || {
+        full.ratio_map(WindowPolicy::LastProbes(30), now)
+    });
+
+    // --- clustering and ranking (§V)
+    let nodes = synthetic_maps(177, 8, 500);
+    runner.run("smf/cluster_177x8", 10, 2, || {
+        Clustering::smf(&nodes, &SmfConfig::paper(0.1))
+    });
+    let client = synthetic_map(0xC11E47, 10, 1_000);
+    let cands = synthetic_maps(240, 10, 1_000);
+    runner.run("ranking/rank_240_candidates", 20, 50, || {
+        Ranking::rank(
+            &client,
+            cands.iter().map(|(n, m)| (*n, m)),
+            SimilarityMetric::Cosine,
+        )
+    });
+
+    // --- CDN mapping hot path (the cost of every simulated probe)
+    let (cdn, cdn_client, name) = cdn_fixture();
+    let mut t_ms = 0u64;
+    runner.run("cdn/authoritative_answer_warm", 20, 200, move || {
+        t_ms += 20_000;
+        cdn.authoritative_answer(&name, cdn_client, SimTime::from_millis(t_ms))
+    });
+
+    // --- Meridian baseline query (the probing cost CRP avoids)
+    let mut net = NetworkBuilder::new(8).build();
+    let members = net.add_population(&PopulationSpec::planetlab(60));
+    let clients = net.add_population(&PopulationSpec::dns_servers(8));
+    let overlay =
+        MeridianOverlay::build(&net, &members, MeridianConfig::default(), FaultPlan::none());
+    let mut q = 0usize;
+    runner.run("meridian/closest_query_60", 10, 20, move || {
+        q += 1;
+        overlay.closest_node_query(
+            &net,
+            members[q % members.len()],
+            clients[q % clients.len()],
+            SimTime::from_mins(q as u64),
+        )
+    });
+
+    // --- macro kernels: the per-figure experiment pipelines at smoke scale
+    runner.run("macro/fig4_closest_smoke", 5, 1, || {
+        crp_eval::run_closest(&crp_eval::ClosestConfig::smoke(11))
+            .outcomes
+            .len()
+    });
+    runner.run("macro/fig6_clustering_smoke", 5, 1, || {
+        crp_eval::run_clustering(&crp_eval::ClusterExpConfig::smoke(12))
+            .king_ms
+            .len()
+    });
+    runner.run("macro/observation_campaign_6h", 5, 1, || {
+        let (_scenario, service, _end) = observed_scenario(13, 8, 4);
+        service.node_count()
+    });
+}
+
+fn cdn_fixture() -> (crp_cdn::Cdn, HostId, DomainName) {
+    let mut net = NetworkBuilder::new(5).build();
+    let client = net.add_population(&PopulationSpec::dns_servers(1))[0];
+    let mut cdn = crp_cdn::Cdn::deploy(
+        net,
+        &crp_cdn::DeploymentSpec::akamai_like(1.0),
+        crp_cdn::MappingConfig::default(),
+    );
+    let name = cdn
+        .add_customer("us.i1.yimg.com")
+        .expect("valid customer name");
+    let _ = cdn.authoritative_answer(&name, client, SimTime::ZERO); // warm the shortlist memo
+    (cdn, client, name)
+}

@@ -1,23 +1,49 @@
-//! Shared fixtures for the Criterion benchmarks.
+//! Fixtures and the measurement harness for the CRP benchmarks.
 //!
 //! The benches measure the cost of every moving part of the
 //! reproduction: similarity math, tracker updates, SMF clustering, the
 //! CDN mapping hot path, Meridian queries, and the per-figure experiment
-//! kernels at reduced scale.
+//! kernels at reduced scale. The Criterion benches under `benches/`
+//! consume the fixtures here; the `bench_all`/`bench_check` binaries
+//! additionally use [`harness`] for fixed-plan runs with machine-readable
+//! reports and regression gating.
+
+pub mod harness;
 
 use crp::{Scenario, ScenarioConfig};
 use crp_cdn::ReplicaId;
 use crp_core::{CrpService, RatioMap, SimilarityMetric, WindowPolicy};
 use crp_netsim::{noise, HostId, SimDuration, SimTime};
+use std::collections::HashSet;
 
-/// A deterministic ratio map with `entries` replicas drawn from a key
-/// space of `universe`, seeded by `seed`.
+/// A deterministic ratio map with exactly `entries` distinct replicas
+/// drawn from a key space of `universe`, seeded by `seed`.
+///
+/// Keys are hashed into the universe and deduplicated by deterministic
+/// linear probing (the next free key, wrapping), so the map's
+/// cardinality is always `entries` — hash collisions must not silently
+/// shrink benchmark inputs.
+///
+/// # Panics
+///
+/// Panics when `universe < entries` (the cardinality would be
+/// unsatisfiable).
 pub fn synthetic_map(seed: u64, entries: usize, universe: u64) -> RatioMap<u32> {
-    let weights = (0..entries).map(|i| {
-        let key = (noise::mix(&[seed, i as u64]) % universe) as u32;
-        let w = 1.0 + noise::uniform(&[seed, 0xF00D, i as u64]) * 9.0;
-        (key, w)
-    });
+    assert!(
+        universe >= entries as u64,
+        "universe ({universe}) must admit {entries} distinct keys"
+    );
+    let mut taken: HashSet<u32> = HashSet::with_capacity(entries);
+    let weights: Vec<(u32, f64)> = (0..entries)
+        .map(|i| {
+            let mut key = (noise::mix(&[seed, i as u64]) % universe) as u32;
+            while !taken.insert(key) {
+                key = ((u64::from(key) + 1) % universe) as u32;
+            }
+            let w = 1.0 + noise::uniform(&[seed, 0xF00D, i as u64]) * 9.0;
+            (key, w)
+        })
+        .collect();
     RatioMap::from_weights(weights).expect("positive weights") // crp-lint: allow(CRP001) — weights are drawn from [1, 10], always positive
 }
 
@@ -61,7 +87,25 @@ mod tests {
         let a = synthetic_map(5, 8, 100);
         let b = synthetic_map(5, 8, 100);
         assert_eq!(a, b);
-        assert!(a.len() <= 8);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn synthetic_map_cardinality_survives_collisions() {
+        // A tight universe forces key collisions; the probe must still
+        // deliver exactly the requested cardinality.
+        for (entries, universe) in [(64usize, 64u64), (50, 53), (8, 8)] {
+            for seed in 0..5u64 {
+                let m = synthetic_map(seed, entries, universe);
+                assert_eq!(m.len(), entries, "seed {seed} ({entries}/{universe})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must admit")]
+    fn synthetic_map_rejects_unsatisfiable_universe() {
+        let _ = synthetic_map(0, 10, 9);
     }
 
     #[test]

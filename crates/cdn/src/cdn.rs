@@ -397,6 +397,7 @@ impl AuthoritativeServer for Cdn {
         resolver: HostId,
         now: SimTime,
     ) -> Option<DnsResponse> {
+        crp_telemetry::profile_scope!("cdn.authoritative_answer");
         let customer_idx = *self.by_domain.get(query)?;
         let customer = &self.customers[customer_idx];
         self.queries_answered.fetch_add(1, Ordering::Relaxed);

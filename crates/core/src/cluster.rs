@@ -270,6 +270,7 @@ impl<N: Ord + Clone> Clustering<N> {
     /// Panics if the threshold is outside `[0, 1]` or a node id appears
     /// twice.
     pub fn smf<K: Ord + Clone>(nodes: &[(N, RatioMap<K>)], cfg: &SmfConfig) -> Clustering<N> {
+        crp_telemetry::profile_scope!("core.smf");
         cfg.validate();
         let ids: BTreeSet<&N> = nodes.iter().map(|(n, _)| n).collect();
         assert_eq!(ids.len(), nodes.len(), "duplicate node ids");

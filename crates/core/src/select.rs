@@ -43,6 +43,7 @@ impl<N: Ord> Ranking<N> {
         K: Ord + Clone + 'a,
         I: IntoIterator<Item = (N, &'a RatioMap<K>)>,
     {
+        crp_telemetry::profile_scope!("core.rank");
         let mut entries: Vec<(N, f64)> = candidates
             .into_iter()
             .map(|(n, map)| {

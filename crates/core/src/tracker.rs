@@ -157,6 +157,7 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
         window: WindowPolicy,
         now: SimTime,
     ) -> Result<RatioMap<K>, RatioMapError> {
+        crp_telemetry::profile_scope!("core.ratio_map");
         crp_telemetry::counter_add("core.ratio_map.builds", 1);
         // Only history known at `now` participates.
         let known = self.observations.partition_point(|o| o.time <= now);

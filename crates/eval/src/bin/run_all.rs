@@ -6,14 +6,22 @@
 //! ```
 //!
 //! Flags are forwarded verbatim to every experiment, so `--telemetry
-//! <dir>` makes each binary dump its own JSONL stream and summary there;
-//! run_all then folds the per-experiment summaries into
-//! `<out>/telemetry_summary.json`.
+//! <dir>` makes each binary dump its own JSONL stream and summary there
+//! (and `--profile <dir>` its wall-clock scope tree); run_all then folds
+//! the per-experiment summaries into `<out>/telemetry_summary.json`,
+//! together with per-experiment wall-clock durations, peak RSS
+//! (best-effort, Linux `/proc`), and a `combined` cross-experiment
+//! roll-up.
+//!
+//! All durations come from [`Stopwatch`] — the same monotonic clock the
+//! profiler uses — so coarse and fine-grained attribution share a basis.
 
 use crp_eval::EvalArgs;
+use crp_telemetry::profile::{peak_rss_bytes_for, Stopwatch};
+use crp_telemetry::TelemetrySummary;
+use serde::{Deserialize, Serialize, Value};
 use std::path::Path;
 use std::process::Command;
-use std::time::Instant;
 
 const EXPERIMENTS: &[&str] = &[
     "fig4_closest_latency",
@@ -34,12 +42,19 @@ const EXPERIMENTS: &[&str] = &[
     "ablation_baselines",
 ];
 
+/// Wall-clock accounting for one completed experiment.
+struct ExperimentRun {
+    name: &'static str,
+    seconds: f64,
+    peak_rss_bytes: Option<u64>,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let me = std::env::current_exe().expect("current executable path");
     let dir = me.parent().expect("executable has a parent directory");
     let mut failures = Vec::new();
-    let mut durations: Vec<(&str, f64)> = Vec::new();
+    let mut runs: Vec<ExperimentRun> = Vec::new();
     for exp in EXPERIMENTS {
         let path = dir.join(exp);
         if !path.exists() {
@@ -48,31 +63,34 @@ fn main() {
             continue;
         }
         eprintln!("[run_all] running {exp} ...");
-        let started = Instant::now();
-        match Command::new(&path).args(&args).status() {
-            Ok(status) if status.success() => {
-                durations.push((exp, started.elapsed().as_secs_f64()));
-            }
-            Ok(status) => {
-                eprintln!("[run_all] {exp} FAILED with {status}");
-                failures.push(*exp);
-            }
+        match run_experiment(&path, &args) {
+            Ok((seconds, peak_rss_bytes)) => runs.push(ExperimentRun {
+                name: exp,
+                seconds,
+                peak_rss_bytes,
+            }),
             Err(err) => {
-                eprintln!("[run_all] {exp} FAILED to spawn: {err}");
+                eprintln!("[run_all] {exp} FAILED: {err}");
                 failures.push(*exp);
             }
         }
     }
 
     eprintln!("[run_all] wall-clock durations:");
-    for (exp, secs) in &durations {
-        eprintln!("[run_all]   {exp:<28} {secs:7.2}s");
+    for run in &runs {
+        let rss = match run.peak_rss_bytes {
+            Some(bytes) => format!("{:6.1} MiB peak", bytes as f64 / (1024.0 * 1024.0)),
+            None => "rss n/a".to_owned(),
+        };
+        eprintln!("[run_all]   {:<28} {:7.2}s  {rss}", run.name, run.seconds);
     }
 
-    // Fold the per-experiment telemetry summaries into one file.
+    // Fold the per-experiment telemetry summaries plus the wall-clock
+    // attribution into one file.
     if let Ok(parsed) = EvalArgs::try_from_args(args.clone()) {
-        if let Some(tdir) = &parsed.telemetry {
-            match aggregate_summaries(Path::new(tdir), &parsed.out_dir) {
+        if parsed.telemetry.is_some() || !runs.is_empty() {
+            let tdir = parsed.telemetry.as_deref().map(Path::new);
+            match aggregate_summaries(tdir, &parsed.out_dir, &runs) {
                 Ok(n) => eprintln!("[run_all] aggregated {n} telemetry summaries"),
                 Err(err) => {
                     eprintln!("[run_all] telemetry aggregation failed: {err}");
@@ -90,27 +108,90 @@ fn main() {
     }
 }
 
-/// Collects every `<telemetry_dir>/*_summary.json` into
-/// `<out_dir>/telemetry_summary.json` (an object keyed `experiments` →
-/// array of summaries, in experiment order). Returns how many summaries
-/// were folded in.
-fn aggregate_summaries(telemetry_dir: &Path, out_dir: &str) -> Result<usize, String> {
-    let mut entries: Vec<serde::Value> = Vec::new();
-    for exp in EXPERIMENTS {
-        let path = telemetry_dir.join(format!("{exp}_summary.json"));
-        let Ok(raw) = std::fs::read_to_string(&path) else {
-            continue; // experiment failed or predates telemetry
-        };
-        let value = serde_json::parse(&raw)
-            .map_err(|e| format!("{}: malformed summary: {e}", path.display()))?;
-        entries.push(value);
+/// Spawns one experiment and supervises it to completion, sampling its
+/// peak RSS from `/proc/<pid>/status` while it runs (best-effort: the
+/// sample loop can miss a short-lived peak, and non-Linux platforms
+/// report `None`). Returns `(seconds, peak_rss_bytes)` on success.
+fn run_experiment(path: &Path, args: &[String]) -> Result<(f64, Option<u64>), String> {
+    let stopwatch = Stopwatch::start();
+    let mut child = Command::new(path)
+        .args(args)
+        .spawn()
+        .map_err(|err| format!("failed to spawn: {err}"))?;
+    let pid = child.id();
+    let mut peak: Option<u64> = None;
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) if status.success() => {
+                return Ok((stopwatch.elapsed_secs(), peak));
+            }
+            Ok(Some(status)) => return Err(format!("exited with {status}")),
+            Ok(None) => {
+                if let Some(rss) = peak_rss_bytes_for(pid) {
+                    peak = Some(peak.map_or(rss, |p| p.max(rss)));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(err) => return Err(format!("wait failed: {err}")),
+        }
+    }
+}
+
+/// Collects every `<telemetry_dir>/<exp>_summary.json` into
+/// `<out_dir>/telemetry_summary.json` as an object with three keys:
+/// `experiments` (the per-experiment summaries, in experiment order),
+/// `wall_clock` (per-experiment seconds and peak RSS measured by
+/// run_all), and `combined` (all summaries merged into one roll-up).
+/// Returns how many summaries were folded in.
+fn aggregate_summaries(
+    telemetry_dir: Option<&Path>,
+    out_dir: &str,
+    runs: &[ExperimentRun],
+) -> Result<usize, String> {
+    let mut entries: Vec<Value> = Vec::new();
+    let mut combined = TelemetrySummary {
+        experiment: "combined".to_owned(),
+        events_recorded: 0,
+        spans_recorded: 0,
+        sink_dropped: 0,
+        counters: Vec::new(),
+        gauges: Vec::new(),
+        histograms: Vec::new(),
+    };
+    if let Some(tdir) = telemetry_dir {
+        for exp in EXPERIMENTS {
+            let path = tdir.join(format!("{exp}_summary.json"));
+            let Ok(raw) = std::fs::read_to_string(&path) else {
+                continue; // experiment failed or predates telemetry
+            };
+            let value = serde_json::parse(&raw)
+                .map_err(|e| format!("{}: malformed summary: {e}", path.display()))?;
+            let summary = TelemetrySummary::from_value(&value)
+                .map_err(|e| format!("{}: unexpected shape: {e}", path.display()))?;
+            combined.merge(&summary);
+            entries.push(value);
+        }
     }
     let count = entries.len();
-    let combined = serde::Value::Object(vec![(
-        "experiments".to_owned(),
-        serde::Value::Array(entries),
-    )]);
-    let json = serde_json::to_string(&combined).map_err(|e| e.to_string())?;
+    let wall_clock: Vec<Value> = runs
+        .iter()
+        .map(|run| {
+            Value::Object(vec![
+                ("experiment".to_owned(), Value::String(run.name.to_owned())),
+                ("seconds".to_owned(), Value::Float(run.seconds)),
+                (
+                    "peak_rss_bytes".to_owned(),
+                    run.peak_rss_bytes.map_or(Value::Null, Value::UInt),
+                ),
+            ])
+        })
+        .collect();
+    let document = Value::Object(vec![
+        ("experiments".to_owned(), Value::Array(entries)),
+        ("wall_clock".to_owned(), Value::Array(wall_clock)),
+        ("combined".to_owned(), combined.to_value()),
+    ]);
+    let json = serde_json::to_string(&document).map_err(|e| e.to_string())?;
     std::fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;
     let out_path = Path::new(out_dir).join("telemetry_summary.json");
     std::fs::write(&out_path, json + "\n").map_err(|e| e.to_string())?;

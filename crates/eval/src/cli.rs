@@ -22,6 +22,9 @@ pub struct EvalArgs {
     pub out_dir: String,
     /// Telemetry output directory; `None` leaves telemetry disabled.
     pub telemetry: Option<String>,
+    /// Wall-clock profile output directory; `None` leaves profiling
+    /// disabled.
+    pub profile: Option<String>,
 }
 
 impl Default for EvalArgs {
@@ -34,6 +37,7 @@ impl Default for EvalArgs {
             scale: None,
             out_dir: "results".to_owned(),
             telemetry: None,
+            profile: None,
         }
     }
 }
@@ -46,7 +50,7 @@ impl EvalArgs {
             eprintln!("{message}");
             eprintln!(
                 "usage: [--seed N] [--clients N] [--candidates N] [--hours N] \
-                 [--scale X] [--out DIR] [--telemetry DIR]"
+                 [--scale X] [--out DIR] [--telemetry DIR] [--profile DIR]"
             );
             std::process::exit(2)
         })
@@ -99,6 +103,7 @@ impl EvalArgs {
                 "scale" => out.scale = Some(number(&v, "scale takes a float")?),
                 "out" => out.out_dir = v,
                 "telemetry" => out.telemetry = Some(v),
+                "profile" => out.profile = Some(v),
                 other => return Err(format!("unknown flag --{other}")),
             }
         }
@@ -125,7 +130,7 @@ mod tests {
     fn parses_all_flags() {
         let a = parse(
             "--seed 7 --clients 100 --candidates 30 --hours 12 --scale 0.5 --out /tmp/r \
-             --telemetry /tmp/t",
+             --telemetry /tmp/t --profile /tmp/p",
         );
         assert_eq!(a.seed, 7);
         assert_eq!(a.clients, Some(100));
@@ -134,11 +139,14 @@ mod tests {
         assert_eq!(a.scale, Some(0.5));
         assert_eq!(a.out_dir, "/tmp/r");
         assert_eq!(a.telemetry.as_deref(), Some("/tmp/t"));
+        assert_eq!(a.profile.as_deref(), Some("/tmp/p"));
     }
 
     #[test]
-    fn telemetry_defaults_off() {
-        assert_eq!(parse("--seed 3").telemetry, None);
+    fn telemetry_and_profile_default_off() {
+        let a = parse("--seed 3");
+        assert_eq!(a.telemetry, None);
+        assert_eq!(a.profile, None);
     }
 
     #[test]

@@ -7,23 +7,34 @@
 //! [`TelemetrySummary`] lands in `<dir>/<experiment>_summary.json`.
 //! Without the flag nothing is installed and every instrumentation hook
 //! across the workspace stays on its near-zero disabled path.
+//!
+//! The session also owns the **wall-clock** side: with `--profile <dir>`
+//! it starts the [`crp_telemetry::profile`] profiler and, on drop,
+//! writes the aggregated scope tree to `<dir>/<experiment>_profile.json`.
+//! The two outputs never mix — the profile is wall-clock data and is
+//! deliberately excluded from any determinism comparison.
 
 use crate::EvalArgs;
+use crp_telemetry::profile::ProfileNode;
 use crp_telemetry::{JsonlSink, TelemetrySummary};
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Keeps a per-run telemetry collector alive; see [`session`].
+/// Keeps a per-run telemetry collector (and optional profiler) alive;
+/// see [`session`].
 ///
 /// Dropping the session finalizes the run: it tears down the global
-/// collector and writes the summary JSON next to the JSONL stream.
+/// collector and writes the summary JSON next to the JSONL stream, then
+/// tears down the profiler (if started) and writes the profile tree.
 #[must_use = "bind to a variable that lives until the end of main"]
 pub struct TelemetrySession {
     dir: Option<PathBuf>,
+    profile_dir: Option<PathBuf>,
     experiment: &'static str,
 }
 
-/// Starts telemetry for `experiment` according to `args`.
+/// Starts telemetry (and, with `--profile`, wall-clock profiling) for
+/// `experiment` according to `args`.
 ///
 /// A sink failure (unwritable directory) degrades to metrics-only
 /// collection with a warning rather than aborting the experiment.
@@ -42,7 +53,15 @@ pub fn session(args: &EvalArgs, experiment: &'static str) -> TelemetrySession {
             }
         }
     }
-    TelemetrySession { dir, experiment }
+    let profile_dir = args.profile.as_ref().map(PathBuf::from);
+    if profile_dir.is_some() {
+        crp_telemetry::profile::start();
+    }
+    TelemetrySession {
+        dir,
+        profile_dir,
+        experiment,
+    }
 }
 
 /// Writes `summary` as JSON to `<dir>/<experiment>_summary.json`.
@@ -59,15 +78,37 @@ pub fn write_summary(dir: &Path, summary: &TelemetrySummary) -> std::io::Result<
     Ok(path)
 }
 
+/// Writes `tree` as JSON to `<dir>/<experiment>_profile.json`.
+///
+/// # Errors
+///
+/// Returns any serialization or file-system error.
+pub fn write_profile(dir: &Path, experiment: &str, tree: &ProfileNode) -> std::io::Result<PathBuf> {
+    let json = serde_json::to_string(tree)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{experiment}_profile.json"));
+    fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
 impl Drop for TelemetrySession {
     fn drop(&mut self) {
-        let Some(summary) = crp_telemetry::shutdown(self.experiment) else {
-            return;
-        };
-        let Some(dir) = &self.dir else { return };
-        match write_summary(dir, &summary) {
-            Ok(path) => println!("  [wrote {}]", path.display()),
-            Err(err) => eprintln!("[telemetry] cannot write summary: {err}"),
+        if let Some(summary) = crp_telemetry::shutdown(self.experiment) {
+            if let Some(dir) = &self.dir {
+                match write_summary(dir, &summary) {
+                    Ok(path) => println!("  [wrote {}]", path.display()),
+                    Err(err) => eprintln!("[telemetry] cannot write summary: {err}"),
+                }
+            }
+        }
+        if let Some(tree) = crp_telemetry::profile::finish() {
+            if let Some(dir) = &self.profile_dir {
+                match write_profile(dir, self.experiment, &tree) {
+                    Ok(path) => println!("  [wrote {}]", path.display()),
+                    Err(err) => eprintln!("[telemetry] cannot write profile: {err}"),
+                }
+            }
         }
     }
 }
@@ -106,5 +147,31 @@ mod tests {
         assert_eq!(summary.experiment, "t_session");
         assert_eq!(summary.counter("test.calls"), Some(3));
         let _ = fs::remove_dir_all(&dir);
+
+        // Profiling path: --profile starts the profiler and the drop
+        // writes the scope tree (the collector global stays untouched).
+        let pdir = std::env::temp_dir().join("crp-eval-profile-test");
+        let _ = fs::remove_dir_all(&pdir);
+        let args = EvalArgs {
+            profile: Some(pdir.to_string_lossy().into_owned()),
+            ..EvalArgs::default()
+        };
+        let s = session(&args, "t_profile");
+        assert!(crp_telemetry::profile::profiling());
+        assert!(
+            !crp_telemetry::enabled(),
+            "profiling must not enable telemetry"
+        );
+        {
+            crp_telemetry::profile_scope!("phase");
+        }
+        drop(s);
+        assert!(!crp_telemetry::profile::profiling());
+        let raw = fs::read_to_string(pdir.join("t_profile_profile.json")).expect("profile written");
+        let value = serde_json::parse(&raw).expect("valid json");
+        let tree = <ProfileNode as serde::Deserialize>::from_value(&value).expect("shape");
+        assert_eq!(tree.name, "root");
+        assert!(tree.child("phase").is_some(), "tree: {tree:?}");
+        let _ = fs::remove_dir_all(&pdir);
     }
 }

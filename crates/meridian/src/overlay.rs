@@ -112,6 +112,7 @@ impl MeridianOverlay {
         cfg: MeridianConfig,
         faults: FaultPlan,
     ) -> MeridianOverlay {
+        crp_telemetry::profile_scope!("meridian.build");
         cfg.validate();
         assert!(!members.is_empty(), "overlay needs members");
         let joined: Vec<HostId> = {
@@ -245,6 +246,7 @@ impl MeridianOverlay {
         target: HostId,
         t: SimTime,
     ) -> QueryResult {
+        crp_telemetry::profile_scope!("meridian.closest_query");
         let mut probes_before = self.probes.load(Ordering::Relaxed);
         let mut hops = 0u32;
 

@@ -26,6 +26,12 @@
 //! the JSONL sink in this crate is the only sanctioned path (enforced by
 //! lint rule CRP006).
 //!
+//! A third, deliberately separate layer lives in [`profile`]: hierarchical
+//! **wall-clock** scopes for performance attribution. It shares the
+//! atomic-gate pattern but never touches the record stream or the metric
+//! registers, so the determinism contract above is unaffected (see lint
+//! rule CRP007 for where wall-clock time is allowed at all).
+//!
 //! # Example
 //!
 //! ```
@@ -47,6 +53,7 @@
 //! ```
 
 pub mod metrics;
+pub mod profile;
 pub mod record;
 pub mod sink;
 pub mod summary;

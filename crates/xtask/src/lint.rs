@@ -38,12 +38,17 @@ pub enum Scope {
     /// simulated time must never mix with wall-clock time, even in
     /// tests.
     SimCrates,
+    /// Library and binary sources of every crate *except* the
+    /// sanctioned wall-clock users: `crp-bench`, `crp-eval`, and the
+    /// `telemetry::profile` module. Wall-clock reads anywhere else are
+    /// a determinism leak waiting to happen.
+    WallClock,
 }
 
 /// A static-analysis rule: an ID, the substring patterns that trigger
 /// it, and where it applies.
 pub struct Rule {
-    /// Stable identifier, `CRP001`..`CRP006`.
+    /// Stable identifier, `CRP001`..`CRP007`.
     pub id: &'static str,
     /// Substring patterns (matched against scrubbed source).
     pub patterns: &'static [&'static str],
@@ -110,6 +115,20 @@ pub const RULES: &[Rule] = &[
         message: "direct file I/O from library code; telemetry flows through \
                   crp-telemetry sinks, experiment output through crp-eval",
     },
+    Rule {
+        id: "CRP007",
+        patterns: &[
+            "std::time::Instant",
+            "std::time::SystemTime",
+            "Instant::now",
+            "SystemTime::now",
+        ],
+        scope: Scope::WallClock,
+        severity: Severity::Error,
+        message: "wall-clock time outside the sanctioned perf layer; only \
+                  crp-bench, crp-eval, and telemetry::profile may read \
+                  Instant/SystemTime",
+    },
 ];
 
 /// Crates whose library code is a simulation path (CRP004). The
@@ -123,6 +142,16 @@ const OUTPUT_CRATES: &[&str] = &["eval"];
 /// Crates whose purpose *is* file I/O (CRP006 exemption): the telemetry
 /// sink layer, the experiment-output helpers, and the dev tooling.
 const FILE_IO_CRATES: &[&str] = &["telemetry", "eval", "xtask"];
+
+/// Crates sanctioned to read the wall clock (CRP007 exemption): the
+/// benchmark harness and the experiment runner.
+const WALL_CLOCK_CRATES: &[&str] = &["bench", "eval"];
+
+/// Individual files sanctioned to read the wall clock even though their
+/// crate is not: the profiler is wall-clock by definition, and lives in
+/// the telemetry crate only to share the atomic-gate pattern. Exempt
+/// from both CRP004 and CRP007.
+const WALL_CLOCK_FILES: &[&str] = &["crates/telemetry/src/profile.rs"];
 
 /// A single lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -171,6 +200,8 @@ struct FileClass {
     kind: FileKind,
     /// Short crate name (`core`, `cdn`, ... or `crp` for the root).
     crate_name: String,
+    /// Whether the file is on the [`WALL_CLOCK_FILES`] exemption list.
+    wall_clock_exempt: bool,
 }
 
 /// Directories never scanned.
@@ -181,6 +212,7 @@ fn classify(rel: &Path) -> Option<FileClass> {
         .components()
         .map(|c| c.as_os_str().to_str().unwrap_or(""))
         .collect();
+    let wall_clock_exempt = WALL_CLOCK_FILES.contains(&parts.join("/").as_str());
     if parts
         .iter()
         .any(|p| matches!(*p, "tests" | "benches" | "examples"))
@@ -194,6 +226,7 @@ fn classify(rel: &Path) -> Option<FileClass> {
         return Some(FileClass {
             kind: FileKind::Harness,
             crate_name,
+            wall_clock_exempt,
         });
     }
     if parts.first() == Some(&"crates") {
@@ -206,12 +239,17 @@ fn classify(rel: &Path) -> Option<FileClass> {
         } else {
             FileKind::Library
         };
-        return Some(FileClass { kind, crate_name });
+        return Some(FileClass {
+            kind,
+            crate_name,
+            wall_clock_exempt,
+        });
     }
     if parts.first() == Some(&"src") {
         return Some(FileClass {
             kind: FileKind::Library,
             crate_name: "crp".to_string(),
+            wall_clock_exempt,
         });
     }
     None
@@ -232,7 +270,14 @@ fn rule_applies(rule: &Rule, class: &FileClass, in_test_region: bool) -> bool {
         }
         Scope::CrateSources => class.kind != FileKind::Harness,
         Scope::SimCrates => {
-            class.kind == FileKind::Library && SIM_CRATES.contains(&class.crate_name.as_str())
+            class.kind == FileKind::Library
+                && SIM_CRATES.contains(&class.crate_name.as_str())
+                && !class.wall_clock_exempt
+        }
+        Scope::WallClock => {
+            class.kind != FileKind::Harness
+                && !WALL_CLOCK_CRATES.contains(&class.crate_name.as_str())
+                && !class.wall_clock_exempt
         }
     }
 }
@@ -471,6 +516,44 @@ mod tests {
         assert!(sim.iter().any(|d| d.rule == "CRP004"));
         let nonsim = lint_source(&PathBuf::from("crates/eval/src/timing.rs"), src, &[]);
         assert!(nonsim.iter().all(|d| d.rule != "CRP004"));
+    }
+
+    #[test]
+    fn wall_clock_flagged_everywhere_except_sanctioned_perf_layer() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        // A non-sim library crate: CRP007 fires (CRP004 does not).
+        let meridian = lint_source(&PathBuf::from("crates/meridian/src/overlay.rs"), src, &[]);
+        assert!(meridian.iter().any(|d| d.rule == "CRP007"));
+        assert!(meridian.iter().all(|d| d.rule != "CRP004"));
+        // Binaries of non-sanctioned crates are covered too.
+        let bin = lint_source(&PathBuf::from("crates/core/src/bin/tool.rs"), src, &[]);
+        assert!(bin.iter().any(|d| d.rule == "CRP007"));
+        // The sanctioned wall-clock users are exempt.
+        for sanctioned in [
+            "crates/bench/src/harness.rs",
+            "crates/eval/src/bin/run_all.rs",
+            "crates/telemetry/src/profile.rs",
+        ] {
+            let diags = lint_source(&PathBuf::from(sanctioned), src, &[]);
+            assert!(
+                diags
+                    .iter()
+                    .all(|d| d.rule != "CRP007" && d.rule != "CRP004"),
+                "{sanctioned} should be wall-clock-sanctioned, got {diags:?}"
+            );
+        }
+        // Harness code (tests/benches/examples) stays exempt.
+        let harness = lint_source(&PathBuf::from("crates/core/tests/perf.rs"), src, &[]);
+        assert!(harness.is_empty());
+    }
+
+    #[test]
+    fn profile_module_is_the_only_sim_crate_wall_clock_exception() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        // Elsewhere in the telemetry crate both rules still fire.
+        let lib = lint_source(&PathBuf::from("crates/telemetry/src/lib.rs"), src, &[]);
+        assert!(lib.iter().any(|d| d.rule == "CRP004"));
+        assert!(lib.iter().any(|d| d.rule == "CRP007"));
     }
 
     #[test]

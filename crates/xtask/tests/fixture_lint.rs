@@ -21,13 +21,17 @@ fn workspace_root() -> PathBuf {
 /// `(path, line, rule)` tuples.
 const EXPECTED: &[(&str, usize, &str)] = &[
     ("crates/core/src/clock.rs", 3, "CRP004"),
+    ("crates/core/src/clock.rs", 3, "CRP007"),
     ("crates/core/src/clock.rs", 6, "CRP004"),
+    ("crates/core/src/clock.rs", 6, "CRP007"),
     ("crates/demo/src/lib.rs", 4, "CRP001"),
     ("crates/demo/src/lib.rs", 8, "CRP002"),
     ("crates/demo/src/lib.rs", 13, "CRP003"),
     ("crates/demo/src/lib.rs", 17, "CRP005"),
     ("crates/demo/src/sinkio.rs", 5, "CRP006"),
     ("crates/demo/src/sinkio.rs", 10, "CRP006"),
+    ("crates/demo/src/wallclock.rs", 4, "CRP007"),
+    ("crates/demo/src/wallclock.rs", 7, "CRP007"),
 ];
 
 #[test]
@@ -48,7 +52,8 @@ fn fixture_tree_reports_exactly_the_planted_violations() {
 fn allow_markers_suppress_fixture_lines() {
     // lib.rs lines 21 and 26 carry `.expect(` calls covered by same-line
     // and preceding-line allow markers; sinkio.rs line 15 carries a
-    // marker-covered `File::create`. None may appear.
+    // marker-covered `File::create`; wallclock.rs line 12 carries a
+    // marker-covered `SystemTime::now`. None may appear.
     let diags = lint_root(&fixtures_root(), &[]).expect("fixture tree is readable");
     for diag in &diags {
         assert!(
@@ -57,6 +62,10 @@ fn allow_markers_suppress_fixture_lines() {
         );
         assert!(
             !(diag.file.ends_with("sinkio.rs") && diag.line == 15),
+            "allow marker failed to suppress {diag}"
+        );
+        assert!(
+            !(diag.file.ends_with("wallclock.rs") && diag.line == 12),
             "allow marker failed to suppress {diag}"
         );
     }
@@ -77,7 +86,7 @@ fn severities_match_rule_definitions() {
 
 #[test]
 fn demotion_turns_every_fixture_error_into_a_warning() {
-    let demoted: Vec<String> = ["CRP001", "CRP002", "CRP003", "CRP004", "CRP006"]
+    let demoted: Vec<String> = ["CRP001", "CRP002", "CRP003", "CRP004", "CRP006", "CRP007"]
         .iter()
         .map(|s| (*s).to_owned())
         .collect();
@@ -98,10 +107,12 @@ fn binary_exits_nonzero_on_fixture_tree() {
         "lint must fail on the fixture tree"
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
-    for rule in ["CRP001", "CRP002", "CRP003", "CRP004", "CRP005", "CRP006"] {
+    for rule in [
+        "CRP001", "CRP002", "CRP003", "CRP004", "CRP005", "CRP006", "CRP007",
+    ] {
         assert!(stdout.contains(rule), "missing {rule} in output:\n{stdout}");
     }
-    assert!(stdout.contains("7 error(s), 1 warning(s)"), "{stdout}");
+    assert!(stdout.contains("11 error(s), 1 warning(s)"), "{stdout}");
 }
 
 #[test]

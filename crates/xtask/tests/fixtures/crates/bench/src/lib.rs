@@ -1,0 +1,8 @@
+//! Lint fixture (negative): crp-bench is a sanctioned wall-clock crate,
+//! so CRP007 must stay silent here.
+
+use std::time::Instant;
+
+pub fn sample_ns() -> u128 {
+    Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,13 @@
+//! Lint fixture: wall-clock time outside the sanctioned perf layer
+//! (CRP007) — demo is neither crp-bench, crp-eval, nor telemetry::profile.
+
+use std::time::SystemTime;
+
+pub fn leak() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn sanctioned() -> SystemTime {
+    // startup timestamp reviewed: crp-lint: allow(CRP007)
+    SystemTime::now()
+}

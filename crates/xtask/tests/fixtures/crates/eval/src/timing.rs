@@ -1,0 +1,8 @@
+//! Lint fixture (negative): crp-eval is a sanctioned wall-clock crate,
+//! so CRP007 must stay silent here.
+
+use std::time::Instant;
+
+pub fn started() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,9 @@
+//! Lint fixture (negative): the telemetry profile module is the one
+//! sim-crate file allowed to read the wall clock — exempt from both
+//! CRP004 and CRP007.
+
+use std::time::Instant;
+
+pub fn scope_clock() -> Instant {
+    Instant::now()
+}

@@ -157,6 +157,7 @@ impl Scenario {
         window: WindowPolicy,
         metric: SimilarityMetric,
     ) -> CrpService<HostId, ReplicaId> {
+        crp_telemetry::profile_scope!("scenario.observe");
         let mut service = CrpService::new(window, metric);
         let campaign = crp_telemetry::span(start.as_millis(), "scenario.observe");
         for &host in hosts {

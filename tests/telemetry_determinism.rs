@@ -74,4 +74,28 @@ fn telemetry_never_perturbs_results_and_is_itself_deterministic() {
     // Phase 4: disabled again — still the same output.
     assert!(!crp_telemetry::enabled());
     assert_eq!(campaign_fingerprint(), baseline);
+
+    // Phase 5: wall-clock profiling enabled (telemetry off). The
+    // profiler must observe the run (non-empty scope tree) without
+    // perturbing a single byte of output. The tree itself is wall-clock
+    // data and is excluded from the determinism comparison by design.
+    crp_telemetry::profile::start();
+    let profiled = campaign_fingerprint();
+    let tree = crp_telemetry::profile::finish().expect("profiler installed");
+    assert_eq!(baseline, profiled, "profiling changed experiment output");
+    assert!(
+        tree.child("scenario.observe").is_some(),
+        "profile scopes did not fire: {tree:?}"
+    );
+    assert!(tree.node_count() > 2, "expected nested scopes: {tree:?}");
+
+    // Phase 6: telemetry AND profiling together — both observers on,
+    // output still byte-identical, metrics still deterministic.
+    crp_telemetry::install_metrics_only();
+    crp_telemetry::profile::start();
+    let both = campaign_fingerprint();
+    let summary_c = crp_telemetry::shutdown("determinism").expect("collector installed");
+    let _ = crp_telemetry::profile::finish();
+    assert_eq!(baseline, both);
+    assert_eq!(summary_a.counters, summary_c.counters);
 }
