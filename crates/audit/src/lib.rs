@@ -1,0 +1,39 @@
+//! Domain observability for CRP: drift detection and run-health
+//! verdicts.
+//!
+//! crp-telemetry (PR 2) answers "what did the pipeline *do*" — counters,
+//! events, histograms. This crate answers the domain questions those
+//! primitives cannot: **did the CDN remap clients mid-run**, **how fast
+//! are ratio maps drifting**, and **is the clustering churning** — the
+//! silent failure modes §V of the paper warns about (probe-interval and
+//! window-size sensitivity) and that YouLighter detects in the wild from
+//! clustering snapshots alone.
+//!
+//! Two modules:
+//!
+//! * [`drift`] — re-interprets a [`CrpService`]'s observation history at
+//!   a ladder of SimTimes *after* the campaign, diffing consecutive
+//!   snapshots: per-host L1 / cosine distance between ratio maps,
+//!   strongest-replica changes (remap events), and YouLighter-style
+//!   clustering distance. Emits `drift.*` telemetry events and returns a
+//!   serializable [`DriftTimeline`].
+//! * [`report`] — health verdicts ([`HealthVerdict`]) that the
+//!   `audit_report` generator in crp-eval joins with provenance records,
+//!   telemetry summaries, and bench baselines into
+//!   `results/audit_report.json`.
+//!
+//! Everything here is an observer over an already-recorded history:
+//! drift scanning never mutates the service and is keyed exclusively by
+//! [`SimTime`](crp_netsim::SimTime), so the audit layer can never
+//! perturb seeded experiment outputs (the workspace determinism tests
+//! prove it).
+//!
+//! [`CrpService`]: crp_core::CrpService
+//! [`DriftTimeline`]: drift::DriftTimeline
+//! [`HealthVerdict`]: report::HealthVerdict
+
+pub mod drift;
+pub mod report;
+
+pub use drift::{DriftConfig, DriftTimeline, DriftWindow, RemapEvent};
+pub use report::HealthVerdict;

@@ -1,0 +1,221 @@
+//! Run-health verdicts for the audit report.
+//!
+//! The `audit_report` generator in crp-eval joins drift timelines,
+//! provenance records, telemetry summaries, and bench baselines into
+//! `results/audit_report.json`; the verdict logic — what counts as
+//! healthy — lives here so it is unit-testable without the file
+//! plumbing. Three verdicts, matching the failure modes the audit layer
+//! exists to catch:
+//!
+//! * **drift-within-bounds** — no window drifted more of the population
+//!   than the bound allows (detected remap events are *reported*, not
+//!   failed: a remap the monitor saw is a remap that can be correlated
+//!   with a ranking regression);
+//! * **no-unexplained-tail-errors** — every recorded rank inversion in
+//!   the selection experiments carries a structural explanation
+//!   (no shared replicas, weak signal), up to a small tolerance;
+//! * **perf-within-baseline** — the bench report shows no regression
+//!   against the committed baseline; absent bench data the verdict
+//!   passes as explicitly *skipped*.
+
+use crate::drift::DriftTimeline;
+use serde::{Deserialize, Serialize};
+
+/// One named health check with its outcome and a human-readable detail
+/// line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HealthVerdict {
+    /// Verdict name (`drift-within-bounds`, ...).
+    pub name: String,
+    /// Whether the check passed.
+    pub passed: bool,
+    /// What was measured, or why the check was skipped.
+    pub detail: String,
+}
+
+/// Bench comparison numbers for [`perf_within_baseline`], extracted by
+/// the caller from the bench reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PerfOutcome {
+    /// Benchmarks present in both baseline and current report.
+    pub checked: u64,
+    /// Benchmarks whose p50 regressed beyond tolerance.
+    pub regressions: u64,
+    /// The tolerance applied, in percent.
+    pub tolerance_pct: f64,
+}
+
+/// Judges every drift timeline against `max_drifted_fraction`: the run
+/// is healthy when no window saw more than that fraction of hosts drift
+/// past the L1 threshold. `timelines` pairs each experiment name with
+/// its timeline; an empty slice passes as skipped (no drift scan ran).
+pub fn drift_within_bounds(
+    timelines: &[(String, DriftTimeline)],
+    max_drifted_fraction: f64,
+) -> HealthVerdict {
+    if timelines.is_empty() {
+        return HealthVerdict {
+            name: "drift-within-bounds".to_owned(),
+            passed: true,
+            detail: "skipped: no drift timelines recorded".to_owned(),
+        };
+    }
+    let mut worst: f64 = 0.0;
+    let mut worst_name = "";
+    let mut remaps = 0u64;
+    for (name, t) in timelines {
+        let f = t.max_drifted_fraction();
+        if f >= worst {
+            worst = f;
+            worst_name = name;
+        }
+        remaps += t.remap_events.len() as u64;
+    }
+    HealthVerdict {
+        name: "drift-within-bounds".to_owned(),
+        passed: worst <= max_drifted_fraction,
+        detail: format!(
+            "max drifted fraction {worst:.3} (bound {max_drifted_fraction:.3}) in {worst_name}; \
+             {remaps} remap event(s) detected across {} timeline(s)",
+            timelines.len()
+        ),
+    }
+}
+
+/// Judges the recorded rank inversions: healthy when at most
+/// `tolerated_fraction` of them lack a structural explanation. With no
+/// inversions recorded at all the check passes as skipped.
+pub fn no_unexplained_tail_errors(
+    unexplained: u64,
+    total: u64,
+    tolerated_fraction: f64,
+) -> HealthVerdict {
+    let name = "no-unexplained-tail-errors".to_owned();
+    if total == 0 {
+        return HealthVerdict {
+            name,
+            passed: true,
+            detail: "skipped: no rank inversions recorded".to_owned(),
+        };
+    }
+    let fraction = unexplained as f64 / total as f64;
+    HealthVerdict {
+        name,
+        passed: fraction <= tolerated_fraction,
+        detail: format!(
+            "{unexplained}/{total} inversions unexplained ({:.1}%, tolerance {:.1}%)",
+            fraction * 100.0,
+            tolerated_fraction * 100.0
+        ),
+    }
+}
+
+/// Judges the bench comparison: healthy when no benchmark regressed.
+/// `None` means no bench data was available; the verdict passes as
+/// explicitly skipped rather than silently.
+pub fn perf_within_baseline(outcome: Option<PerfOutcome>) -> HealthVerdict {
+    let name = "perf-within-baseline".to_owned();
+    match outcome {
+        None => HealthVerdict {
+            name,
+            passed: true,
+            detail: "skipped: no bench baseline and current report pair found".to_owned(),
+        },
+        Some(o) => HealthVerdict {
+            name,
+            passed: o.regressions == 0,
+            detail: format!(
+                "{} of {} benchmark(s) regressed beyond {:.0}% of baseline p50",
+                o.regressions, o.checked, o.tolerance_pct
+            ),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::{DriftWindow, RemapEvent};
+
+    fn timeline(drifted_fraction: f64, remaps: usize) -> DriftTimeline {
+        DriftTimeline {
+            interval_ms: 3_600_000,
+            l1_threshold: 0.5,
+            remap_fraction: 0.2,
+            snapshots: 2,
+            windows: vec![DriftWindow {
+                from_ms: 0,
+                to_ms: 3_600_000,
+                hosts_compared: 10,
+                mean_l1: 0.1,
+                max_l1: 0.9,
+                mean_cosine_distance: 0.05,
+                drifted_hosts: (drifted_fraction * 10.0) as u64,
+                drifted_fraction,
+                strongest_changed: 2,
+                strongest_changed_fraction: 0.2,
+                cluster_distance: 0.1,
+                clusters_from: 3,
+                clusters_to: 3,
+            }],
+            remap_events: (0..remaps)
+                .map(|i| RemapEvent {
+                    at_ms: 3_600_000 * (i as u64 + 1),
+                    strongest_changed_fraction: 0.5,
+                    hosts_affected: 5,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn drift_verdict_bounds() {
+        let ok = drift_within_bounds(&[("fig4".to_owned(), timeline(0.2, 1))], 0.5);
+        assert!(ok.passed, "{ok:?}");
+        assert!(ok.detail.contains("1 remap event(s)"));
+        let bad = drift_within_bounds(&[("fig4".to_owned(), timeline(0.9, 0))], 0.5);
+        assert!(!bad.passed);
+        assert!(bad.detail.contains("fig4"));
+        let skipped = drift_within_bounds(&[], 0.5);
+        assert!(skipped.passed);
+        assert!(skipped.detail.starts_with("skipped"));
+    }
+
+    #[test]
+    fn tail_error_verdict_tolerance() {
+        assert!(no_unexplained_tail_errors(0, 100, 0.02).passed);
+        assert!(no_unexplained_tail_errors(2, 100, 0.02).passed);
+        assert!(!no_unexplained_tail_errors(3, 100, 0.02).passed);
+        let skipped = no_unexplained_tail_errors(0, 0, 0.02);
+        assert!(skipped.passed);
+        assert!(skipped.detail.starts_with("skipped"));
+    }
+
+    #[test]
+    fn perf_verdict_skip_and_fail() {
+        assert!(perf_within_baseline(None).passed);
+        assert!(
+            perf_within_baseline(Some(PerfOutcome {
+                checked: 5,
+                regressions: 0,
+                tolerance_pct: 20.0,
+            }))
+            .passed
+        );
+        let bad = perf_within_baseline(Some(PerfOutcome {
+            checked: 5,
+            regressions: 2,
+            tolerance_pct: 20.0,
+        }));
+        assert!(!bad.passed);
+        assert!(bad.detail.contains("2 of 5"));
+    }
+
+    #[test]
+    fn verdict_serializes_round_trip() {
+        let v = perf_within_baseline(None);
+        let text = serde_json::to_string(&v).expect("serialize");
+        let value = serde_json::parse(&text).expect("parse");
+        assert_eq!(HealthVerdict::from_value(&value).expect("shape"), v);
+    }
+}

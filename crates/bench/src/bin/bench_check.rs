@@ -12,7 +12,9 @@
 //!
 //! Exit status: 0 when every baseline benchmark is present and within
 //! tolerance, 1 on regression or missing benchmarks, 2 on usage or I/O
-//! errors — mirroring `telemetry_check`.
+//! errors — mirroring `telemetry_check`. A per-benchmark p50 delta
+//! table is printed either way, so a passing run still shows how close
+//! each benchmark sits to the gate.
 
 use crp_bench::harness::{compare, parse_tolerance, BenchReport};
 use std::path::{Path, PathBuf};
@@ -110,6 +112,30 @@ fn main() -> ExitCode {
         opts.tolerance_pct
     );
     let outcome = compare(&baseline, &current, opts.tolerance_pct);
+
+    // Per-benchmark delta table, printed on success too: a run that
+    // passes the gate can still be drifting toward it, and the deltas
+    // are what a baseline-refresh decision is made from.
+    println!("bench_check: per-benchmark p50 deltas (current vs baseline):");
+    println!(
+        "  {:<40} {:>12} {:>12} {:>8}",
+        "benchmark", "baseline", "current", "ratio"
+    );
+    for base in &baseline.results {
+        let Some(cur) = current.result(&base.name) else {
+            continue;
+        };
+        let ratio = if base.p50_ns == 0 {
+            "n/a".to_owned()
+        } else {
+            format!("{:.2}x", cur.p50_ns as f64 / base.p50_ns as f64)
+        };
+        println!(
+            "  {:<40} {:>10}ns {:>10}ns {:>8}",
+            base.name, base.p50_ns, cur.p50_ns, ratio
+        );
+    }
+
     for name in &outcome.added {
         eprintln!("bench_check: note: new benchmark {name} (not in baseline)");
     }

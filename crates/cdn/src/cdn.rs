@@ -26,6 +26,9 @@ pub struct CdnStats {
     pub fallback_answers: u64,
     /// Queries from poorly-covered resolvers (scattered answers).
     pub scattered_answers: u64,
+    /// Detected remapping events: a `(resolver, customer)` pair whose
+    /// best-measured replica changed across mapping epochs.
+    pub remap_events: u64,
 }
 
 /// The simulated CDN.
@@ -43,8 +46,12 @@ pub struct Cdn {
     by_domain: HashMap<DomainName, usize>,
     edge_zone: DomainName,
     shortlists: RwLock<HashMap<(HostId, u32), Vec<ReplicaId>>>,
+    // Last (epoch, best replica) seen per (resolver, customer) — pure
+    // observer state for remap-event detection; answers never read it.
+    epoch_best: RwLock<HashMap<(HostId, u32), (u64, ReplicaId)>>,
     outages: Vec<(ReplicaId, SimTime, SimTime)>,
     queries_answered: AtomicU64,
+    remap_events: AtomicU64,
     fallback_answers: AtomicU64,
     scattered_answers: AtomicU64,
     per_replica_answers: Vec<AtomicU64>,
@@ -109,8 +116,10 @@ impl Cdn {
             by_domain: HashMap::new(),
             edge_zone: "g.akamai-sim.net".parse().expect("static name is valid"), // crp-lint: allow(CRP001) — static zone name is a valid domain
             shortlists: RwLock::new(HashMap::new()),
+            epoch_best: RwLock::new(HashMap::new()),
             outages: Vec::new(),
             queries_answered: AtomicU64::new(0),
+            remap_events: AtomicU64::new(0),
             fallback_answers: AtomicU64::new(0),
             scattered_answers: AtomicU64::new(0),
             per_replica_answers,
@@ -237,6 +246,7 @@ impl Cdn {
             queries_answered: self.queries_answered.load(Ordering::Relaxed),
             fallback_answers: self.fallback_answers.load(Ordering::Relaxed),
             scattered_answers: self.scattered_answers.load(Ordering::Relaxed),
+            remap_events: self.remap_events.load(Ordering::Relaxed),
         }
     }
 
@@ -363,6 +373,57 @@ impl Cdn {
         picked
     }
 
+    /// Observes the `(resolver, customer)` pair's best-measured replica
+    /// for remap detection: when the best pick differs from the one
+    /// remembered for an *earlier* mapping epoch, that is a remapping
+    /// event — the mapping system moved the resolver. Emits a
+    /// `cdn.remap` telemetry event and bumps [`CdnStats::remap_events`].
+    ///
+    /// This is observer state only: nothing on the answer path reads
+    /// `epoch_best`, so detection cannot perturb which replicas are
+    /// returned.
+    fn note_epoch_best(
+        &self,
+        resolver: HostId,
+        customer_idx: usize,
+        best: ReplicaId,
+        now: SimTime,
+    ) {
+        let key = (resolver, customer_idx as u32);
+        let epoch = now.as_millis() / self.cfg.mapping_epoch_ms;
+        {
+            let seen = self
+                .epoch_best
+                .read()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            match seen.get(&key) {
+                // Same epoch: the mapping cannot have changed yet.
+                Some((e, _)) if *e == epoch => return,
+                Some((_, b)) if *b != best => {
+                    self.remap_events.fetch_add(1, Ordering::Relaxed);
+                    crp_telemetry::counter_add("cdn.remap.events", 1);
+                    if crp_telemetry::enabled() {
+                        crp_telemetry::event(
+                            now.as_millis(),
+                            "cdn.remap",
+                            &[
+                                ("resolver", resolver.index().into()),
+                                ("from", b.index().into()),
+                                ("to", best.index().into()),
+                                ("epoch", epoch.into()),
+                            ],
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.epoch_best
+            .write()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .insert(key, (epoch, best));
+    }
+
     fn answer_records(&self, customer: &Customer, picked: &[ReplicaId]) -> Vec<ResourceRecord> {
         let mut records = Vec::with_capacity(picked.len() + 1);
         records.push(ResourceRecord::new(
@@ -414,8 +475,9 @@ impl AuthoritativeServer for Cdn {
         let well_covered = ranked
             .first()
             .is_some_and(|(ms, _)| *ms <= self.cfg.coverage_radius_ms);
-        if let Some((best_ms, _)) = ranked.first() {
+        if let Some((best_ms, best)) = ranked.first() {
             crp_telemetry::observe("cdn.best_candidate_ms", *best_ms);
+            self.note_epoch_best(resolver, customer_idx, *best, now);
         }
 
         let picked = if well_covered {
@@ -587,6 +649,47 @@ mod tests {
             "expected rotation among candidates, saw {}",
             distinct.len()
         );
+    }
+
+    #[test]
+    fn remap_events_are_detected_across_epochs() {
+        let (cdn, clients, name) = build_cdn(8);
+        assert_eq!(cdn.stats().remap_events, 0);
+        // Query every client across many mapping epochs: epoch noise
+        // re-ranks the shortlist, so at least one (resolver, customer)
+        // pair must see its best-measured replica change.
+        for i in 0..30u64 {
+            let t = SimTime::from_mins(i * 2);
+            for &client in &clients {
+                let _ = cdn.authoritative_answer(&name, client, t);
+            }
+        }
+        let remaps = cdn.stats().remap_events;
+        assert!(remaps > 0, "no remap detected over 30 epochs");
+
+        // Detection is a pure observer: a second identical CDN with the
+        // same query schedule answers identically.
+        let (other, clients_b, name_b) = build_cdn(8);
+        for i in 0..30u64 {
+            let t = SimTime::from_mins(i * 2);
+            for (&a, &b) in clients.iter().zip(&clients_b) {
+                let ra = cdn.authoritative_answer(&name, a, t);
+                let rb = other.authoritative_answer(&name_b, b, t);
+                assert_eq!(ra.map(|r| r.a_addresses()), rb.map(|r| r.a_addresses()));
+            }
+        }
+    }
+
+    #[test]
+    fn same_epoch_queries_cannot_remap() {
+        let (cdn, clients, name) = build_cdn(9);
+        // All queries inside one mapping epoch: measured ranking is
+        // fixed, so no remap can be detected.
+        for i in 0..10u64 {
+            let t = SimTime::from_millis(i * 100);
+            let _ = cdn.authoritative_answer(&name, clients[0], t);
+        }
+        assert_eq!(cdn.stats().remap_events, 0);
     }
 
     #[test]

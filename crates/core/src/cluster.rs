@@ -269,7 +269,11 @@ impl<N: Ord + Clone> Clustering<N> {
     ///
     /// Panics if the threshold is outside `[0, 1]` or a node id appears
     /// twice.
-    pub fn smf<K: Ord + Clone>(nodes: &[(N, RatioMap<K>)], cfg: &SmfConfig) -> Clustering<N> {
+    pub fn smf<K>(nodes: &[(N, RatioMap<K>)], cfg: &SmfConfig) -> Clustering<N>
+    where
+        N: std::fmt::Debug,
+        K: Ord + Clone + std::fmt::Debug,
+    {
         crp_telemetry::profile_scope!("core.smf");
         cfg.validate();
         let ids: BTreeSet<&N> = nodes.iter().map(|(n, _)| n).collect();
@@ -360,6 +364,15 @@ impl<N: Ord + Clone> Clustering<N> {
                     }
                     let other = clusters[cj].center.clone();
                     let s = cfg.metric.compare(maps[&center_node], maps[&other]);
+                    if crate::explain::enabled() {
+                        crate::explain::record_assignment(
+                            &other,
+                            Some(&center_node),
+                            s,
+                            cfg.threshold,
+                            s > cfg.threshold,
+                        );
+                    }
                     if s > cfg.threshold {
                         clusters[ci].members.push(other);
                         absorbed.insert(cj);
@@ -394,20 +407,34 @@ impl<N: Ord + Clone> Clustering<N> {
 
 /// Attempts to join `node` to the active cluster whose center is most
 /// similar, returning whether it joined.
-fn try_join<N: Ord + Clone, K: Ord + Clone>(
+fn try_join<N, K>(
     map: &RatioMap<K>,
     node: &N,
     clusters: &mut [Cluster<N>],
     active_centers: &[usize],
     maps: &BTreeMap<&N, &RatioMap<K>>,
     cfg: &SmfConfig,
-) -> bool {
+) -> bool
+where
+    N: Ord + Clone + std::fmt::Debug,
+    K: Ord + Clone + std::fmt::Debug,
+{
     let mut best: Option<(f64, usize)> = None;
     for &ci in active_centers {
         let s = cfg.metric.compare(map, maps[&clusters[ci].center]);
         if best.is_none_or(|(bs, _)| s > bs) {
             best = Some((s, ci));
         }
+    }
+    if crate::explain::enabled() {
+        let joined = matches!(best, Some((s, _)) if s > cfg.threshold);
+        crate::explain::record_assignment(
+            node,
+            best.map(|(_, ci)| &clusters[ci].center),
+            best.map_or(0.0, |(s, _)| s),
+            cfg.threshold,
+            joined,
+        );
     }
     match best {
         Some((s, ci)) if s > cfg.threshold => {

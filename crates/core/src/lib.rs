@@ -17,7 +17,10 @@
 //! * [`quality`] — intra-/inter-cluster distance metrics and the "good
 //!   cluster" criterion of Fig. 6;
 //! * [`CrpService`] — a façade tying the pieces into the stand-alone
-//!   service the paper sketches.
+//!   service the paper sketches;
+//! * [`explain`] — opt-in decision provenance: per-replica similarity
+//!   contributions, ranking margins and SMF assignment rationales,
+//!   recorded only when explicitly enabled.
 //!
 //! The algorithms are generic over the replica-server key type `K` and
 //! the node identifier type `N`, so they run identically against the
@@ -43,6 +46,7 @@
 
 pub mod cluster;
 pub mod counting;
+pub mod explain;
 pub mod invariant;
 pub mod observation;
 pub mod quality;
@@ -56,6 +60,7 @@ pub mod tracker;
 
 pub use cluster::{CenterStrategy, Cluster, Clustering, SmfConfig};
 pub use counting::CountingTracker;
+pub use explain::ExplainLog;
 pub use observation::{Observation, ObservationSource};
 pub use quality::{ClusterQuality, QualityReport};
 pub use ratio::{RatioMap, RatioMapError};

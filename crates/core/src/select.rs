@@ -40,7 +40,8 @@ impl<N: Ord> Ranking<N> {
     /// ordering signal.
     pub fn rank<'a, K, I>(client: &RatioMap<K>, candidates: I, metric: SimilarityMetric) -> Self
     where
-        K: Ord + Clone + 'a,
+        N: std::fmt::Debug,
+        K: Ord + Clone + std::fmt::Debug + 'a,
         I: IntoIterator<Item = (N, &'a RatioMap<K>)>,
     {
         crp_telemetry::profile_scope!("core.rank");
@@ -52,6 +53,9 @@ impl<N: Ord> Ranking<N> {
             })
             .collect();
         entries.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        if crate::explain::enabled() {
+            crate::explain::record_ranking(&entries);
+        }
         crp_telemetry::counter_add("core.ranking.builds", 1);
         if let Some((_, top)) = entries.first() {
             crp_telemetry::observe_unit("core.ranking.top_score", *top);

@@ -43,7 +43,11 @@ pub struct CrpService<N: Ord, K> {
     metric: SimilarityMetric,
 }
 
-impl<N: Ord + Clone, K: Ord + Clone> CrpService<N, K> {
+impl<N, K> CrpService<N, K>
+where
+    N: Ord + Clone + std::fmt::Debug,
+    K: Ord + Clone + std::fmt::Debug,
+{
     /// Creates a service with the given window policy and metric. The
     /// paper's recommended operating point is a 10-probe window with
     /// cosine similarity.

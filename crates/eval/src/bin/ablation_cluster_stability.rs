@@ -33,7 +33,7 @@ fn rand_index(a: &Clustering<HostId>, b: &Clustering<HostId>, nodes: &[HostId]) 
 
 fn main() {
     let args = EvalArgs::parse();
-    let _telemetry = crp_eval::telemetry::session(&args, "ablation_cluster_stability");
+    let telemetry = crp_eval::telemetry::session(&args, "ablation_cluster_stability");
     let scenario = Scenario::build(ScenarioConfig {
         seed: args.seed,
         candidate_servers: 0,
@@ -106,4 +106,32 @@ fn main() {
         "from_hour,to_hour,rand_index",
         &rows,
     );
+
+    // Audit pass: the full drift + churn scan over the same recorded
+    // history — this is the run that exercises CDN remap detection, so
+    // it scans the whole horizon at route-epoch granularity with the
+    // clustering diff enabled.
+    if let Some(audit_dir) = telemetry.audit_dir() {
+        let drift_cfg = crp_audit::drift::DriftConfig::new(
+            SimTime::from_hours(2),
+            horizon,
+            SimDuration::from_hours(6),
+        );
+        let timeline = crp_audit::drift::scan(&service, scenario.clients(), &drift_cfg);
+        println!("\n  audit:");
+        output::kv(&[
+            ("drift windows", timeline.windows.len().to_string()),
+            (
+                "max drifted fraction",
+                format!("{:.3}", timeline.max_drifted_fraction()),
+            ),
+            (
+                "max cluster distance",
+                format!("{:.3}", timeline.max_cluster_distance()),
+            ),
+            ("remap events", timeline.remap_events.len().to_string()),
+            ("drift events", timeline.drift_event_count().to_string()),
+        ]);
+        crp_eval::audit::write_drift(audit_dir, "ablation_cluster_stability", &timeline);
+    }
 }

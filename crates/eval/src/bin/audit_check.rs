@@ -1,0 +1,146 @@
+//! CI validator for an audit report:
+//!
+//! ```text
+//! audit_check <audit_report.json>
+//! ```
+//!
+//! Checks that the report parses, that every section has the expected
+//! shape (all three health verdicts present, each drift entry a valid
+//! [`DriftTimeline`], provenance entries carrying their counters), and
+//! that the `healthy` flag is consistent with the verdicts and the
+//! failed-experiment list. Exits 0 on a consistent healthy report, 1 on
+//! an unhealthy-but-well-formed one (a failed verdict must fail CI),
+//! and 2 on usage errors or a malformed report.
+
+use crp_audit::drift::DriftTimeline;
+use crp_audit::report::HealthVerdict;
+use serde::{Deserialize as _, Value};
+use std::path::Path;
+use std::process::ExitCode;
+
+const EXPECTED_VERDICTS: &[&str] = &[
+    "drift-within-bounds",
+    "no-unexplained-tail-errors",
+    "perf-within-baseline",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: audit_check <audit_report.json>");
+        return ExitCode::from(2);
+    };
+    match check(Path::new(path)) {
+        Ok((report, healthy)) => {
+            println!("{report}");
+            if healthy {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("audit_check: report is well-formed but unhealthy");
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("audit_check: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Validates the report at `path`; returns a one-line summary and the
+/// report's health flag.
+fn check(path: &Path) -> Result<(String, bool), String> {
+    let raw = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let value = serde_json::parse(&raw).map_err(|e| format!("{}: {e}", path.display()))?;
+
+    let healthy = match value.field("healthy") {
+        Ok(Value::Bool(b)) => *b,
+        other => return Err(format!("`healthy` is not a boolean: {other:?}")),
+    };
+
+    let verdicts_value = value
+        .field("verdicts")
+        .map_err(|e| format!("missing verdicts section: {e}"))?;
+    let verdicts: Vec<HealthVerdict> = verdicts_value
+        .as_array()
+        .ok_or("`verdicts` is not an array")?
+        .iter()
+        .map(HealthVerdict::from_value)
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("malformed verdict: {e}"))?;
+    for expected in EXPECTED_VERDICTS {
+        if !verdicts.iter().any(|v| v.name == *expected) {
+            return Err(format!("verdict `{expected}` is missing"));
+        }
+    }
+    for v in &verdicts {
+        if v.detail.is_empty() {
+            return Err(format!("verdict `{}` has an empty detail line", v.name));
+        }
+    }
+
+    let drift = value
+        .field("drift")
+        .map_err(|e| format!("missing drift section: {e}"))?;
+    let drift_entries = drift.as_object().ok_or("`drift` is not an object")?;
+    for (experiment, timeline) in drift_entries {
+        DriftTimeline::from_value(timeline)
+            .map_err(|e| format!("drift timeline `{experiment}` is malformed: {e}"))?;
+    }
+    let drift_events = match value.field("drift_event_count") {
+        Ok(Value::UInt(n)) => *n,
+        Ok(Value::Int(n)) if *n >= 0 => *n as u64,
+        other => return Err(format!("`drift_event_count` is not a count: {other:?}")),
+    };
+
+    let provenance = value
+        .field("provenance")
+        .map_err(|e| format!("missing provenance section: {e}"))?;
+    let provenance_entries = provenance
+        .as_array()
+        .ok_or("`provenance` is not an array")?;
+    for entry in provenance_entries {
+        for field in [
+            "experiment",
+            "similarities",
+            "rankings",
+            "assignments",
+            "inversions",
+            "unexplained_inversions",
+            "dropped",
+        ] {
+            entry
+                .field(field)
+                .map_err(|e| format!("provenance entry: {e}"))?;
+        }
+    }
+
+    let failed = value
+        .field("failed_experiments")
+        .map_err(|e| format!("missing failed_experiments: {e}"))?
+        .as_array()
+        .ok_or("`failed_experiments` is not an array")?
+        .len();
+
+    let verdicts_passed = verdicts.iter().all(|v| v.passed);
+    if healthy != (verdicts_passed && failed == 0) {
+        return Err(format!(
+            "`healthy` = {healthy} contradicts verdicts (all passed: {verdicts_passed}) \
+             and failed_experiments ({failed})"
+        ));
+    }
+
+    Ok((
+        format!(
+            "{}: {} verdict(s) consistent, {} drift timeline(s) with {} drift event(s), \
+             {} provenance entr(ies), {} failed experiment(s)",
+            path.display(),
+            verdicts.len(),
+            drift_entries.len(),
+            drift_events,
+            provenance_entries.len(),
+            failed
+        ),
+        healthy,
+    ))
+}

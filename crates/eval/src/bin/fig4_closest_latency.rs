@@ -5,12 +5,14 @@
 //! distribution (≈65% of clients within ~7 ms / ~12%), beats it for
 //! over 25% of clients, and both degrade in a poorly-covered tail.
 
+use crp_audit::drift::DriftConfig;
 use crp_eval::output::{self, sorted_series};
 use crp_eval::{run_closest, ClosestConfig, EvalArgs};
+use crp_netsim::{SimDuration, SimTime};
 
 fn main() {
     let args = EvalArgs::parse();
-    let _telemetry = crp_eval::telemetry::session(&args, "fig4_closest_latency");
+    let telemetry = crp_eval::telemetry::session(&args, "fig4_closest_latency");
     let cfg = ClosestConfig::paper(&args);
     output::section(
         "Fig. 4",
@@ -27,6 +29,36 @@ fn main() {
     ]);
 
     let run = run_closest(&cfg);
+
+    // Audit pass: classify tail-rank inversions into the provenance log
+    // and drift-scan the candidates' recorded history. Both read state
+    // the experiment already produced — nothing upstream changes.
+    if let Some(audit_dir) = telemetry.audit_dir() {
+        let (total, unexplained) =
+            crp_eval::audit::record_inversions(&run.outcomes, cfg.candidates);
+        let mut drift_cfg = DriftConfig::new(
+            SimTime::ZERO,
+            SimTime::from_hours(cfg.observe_hours),
+            SimDuration::from_hours((cfg.observe_hours / 6).max(1)),
+        );
+        drift_cfg.smf = None; // candidate drift only; churn is ablation_cluster_stability's job
+        let timeline = crp_audit::drift::scan(&run.service, run.scenario.candidates(), &drift_cfg);
+        println!("\n  audit:");
+        output::kv(&[
+            (
+                "tail inversions",
+                format!("{total} ({unexplained} unexplained)"),
+            ),
+            ("drift windows", timeline.windows.len().to_string()),
+            (
+                "max drifted fraction",
+                format!("{:.3}", timeline.max_drifted_fraction()),
+            ),
+            ("remap events", timeline.remap_events.len().to_string()),
+        ]);
+        crp_eval::audit::write_drift(audit_dir, "fig4_closest_latency", &timeline);
+    }
+
     let meridian: Vec<f64> = run.outcomes.iter().map(|o| o.meridian_ms).collect();
     let top1: Vec<f64> = run.outcomes.iter().map(|o| o.crp_top1_ms).collect();
     let top5: Vec<f64> = run.outcomes.iter().map(|o| o.crp_top5_ms).collect();

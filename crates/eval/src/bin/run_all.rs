@@ -10,8 +10,11 @@
 //! (and `--profile <dir>` its wall-clock scope tree); run_all then folds
 //! the per-experiment summaries into `<out>/telemetry_summary.json`,
 //! together with per-experiment wall-clock durations, peak RSS
-//! (best-effort, Linux `/proc`), and a `combined` cross-experiment
-//! roll-up.
+//! (best-effort, Linux `/proc`), a `combined` cross-experiment
+//! roll-up, and the list of failed experiments. With `--audit <dir>`
+//! each binary additionally writes drift timelines and decision
+//! provenance there, and run_all joins them into
+//! `<out>/audit_report.json` with run-health verdicts.
 //!
 //! All durations come from [`Stopwatch`] — the same monotonic clock the
 //! profiler uses — so coarse and fine-grained attribution share a basis.
@@ -90,11 +93,27 @@ fn main() {
     if let Ok(parsed) = EvalArgs::try_from_args(args.clone()) {
         if parsed.telemetry.is_some() || !runs.is_empty() {
             let tdir = parsed.telemetry.as_deref().map(Path::new);
-            match aggregate_summaries(tdir, &parsed.out_dir, &runs) {
+            match aggregate_summaries(tdir, &parsed.out_dir, &runs, &failures) {
                 Ok(n) => eprintln!("[run_all] aggregated {n} telemetry summaries"),
                 Err(err) => {
                     eprintln!("[run_all] telemetry aggregation failed: {err}");
                     failures.push("telemetry_aggregation");
+                }
+            }
+        }
+        // Join the per-experiment audit artifacts into the run-health
+        // report (after the summary, which the report folds in).
+        if let Some(audit_dir) = parsed.audit.as_deref() {
+            match crp_eval::audit::generate_report(Path::new(audit_dir), &parsed.out_dir) {
+                Ok(verdicts) => {
+                    for v in &verdicts {
+                        let mark = if v.passed { "ok " } else { "FAIL" };
+                        eprintln!("[run_all] audit {mark} {}: {}", v.name, v.detail);
+                    }
+                }
+                Err(err) => {
+                    eprintln!("[run_all] audit report failed: {err}");
+                    failures.push("audit_report");
                 }
             }
         }
@@ -138,15 +157,18 @@ fn run_experiment(path: &Path, args: &[String]) -> Result<(f64, Option<u64>), St
 }
 
 /// Collects every `<telemetry_dir>/<exp>_summary.json` into
-/// `<out_dir>/telemetry_summary.json` as an object with three keys:
+/// `<out_dir>/telemetry_summary.json` as an object with four keys:
 /// `experiments` (the per-experiment summaries, in experiment order),
 /// `wall_clock` (per-experiment seconds and peak RSS measured by
-/// run_all), and `combined` (all summaries merged into one roll-up).
-/// Returns how many summaries were folded in.
+/// run_all), `combined` (all summaries merged into one roll-up), and
+/// `failed_experiments` (names that failed so far, so a partial run is
+/// visible in the artifact and not just in the exit code). Returns how
+/// many summaries were folded in.
 fn aggregate_summaries(
     telemetry_dir: Option<&Path>,
     out_dir: &str,
     runs: &[ExperimentRun],
+    failures: &[&str],
 ) -> Result<usize, String> {
     let mut entries: Vec<Value> = Vec::new();
     let mut combined = TelemetrySummary {
@@ -190,6 +212,15 @@ fn aggregate_summaries(
         ("experiments".to_owned(), Value::Array(entries)),
         ("wall_clock".to_owned(), Value::Array(wall_clock)),
         ("combined".to_owned(), combined.to_value()),
+        (
+            "failed_experiments".to_owned(),
+            Value::Array(
+                failures
+                    .iter()
+                    .map(|f| Value::String((*f).to_owned()))
+                    .collect(),
+            ),
+        ),
     ]);
     let json = serde_json::to_string(&document).map_err(|e| e.to_string())?;
     std::fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;

@@ -25,6 +25,10 @@ pub struct EvalArgs {
     /// Wall-clock profile output directory; `None` leaves profiling
     /// disabled.
     pub profile: Option<String>,
+    /// Audit output directory: enables decision provenance and drift
+    /// scanning, writing `<dir>/<experiment>_provenance.json` and
+    /// `<dir>/<experiment>_drift.json`. `None` leaves auditing disabled.
+    pub audit: Option<String>,
 }
 
 impl Default for EvalArgs {
@@ -38,6 +42,7 @@ impl Default for EvalArgs {
             out_dir: "results".to_owned(),
             telemetry: None,
             profile: None,
+            audit: None,
         }
     }
 }
@@ -50,7 +55,7 @@ impl EvalArgs {
             eprintln!("{message}");
             eprintln!(
                 "usage: [--seed N] [--clients N] [--candidates N] [--hours N] \
-                 [--scale X] [--out DIR] [--telemetry DIR] [--profile DIR]"
+                 [--scale X] [--out DIR] [--telemetry DIR] [--profile DIR] [--audit DIR]"
             );
             std::process::exit(2)
         })
@@ -104,6 +109,7 @@ impl EvalArgs {
                 "out" => out.out_dir = v,
                 "telemetry" => out.telemetry = Some(v),
                 "profile" => out.profile = Some(v),
+                "audit" => out.audit = Some(v),
                 other => return Err(format!("unknown flag --{other}")),
             }
         }
@@ -130,7 +136,7 @@ mod tests {
     fn parses_all_flags() {
         let a = parse(
             "--seed 7 --clients 100 --candidates 30 --hours 12 --scale 0.5 --out /tmp/r \
-             --telemetry /tmp/t --profile /tmp/p",
+             --telemetry /tmp/t --profile /tmp/p --audit /tmp/a",
         );
         assert_eq!(a.seed, 7);
         assert_eq!(a.clients, Some(100));
@@ -140,13 +146,15 @@ mod tests {
         assert_eq!(a.out_dir, "/tmp/r");
         assert_eq!(a.telemetry.as_deref(), Some("/tmp/t"));
         assert_eq!(a.profile.as_deref(), Some("/tmp/p"));
+        assert_eq!(a.audit.as_deref(), Some("/tmp/a"));
     }
 
     #[test]
-    fn telemetry_and_profile_default_off() {
+    fn telemetry_profile_and_audit_default_off() {
         let a = parse("--seed 3");
         assert_eq!(a.telemetry, None);
         assert_eq!(a.profile, None);
+        assert_eq!(a.audit, None);
     }
 
     #[test]

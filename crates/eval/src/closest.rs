@@ -82,6 +82,8 @@ pub struct ClientOutcome {
     pub client: HostId,
     /// RTT to the truly closest candidate.
     pub optimal_ms: f64,
+    /// The truly closest candidate (ground truth).
+    pub optimal_selected: HostId,
     /// RTT to Meridian's recommendation.
     pub meridian_ms: f64,
     /// Rank of Meridian's recommendation (0 = optimal).
@@ -94,6 +96,10 @@ pub struct ClientOutcome {
     pub crp_top1_rank: usize,
     /// CRP's Top-1 candidate.
     pub crp_top1_selected: HostId,
+    /// Similarity score behind the Top-1 pick (0 when the client shares
+    /// no replica with it) — the audit layer uses this to separate weak
+    /// picks from confidently wrong ones.
+    pub crp_top1_score: f64,
     /// Mean RTT over CRP's Top-5 recommendations.
     pub crp_top5_ms: f64,
     /// Whether the client shared any replica with any candidate.
@@ -208,12 +214,14 @@ pub fn run_closest(cfg: &ClosestConfig) -> ClosestRun {
         outcomes.push(ClientOutcome {
             client,
             optimal_ms: order[0].1.millis(),
+            optimal_selected: order[0].0,
             meridian_ms: ms_of(mq.selected),
             meridian_rank: rank_of(mq.selected),
             meridian_selected: mq.selected,
             crp_top1_ms: ms_of(crp_top1),
             crp_top1_rank: rank_of(crp_top1),
             crp_top1_selected: crp_top1,
+            crp_top1_score: ranking.entries().first().map_or(0.0, |(_, s)| *s),
             crp_top5_ms,
             crp_has_signal: ranking.has_signal(),
         });

@@ -16,6 +16,7 @@
 //! can be re-run cheaply (`--clients 200 --candidates 60`) or at full
 //! paper scale (the defaults).
 
+pub mod audit;
 pub mod cli;
 pub mod closest;
 pub mod clusterexp;

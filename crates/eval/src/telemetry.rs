@@ -13,8 +13,16 @@
 //! writes the aggregated scope tree to `<dir>/<experiment>_profile.json`.
 //! The two outputs never mix — the profile is wall-clock data and is
 //! deliberately excluded from any determinism comparison.
+//!
+//! With `--audit <dir>` the session additionally enables the
+//! [`crp_core::explain`] decision-provenance recorder; on drop the
+//! drained [`ExplainLog`] lands in `<dir>/<experiment>_provenance.json`.
+//! Like telemetry and profiling, provenance is a pure observer: enabling
+//! it never changes experiment outputs (`tests/telemetry_determinism.rs`
+//! proves this byte-for-byte).
 
 use crate::EvalArgs;
+use crp_core::explain::ExplainLog;
 use crp_telemetry::profile::ProfileNode;
 use crp_telemetry::{JsonlSink, TelemetrySummary};
 use std::fs;
@@ -30,7 +38,15 @@ use std::path::{Path, PathBuf};
 pub struct TelemetrySession {
     dir: Option<PathBuf>,
     profile_dir: Option<PathBuf>,
+    audit_dir: Option<PathBuf>,
     experiment: &'static str,
+}
+
+impl TelemetrySession {
+    /// The audit output directory, when `--audit` was given.
+    pub fn audit_dir(&self) -> Option<&Path> {
+        self.audit_dir.as_deref()
+    }
 }
 
 /// Starts telemetry (and, with `--profile`, wall-clock profiling) for
@@ -57,9 +73,14 @@ pub fn session(args: &EvalArgs, experiment: &'static str) -> TelemetrySession {
     if profile_dir.is_some() {
         crp_telemetry::profile::start();
     }
+    let audit_dir = args.audit.as_ref().map(PathBuf::from);
+    if audit_dir.is_some() {
+        crp_core::explain::start();
+    }
     TelemetrySession {
         dir,
         profile_dir,
+        audit_dir,
         experiment,
     }
 }
@@ -74,6 +95,24 @@ pub fn write_summary(dir: &Path, summary: &TelemetrySummary) -> std::io::Result<
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{}_summary.json", summary.experiment));
+    fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+/// Writes `log` as JSON to `<dir>/<experiment>_provenance.json`.
+///
+/// # Errors
+///
+/// Returns any serialization or file-system error.
+pub fn write_provenance(
+    dir: &Path,
+    experiment: &str,
+    log: &ExplainLog,
+) -> std::io::Result<PathBuf> {
+    let json = serde_json::to_string(log)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{experiment}_provenance.json"));
     fs::write(&path, json + "\n")?;
     Ok(path)
 }
@@ -107,6 +146,14 @@ impl Drop for TelemetrySession {
                 match write_profile(dir, self.experiment, &tree) {
                     Ok(path) => println!("  [wrote {}]", path.display()),
                     Err(err) => eprintln!("[telemetry] cannot write profile: {err}"),
+                }
+            }
+        }
+        if let Some(log) = crp_core::explain::finish() {
+            if let Some(dir) = &self.audit_dir {
+                match write_provenance(dir, self.experiment, &log) {
+                    Ok(path) => println!("  [wrote {}]", path.display()),
+                    Err(err) => eprintln!("[telemetry] cannot write provenance: {err}"),
                 }
             }
         }
@@ -173,5 +220,35 @@ mod tests {
         assert_eq!(tree.name, "root");
         assert!(tree.child("phase").is_some(), "tree: {tree:?}");
         let _ = fs::remove_dir_all(&pdir);
+
+        // Audit path: --audit enables the explain recorder and the drop
+        // writes the drained provenance log.
+        let adir = std::env::temp_dir().join("crp-eval-audit-test");
+        let _ = fs::remove_dir_all(&adir);
+        let args = EvalArgs {
+            audit: Some(adir.to_string_lossy().into_owned()),
+            ..EvalArgs::default()
+        };
+        let s = session(&args, "t_audit");
+        assert!(crp_core::explain::enabled());
+        assert_eq!(s.audit_dir(), Some(adir.as_path()));
+        crp_core::explain::record_inversion(crp_core::explain::InversionRecord {
+            client: "c0".to_owned(),
+            selected: "r1".to_owned(),
+            selected_rank: 3,
+            optimal: "r0".to_owned(),
+            top_score: 0.4,
+            explained: true,
+            reason: "weak signal".to_owned(),
+        });
+        drop(s);
+        assert!(!crp_core::explain::enabled());
+        let raw =
+            fs::read_to_string(adir.join("t_audit_provenance.json")).expect("provenance written");
+        let value = serde_json::parse(&raw).expect("valid json");
+        let log = <ExplainLog as serde::Deserialize>::from_value(&value).expect("shape");
+        assert_eq!(log.inversions.len(), 1);
+        assert_eq!(log.inversions[0].client, "c0");
+        let _ = fs::remove_dir_all(&adir);
     }
 }

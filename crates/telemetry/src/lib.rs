@@ -116,7 +116,17 @@ impl Collector {
 
     /// Records `value` into the named histogram, creating it with the
     /// given bounds on first touch. Later calls ignore `bounds`.
+    ///
+    /// NaN and negative values are rejected: they would land in the
+    /// lowest bucket (or corrupt min/sum) and silently poison every
+    /// percentile derived from the histogram. Rejections are counted
+    /// under `telemetry.observe.invalid` so bad instrumentation is
+    /// visible rather than absorbed.
     pub fn observe_with(&mut self, name: &str, bounds: &[f64], value: f64) {
+        if value.is_nan() || value < 0.0 {
+            self.counter_add("telemetry.observe.invalid", 1);
+            return;
+        }
         if let Some(h) = self.histograms.get_mut(name) {
             h.record(value);
         } else {
@@ -358,6 +368,46 @@ mod tests {
         let h = s.histogram("h").expect("histogram present");
         assert_eq!(h.count, 2);
         assert!((h.mean - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_and_negative_observations_are_rejected() {
+        let mut c = Collector::new(Box::new(NoopSink));
+        c.observe_with("h", &unit_bounds(), f64::NAN);
+        c.observe_with("h", &unit_bounds(), -1.0);
+        c.observe_with("h", &unit_bounds(), -0.000001);
+        c.observe_with("h", &unit_bounds(), 0.5);
+        let s = c.finish("exp");
+        let h = s.histogram("h").expect("the valid observation landed");
+        // Only the valid sample is aggregated: percentiles stay clean.
+        assert_eq!(h.count, 1);
+        assert!((h.min - 0.5).abs() < 1e-12);
+        assert!((h.mean - 0.5).abs() < 1e-12);
+        assert!((h.p50 - 0.5).abs() < 1e-12);
+        assert_eq!(s.counter("telemetry.observe.invalid"), Some(3));
+    }
+
+    #[test]
+    fn rejected_observation_does_not_create_a_histogram() {
+        let mut c = Collector::new(Box::new(NoopSink));
+        c.observe_with("h", &unit_bounds(), f64::NAN);
+        let s = c.finish("exp");
+        assert!(s.histogram("h").is_none());
+        assert_eq!(s.counter("telemetry.observe.invalid"), Some(1));
+    }
+
+    #[test]
+    fn infinity_still_lands_in_overflow_bucket() {
+        // +inf is not rejected: the histogram routes non-finite values to
+        // its overflow bucket, excluded from min/max/mean.
+        let mut c = Collector::new(Box::new(NoopSink));
+        c.observe_with("h", &unit_bounds(), f64::INFINITY);
+        c.observe_with("h", &unit_bounds(), 0.25);
+        let s = c.finish("exp");
+        let h = s.histogram("h").expect("histogram present");
+        assert_eq!(h.count, 2, "overflow bucket still counted");
+        assert!((h.max - 0.25).abs() < 1e-12, "min/max/mean stay finite");
+        assert_eq!(s.counter("telemetry.observe.invalid"), None);
     }
 
     #[test]

@@ -43,12 +43,18 @@ pub enum Scope {
     /// `telemetry::profile` module. Wall-clock reads anywhere else are
     /// a determinism leak waiting to happen.
     WallClock,
+    /// Library and binary sources outside the sanctioned provenance
+    /// call sites ([`PROVENANCE_FILES`]) and test regions. Every
+    /// `explain::record_*` hook must sit behind an `explain::enabled()`
+    /// gate in a reviewed location — scattering record calls through
+    /// hot paths erodes the zero-cost-when-disabled contract.
+    Provenance,
 }
 
 /// A static-analysis rule: an ID, the substring patterns that trigger
 /// it, and where it applies.
 pub struct Rule {
-    /// Stable identifier, `CRP001`..`CRP007`.
+    /// Stable identifier, `CRP001`..`CRP008`.
     pub id: &'static str,
     /// Substring patterns (matched against scrubbed source).
     pub patterns: &'static [&'static str],
@@ -129,12 +135,24 @@ pub const RULES: &[Rule] = &[
                   crp-bench, crp-eval, and telemetry::profile may read \
                   Instant/SystemTime",
     },
+    Rule {
+        id: "CRP008",
+        patterns: &["explain::record_"],
+        scope: Scope::Provenance,
+        severity: Severity::Error,
+        message: "provenance record call outside the sanctioned sites; \
+                  explain hooks live only in the reviewed core decision \
+                  points and the crp-eval audit layer, each behind an \
+                  explain::enabled() gate",
+    },
 ];
 
 /// Crates whose library code is a simulation path (CRP004). The
 /// telemetry crate is included because its records are keyed on
-/// simulated time — mixing in the wall clock would break determinism.
-const SIM_CRATES: &[&str] = &["netsim", "cdn", "core", "telemetry"];
+/// simulated time — mixing in the wall clock would break determinism —
+/// and the audit crate because its drift scans re-interpret SimTime
+/// history and must stay on simulated time exclusively.
+const SIM_CRATES: &[&str] = &["netsim", "cdn", "core", "telemetry", "audit"];
 
 /// Crates allowed to print from library code (CRP005 exemption).
 const OUTPUT_CRATES: &[&str] = &["eval"];
@@ -152,6 +170,19 @@ const WALL_CLOCK_CRATES: &[&str] = &["bench", "eval"];
 /// the telemetry crate only to share the atomic-gate pattern. Exempt
 /// from both CRP004 and CRP007.
 const WALL_CLOCK_FILES: &[&str] = &["crates/telemetry/src/profile.rs"];
+
+/// The sanctioned provenance call sites (CRP008 exemption): the core
+/// decision points whose hooks were reviewed to sit behind the
+/// `explain::enabled()` gate, the explain module itself, and the
+/// crp-eval audit layer that records ground-truth inversions.
+const PROVENANCE_FILES: &[&str] = &[
+    "crates/core/src/explain.rs",
+    "crates/core/src/similarity.rs",
+    "crates/core/src/select.rs",
+    "crates/core/src/cluster.rs",
+    "crates/eval/src/audit.rs",
+    "crates/eval/src/telemetry.rs",
+];
 
 /// A single lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -202,6 +233,8 @@ struct FileClass {
     crate_name: String,
     /// Whether the file is on the [`WALL_CLOCK_FILES`] exemption list.
     wall_clock_exempt: bool,
+    /// Whether the file is on the [`PROVENANCE_FILES`] exemption list.
+    provenance_exempt: bool,
 }
 
 /// Directories never scanned.
@@ -212,7 +245,9 @@ fn classify(rel: &Path) -> Option<FileClass> {
         .components()
         .map(|c| c.as_os_str().to_str().unwrap_or(""))
         .collect();
-    let wall_clock_exempt = WALL_CLOCK_FILES.contains(&parts.join("/").as_str());
+    let joined = parts.join("/");
+    let wall_clock_exempt = WALL_CLOCK_FILES.contains(&joined.as_str());
+    let provenance_exempt = PROVENANCE_FILES.contains(&joined.as_str());
     if parts
         .iter()
         .any(|p| matches!(*p, "tests" | "benches" | "examples"))
@@ -227,6 +262,7 @@ fn classify(rel: &Path) -> Option<FileClass> {
             kind: FileKind::Harness,
             crate_name,
             wall_clock_exempt,
+            provenance_exempt,
         });
     }
     if parts.first() == Some(&"crates") {
@@ -243,6 +279,7 @@ fn classify(rel: &Path) -> Option<FileClass> {
             kind,
             crate_name,
             wall_clock_exempt,
+            provenance_exempt,
         });
     }
     if parts.first() == Some(&"src") {
@@ -250,6 +287,7 @@ fn classify(rel: &Path) -> Option<FileClass> {
             kind: FileKind::Library,
             crate_name: "crp".to_string(),
             wall_clock_exempt,
+            provenance_exempt,
         });
     }
     None
@@ -278,6 +316,9 @@ fn rule_applies(rule: &Rule, class: &FileClass, in_test_region: bool) -> bool {
             class.kind != FileKind::Harness
                 && !WALL_CLOCK_CRATES.contains(&class.crate_name.as_str())
                 && !class.wall_clock_exempt
+        }
+        Scope::Provenance => {
+            class.kind != FileKind::Harness && !in_test_region && !class.provenance_exempt
         }
     }
 }
@@ -637,5 +678,44 @@ mod tests {
     #[test]
     fn non_workspace_paths_are_ignored() {
         assert!(lint_source(&PathBuf::from("README.rs"), "x.unwrap();", &[]).is_empty());
+    }
+
+    #[test]
+    fn provenance_calls_flagged_outside_sanctioned_sites() {
+        let src = "fn f() { crate::explain::record_ranking(&entries); }\n";
+        // An unsanctioned core module: CRP008 fires.
+        let diags = lint_source(&PathBuf::from("crates/core/src/ratio.rs"), src, &[]);
+        assert!(diags.iter().any(|d| d.rule == "CRP008"), "{diags:?}");
+        // Binaries are covered too — recording belongs in the audit layer.
+        let bin = lint_source(&PathBuf::from("crates/eval/src/bin/fig4.rs"), src, &[]);
+        assert!(bin.iter().any(|d| d.rule == "CRP008"));
+        // The reviewed call sites are exempt.
+        for sanctioned in [
+            "crates/core/src/similarity.rs",
+            "crates/core/src/select.rs",
+            "crates/core/src/cluster.rs",
+            "crates/core/src/explain.rs",
+            "crates/eval/src/audit.rs",
+            "crates/eval/src/telemetry.rs",
+        ] {
+            let diags = lint_source(&PathBuf::from(sanctioned), src, &[]);
+            assert!(
+                diags.iter().all(|d| d.rule != "CRP008"),
+                "{sanctioned} should be provenance-sanctioned, got {diags:?}"
+            );
+        }
+        // Test regions and harness code stay exempt.
+        let test_region = "#[cfg(test)]\nmod tests {\n    fn t() { \
+                           crate::explain::record_inversion(r); }\n}\n";
+        let diags = lint_source(&PathBuf::from("crates/core/src/ratio.rs"), test_region, &[]);
+        assert!(diags.iter().all(|d| d.rule != "CRP008"), "{diags:?}");
+        assert!(lint_source(&PathBuf::from("tests/determinism.rs"), src, &[]).is_empty());
+    }
+
+    #[test]
+    fn audit_crate_is_a_sim_crate_for_wall_clock_purposes() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        let diags = lint_source(&PathBuf::from("crates/audit/src/drift.rs"), src, &[]);
+        assert!(diags.iter().any(|d| d.rule == "CRP004"), "{diags:?}");
     }
 }

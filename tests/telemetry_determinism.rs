@@ -1,7 +1,9 @@
-//! Telemetry must be a pure observer: enabling it cannot change any
-//! experiment output, and identical runs must produce identical
-//! telemetry. One test function drives all phases because the collector
-//! is process-global — parallel test threads must not share it.
+//! Telemetry, profiling, and decision provenance must be pure
+//! observers: enabling any of them cannot change experiment output, and
+//! identical runs must produce identical telemetry and provenance. One
+//! test function drives all phases because the collector and the
+//! explain log are process-global — parallel test threads must not
+//! share them.
 
 use crp::{Scenario, ScenarioConfig};
 use crp_core::{SimilarityMetric, WindowPolicy};
@@ -98,4 +100,27 @@ fn telemetry_never_perturbs_results_and_is_itself_deterministic() {
     let _ = crp_telemetry::profile::finish();
     assert_eq!(baseline, both);
     assert_eq!(summary_a.counters, summary_c.counters);
+
+    // Phase 7: decision provenance (the --audit recorder) enabled. The
+    // explain hooks sit inside similarity/ranking/clustering hot paths,
+    // so this is the strongest perturbation candidate — output must
+    // stay byte-identical while the drained log proves the hooks fired.
+    crp_core::explain::start();
+    let audited = campaign_fingerprint();
+    let log = crp_core::explain::finish().expect("explain recorder started");
+    assert_eq!(baseline, audited, "provenance changed experiment output");
+    assert!(
+        !log.similarities.is_empty() && !log.rankings.is_empty(),
+        "explain hooks did not fire: {} records",
+        log.len()
+    );
+
+    // Phase 8: provenance off again — and a second audited run records
+    // the identical log (provenance itself is deterministic).
+    assert!(!crp_core::explain::enabled());
+    assert_eq!(campaign_fingerprint(), baseline);
+    crp_core::explain::start();
+    let _ = campaign_fingerprint();
+    let log_b = crp_core::explain::finish().expect("explain recorder started");
+    assert_eq!(log, log_b, "same seed must record identical provenance");
 }
