@@ -170,7 +170,7 @@ fn register_all(runner: &mut Runner) {
     runner.run("tracker/ingest_1000_bounded30", 20, 20, || {
         let mut t = RedirectionTracker::<u32>::with_capacity(30);
         for i in 0..1_000u64 {
-            t.record(SimTime::from_mins(i), vec![(i % 9) as u32]);
+            t.record_slice(SimTime::from_mins(i), &[(i % 9) as u32]);
         }
         t
     });

@@ -104,6 +104,48 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
         }
     }
 
+    /// Appends one observation from a borrowed server list.
+    ///
+    /// Unlike [`record`](Self::record), this does not take ownership of
+    /// a freshly allocated `Vec`: on a bounded tracker at capacity, the
+    /// evicted observation's buffer is recycled to hold the new sample,
+    /// so steady-state ingest allocates nothing. This is the intended
+    /// path for long probing campaigns (ROADMAP item 1 targets
+    /// allocation-free ingest at 100k–1M hosts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers` is empty or `time` precedes the previous
+    /// observation.
+    pub fn record_slice(&mut self, time: SimTime, servers: &[K]) {
+        assert!(!servers.is_empty(), "observations must carry servers");
+        if let Some(last) = self.observations.back() {
+            assert!(
+                time >= last.time,
+                "observations must be recorded in time order"
+            );
+        }
+        let at_capacity = self
+            .capacity
+            .is_some_and(|cap| self.observations.len() >= cap);
+        if at_capacity {
+            if let Some(mut recycled) = self.observations.pop_front() {
+                crp_telemetry::counter_add("core.tracker.evictions", 1);
+                recycled.time = time;
+                recycled.servers.clear();
+                recycled.servers.extend_from_slice(servers);
+                self.observations.push_back(recycled);
+                crp_telemetry::counter_add("core.tracker.observations", 1);
+                return;
+            }
+        }
+        // First fill (or unbounded tracker): the buffer must be owned.
+        // crp-lint: allow(CRP009) — one-time warm-up copy; steady state recycles evicted buffers
+        let owned = servers.to_vec();
+        self.observations.push_back(Observation::new(time, owned));
+        crp_telemetry::counter_add("core.tracker.observations", 1);
+    }
+
     /// Number of observations currently held.
     pub fn len(&self) -> usize {
         self.observations.len()
@@ -159,21 +201,26 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
     ) -> Result<RatioMap<K>, RatioMapError> {
         crp_telemetry::profile_scope!("core.ratio_map");
         crp_telemetry::counter_add("core.ratio_map.builds", 1);
-        // Only history known at `now` participates.
+        // Only history known at `now` participates. Every window policy
+        // reduces to a (skip, min_time) pair over that prefix, so one
+        // concrete iterator chain serves all three — no boxed trait
+        // objects on the query path.
         let known = self.observations.partition_point(|o| o.time <= now);
-        let history = self.observations.iter().take(known);
-        let selected: Box<dyn Iterator<Item = &Observation<K>>> = match window {
-            WindowPolicy::All => Box::new(history),
-            WindowPolicy::LastProbes(n) => {
-                let skip = known.saturating_sub(n);
-                Box::new(history.skip(skip))
-            }
-            WindowPolicy::MaxAge(max_age) => {
-                let min_time =
-                    SimTime::from_millis(now.as_millis().saturating_sub(max_age.as_millis()));
-                Box::new(history.filter(move |o| o.time >= min_time))
-            }
+        let (skip, min_time) = match window {
+            WindowPolicy::All => (0, SimTime::ZERO),
+            WindowPolicy::LastProbes(n) => (known.saturating_sub(n), SimTime::ZERO),
+            WindowPolicy::MaxAge(max_age) => (
+                0,
+                SimTime::from_millis(now.as_millis().saturating_sub(max_age.as_millis())),
+            ),
         };
+        let selected = self
+            .observations
+            .iter()
+            .take(known)
+            .skip(skip)
+            .filter(move |o| o.time >= min_time);
+        // crp-lint: allow(CRP009) — ratio maps own their keys; one clone per selected event is irreducible
         RatioMap::from_counts(selected.flat_map(|o| o.servers.iter().cloned().map(|s| (s, 1u64))))
     }
 }
@@ -276,6 +323,55 @@ mod tests {
         let mut t = RedirectionTracker::new();
         t.record(SimTime::from_mins(10), vec![1u32]);
         t.record(SimTime::from_mins(5), vec![2u32]);
+    }
+
+    #[test]
+    fn record_slice_matches_record() {
+        let mut by_vec = RedirectionTracker::with_capacity(3);
+        let mut by_slice = RedirectionTracker::with_capacity(3);
+        for i in 0..8u32 {
+            let servers = vec![i % 4, (i + 1) % 4];
+            by_vec.record(SimTime::from_mins(u64::from(i)), servers.clone());
+            by_slice.record_slice(SimTime::from_mins(u64::from(i)), &servers);
+        }
+        assert_eq!(by_vec.len(), by_slice.len());
+        let now = SimTime::from_mins(10);
+        let a = by_vec.ratio_map(WindowPolicy::All, now).unwrap();
+        let b = by_slice.ratio_map(WindowPolicy::All, now).unwrap();
+        for s in 0..4u32 {
+            assert!((a.get(&s) - b.get(&s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn record_slice_recycles_at_capacity() {
+        let mut t = RedirectionTracker::with_capacity(2);
+        t.record_slice(SimTime::ZERO, &[1u32]);
+        t.record_slice(SimTime::from_mins(1), &[2]);
+        // Third observation evicts the first and reuses its buffer.
+        t.record_slice(SimTime::from_mins(2), &[3, 4, 5]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.last_time(), Some(SimTime::from_mins(2)));
+        let m = t
+            .ratio_map(WindowPolicy::All, SimTime::from_mins(2))
+            .unwrap();
+        assert_eq!(m.get(&1), 0.0);
+        assert!((m.get(&3) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_record_slice_panics() {
+        let mut t = RedirectionTracker::new();
+        t.record_slice(SimTime::from_mins(10), &[1u32]);
+        t.record_slice(SimTime::from_mins(5), &[2u32]);
+    }
+
+    #[test]
+    #[should_panic(expected = "carry servers")]
+    fn empty_record_slice_panics() {
+        let mut t = RedirectionTracker::<u32>::new();
+        t.record_slice(SimTime::ZERO, &[]);
     }
 
     #[test]

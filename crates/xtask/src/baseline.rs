@@ -1,0 +1,317 @@
+//! The ratcheted lint baseline.
+//!
+//! `LINT_BASELINE.json` records, per rule and per crate, how many
+//! error-severity findings the workspace is *allowed* to contain. The
+//! lint run is green while every bucket stays at or below its
+//! allowance; any bucket that grows fails the run and prints the
+//! offending findings. Shrinking a bucket passes immediately — refresh
+//! the committed file with `--update-baseline` to lock the improvement
+//! in, exactly like the `bench_check`/`BENCH_<label>.json` workflow.
+
+use crate::json::{self, Value};
+use crate::lint::{Diagnostic, Severity};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Per-(rule, crate) error allowances, keyed `(rule_id, crate_name)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    counts: BTreeMap<(String, String), u64>,
+}
+
+/// One row of the ratchet comparison.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeltaRow {
+    pub rule: String,
+    pub crate_name: String,
+    pub baseline: u64,
+    pub current: u64,
+}
+
+impl DeltaRow {
+    /// Whether this bucket grew past its allowance.
+    pub fn regressed(&self) -> bool {
+        self.current > self.baseline
+    }
+}
+
+/// The result of ratcheting a diagnostic set against a baseline.
+pub struct RatchetOutcome {
+    /// Diagnostics that still count: warnings, plus every error in a
+    /// bucket that exceeded its allowance.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Error findings absorbed by the baseline (within allowance).
+    pub baselined: usize,
+    /// All buckets present in either the baseline or the current run,
+    /// sorted by (rule, crate).
+    pub rows: Vec<DeltaRow>,
+}
+
+impl RatchetOutcome {
+    /// Whether any bucket regressed.
+    pub fn regressed(&self) -> bool {
+        self.rows.iter().any(DeltaRow::regressed)
+    }
+}
+
+/// The short crate name a diagnostic's path belongs to, matching the
+/// baseline's crate key (`core`, `cdn`, ... or `crp` for root `src/`).
+pub fn crate_of(file: &Path) -> String {
+    let parts: Vec<&str> = file
+        .components()
+        .map(|c| c.as_os_str().to_str().unwrap_or(""))
+        .collect();
+    if parts.first() == Some(&"crates") {
+        parts.get(1).unwrap_or(&"crp").to_string()
+    } else {
+        "crp".to_string()
+    }
+}
+
+/// Per-(rule, crate) error counts for a diagnostic set. Warnings never
+/// enter the ratchet — they cannot fail the run.
+pub fn error_counts(diagnostics: &[Diagnostic]) -> BTreeMap<(String, String), u64> {
+    let mut counts = BTreeMap::new();
+    for diag in diagnostics {
+        if diag.severity == Severity::Error {
+            *counts
+                .entry((diag.rule.to_string(), crate_of(&diag.file)))
+                .or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+impl Baseline {
+    /// Builds a baseline holding exactly the given counts.
+    pub fn from_counts(counts: BTreeMap<(String, String), u64>) -> Self {
+        Baseline { counts }
+    }
+
+    /// Parses the committed baseline file format:
+    ///
+    /// ```json
+    /// {
+    ///   "comment": "...",
+    ///   "counts": { "CRP009": { "core": 5 }, ... }
+    /// }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the document is not valid JSON or does
+    /// not follow the schema above.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        let counts_obj = doc
+            .get("counts")
+            .ok_or("baseline is missing the `counts` object")?;
+        let rules = counts_obj
+            .entries()
+            .ok_or("baseline `counts` must be an object")?;
+        let mut counts = BTreeMap::new();
+        for (rule, crates) in rules {
+            let crates = crates
+                .entries()
+                .ok_or_else(|| format!("baseline counts for {rule} must be an object"))?;
+            for (crate_name, n) in crates {
+                let n = n.as_u64().ok_or_else(|| {
+                    format!("count {rule}/{crate_name} must be a non-negative integer")
+                })?;
+                counts.insert((rule.clone(), crate_name.clone()), n);
+            }
+        }
+        Ok(Baseline { counts })
+    }
+
+    /// Loads the baseline from `path`; `Ok(None)` when the file does
+    /// not exist (strict mode — every error fails).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the file exists but cannot be read or
+    /// parsed.
+    pub fn load(path: &Path) -> Result<Option<Self>, String> {
+        if !path.is_file() {
+            return Ok(None);
+        }
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Self::parse(&text)
+            .map(Some)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Serializes the baseline in the committed file format, rules
+    /// outer, crates inner, both sorted.
+    pub fn to_json(&self) -> String {
+        let mut by_rule: BTreeMap<&str, Vec<(String, Value)>> = BTreeMap::new();
+        for ((rule, crate_name), n) in &self.counts {
+            by_rule
+                .entry(rule)
+                .or_default()
+                .push((crate_name.clone(), Value::Num(*n as f64)));
+        }
+        let counts = Value::Obj(
+            by_rule
+                .into_iter()
+                .map(|(rule, crates)| (rule.to_string(), Value::Obj(crates)))
+                .collect(),
+        );
+        let doc = Value::Obj(vec![
+            (
+                "comment".to_string(),
+                Value::Str(
+                    "Per-rule, per-crate lint-error allowances. The ratchet only \
+                     goes down: fix findings, then refresh with `cargo run -p \
+                     crp-xtask -- lint --update-baseline`."
+                        .to_string(),
+                ),
+            ),
+            ("counts".to_string(), counts),
+        ]);
+        json::to_pretty(&doc)
+    }
+
+    /// Applies the ratchet: errors in buckets within their allowance
+    /// are absorbed; buckets over their allowance keep all their
+    /// findings so the report shows the whole bucket being ratcheted.
+    pub fn apply(&self, diagnostics: Vec<Diagnostic>) -> RatchetOutcome {
+        let current = error_counts(&diagnostics);
+        let mut keys: Vec<&(String, String)> = self.counts.keys().chain(current.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        let rows: Vec<DeltaRow> = keys
+            .into_iter()
+            .map(|key| DeltaRow {
+                rule: key.0.clone(),
+                crate_name: key.1.clone(),
+                baseline: self.counts.get(key).copied().unwrap_or(0),
+                current: current.get(key).copied().unwrap_or(0),
+            })
+            .collect();
+        let mut baselined = 0usize;
+        let diagnostics = diagnostics
+            .into_iter()
+            .filter(|diag| {
+                if diag.severity != Severity::Error {
+                    return true;
+                }
+                let key = (diag.rule.to_string(), crate_of(&diag.file));
+                let within = current.get(&key).copied().unwrap_or(0)
+                    <= self.counts.get(&key).copied().unwrap_or(0);
+                if within {
+                    baselined += 1;
+                }
+                !within
+            })
+            .collect();
+        RatchetOutcome {
+            diagnostics,
+            baselined,
+            rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn diag(file: &str, rule: &'static str, severity: Severity) -> Diagnostic {
+        Diagnostic {
+            file: PathBuf::from(file),
+            line: 1,
+            rule,
+            severity,
+            pattern: "p",
+            message: "m",
+        }
+    }
+
+    #[test]
+    fn crate_names_match_baseline_keys() {
+        assert_eq!(crate_of(Path::new("crates/core/src/ratio.rs")), "core");
+        assert_eq!(crate_of(Path::new("src/lib.rs")), "crp");
+        assert_eq!(crate_of(Path::new("crates/cdn/src/bin/t.rs")), "cdn");
+    }
+
+    #[test]
+    fn within_allowance_absorbs_errors() {
+        let mut counts = BTreeMap::new();
+        counts.insert(("CRP009".to_string(), "core".to_string()), 2);
+        let baseline = Baseline::from_counts(counts);
+        let diags = vec![
+            diag("crates/core/src/ratio.rs", "CRP009", Severity::Error),
+            diag("crates/core/src/select.rs", "CRP009", Severity::Error),
+            diag("crates/core/src/ratio.rs", "CRP005", Severity::Warning),
+        ];
+        let outcome = baseline.apply(diags);
+        assert!(!outcome.regressed());
+        assert_eq!(outcome.baselined, 2);
+        // The warning passes through untouched.
+        assert_eq!(outcome.diagnostics.len(), 1);
+        assert_eq!(outcome.diagnostics[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn over_allowance_reports_the_whole_bucket() {
+        let mut counts = BTreeMap::new();
+        counts.insert(("CRP009".to_string(), "core".to_string()), 1);
+        let baseline = Baseline::from_counts(counts);
+        let diags = vec![
+            diag("crates/core/src/ratio.rs", "CRP009", Severity::Error),
+            diag("crates/core/src/select.rs", "CRP009", Severity::Error),
+        ];
+        let outcome = baseline.apply(diags);
+        assert!(outcome.regressed());
+        assert_eq!(outcome.baselined, 0);
+        assert_eq!(outcome.diagnostics.len(), 2);
+    }
+
+    #[test]
+    fn unknown_bucket_with_zero_allowance_regresses() {
+        let baseline = Baseline::default();
+        let outcome = baseline.apply(vec![diag(
+            "crates/cdn/src/cdn.rs",
+            "CRP010",
+            Severity::Error,
+        )]);
+        assert!(outcome.regressed());
+        assert_eq!(outcome.rows.len(), 1);
+        assert_eq!(outcome.rows[0].baseline, 0);
+        assert_eq!(outcome.rows[0].current, 1);
+    }
+
+    #[test]
+    fn improved_buckets_show_in_rows_but_do_not_fail() {
+        let mut counts = BTreeMap::new();
+        counts.insert(("CRP010".to_string(), "core".to_string()), 3);
+        let baseline = Baseline::from_counts(counts);
+        let outcome = baseline.apply(Vec::new());
+        assert!(!outcome.regressed());
+        assert_eq!(outcome.rows.len(), 1);
+        assert_eq!(outcome.rows[0].current, 0);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let mut counts = BTreeMap::new();
+        counts.insert(("CRP009".to_string(), "core".to_string()), 5);
+        counts.insert(("CRP010".to_string(), "cdn".to_string()), 2);
+        counts.insert(("CRP010".to_string(), "core".to_string()), 7);
+        let baseline = Baseline::from_counts(counts);
+        let text = baseline.to_json();
+        let reparsed = Baseline::parse(&text).expect("round-trips");
+        assert_eq!(reparsed, baseline);
+    }
+
+    #[test]
+    fn parse_rejects_schema_violations() {
+        assert!(Baseline::parse("[]").is_err());
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse(r#"{"counts": {"CRP009": 3}}"#).is_err());
+        assert!(Baseline::parse(r#"{"counts": {"CRP009": {"core": -1}}}"#).is_err());
+    }
+}

@@ -1,0 +1,607 @@
+//! The scope pass and the token-level checks.
+//!
+//! [`ScopedFile`] annotates the significant (non-comment) tokens of one
+//! file with the context a scope-aware rule needs: brace depth, the
+//! stack of enclosing `fn` items, and whether the token sits inside a
+//! `#[cfg(test)]` item. On top of that sit the generic
+//! [`find_pattern_matches`] token-sequence matcher (the port target for
+//! the substring rules) and the specialized detectors for
+//! bracket-indexing (CRP010) and unordered `HashMap`/`HashSet`
+//! iteration (CRP011).
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A significant token plus its scope context.
+#[derive(Clone, Debug)]
+pub struct ScopedToken<'a> {
+    /// The underlying token (never a comment).
+    pub token: Token<'a>,
+    /// Whether the token sits inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+    /// Index into [`ScopedFile::fns`] of the innermost enclosing `fn`,
+    /// if any.
+    pub fn_scope: Option<u32>,
+}
+
+/// One `fn` item discovered by the scope pass.
+#[derive(Clone, Debug)]
+pub struct FnScope<'a> {
+    /// The function's name (`r#` prefix stripped).
+    pub name: &'a str,
+    /// Enclosing `fn`, for nested functions.
+    pub parent: Option<u32>,
+}
+
+/// A file's significant tokens with scope annotations, plus the line
+/// spans of its `#[cfg(test)]` regions.
+pub struct ScopedFile<'a> {
+    /// Non-comment tokens in source order.
+    pub tokens: Vec<ScopedToken<'a>>,
+    /// All `fn` items, in discovery order.
+    pub fns: Vec<FnScope<'a>>,
+    /// `(first_line, last_line)` of each `#[cfg(test)]` item body.
+    pub test_line_spans: Vec<(u32, u32)>,
+}
+
+impl<'a> ScopedFile<'a> {
+    /// Lexes `source` and runs the scope pass.
+    pub fn parse(source: &'a str) -> Self {
+        build_scopes(lex(source))
+    }
+
+    /// Whether the innermost-to-outermost `fn` chain of token `idx`
+    /// contains a function named `name`.
+    pub fn in_fn_named(&self, idx: usize, names: &[&str]) -> bool {
+        let mut cur = self.tokens[idx].fn_scope;
+        while let Some(i) = cur {
+            let scope = &self.fns[i as usize];
+            if names.contains(&scope.name) {
+                return true;
+            }
+            cur = scope.parent;
+        }
+        false
+    }
+
+    /// Whether `line` (1-based) falls inside a `#[cfg(test)]` item.
+    pub fn line_in_test(&self, line: u32) -> bool {
+        self.test_line_spans
+            .iter()
+            .any(|&(start, end)| line >= start && line <= end)
+    }
+}
+
+/// What the scope builder is waiting to attach to the next `{`.
+#[derive(Clone, Debug)]
+enum Pending<'a> {
+    Fn(&'a str),
+    CfgTest,
+}
+
+#[derive(Clone, Debug)]
+enum ScopeEntry {
+    Fn { id: u32, open_depth: u32 },
+    CfgTest { open_depth: u32, start_line: u32 },
+}
+
+fn build_scopes(raw: Vec<Token<'_>>) -> ScopedFile<'_> {
+    let sig: Vec<Token<'_>> = raw
+        .into_iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+
+    let mut tokens = Vec::with_capacity(sig.len());
+    let mut fns: Vec<FnScope<'_>> = Vec::new();
+    let mut test_line_spans = Vec::new();
+
+    let mut stack: Vec<ScopeEntry> = Vec::new();
+    let mut pending: Vec<Pending<'_>> = Vec::new();
+    let mut brace_depth: u32 = 0;
+    // Parens and brackets, tracked so a `;` inside `[u8; 4]` or a
+    // signature's parameter list never cancels a pending item header.
+    let mut group_depth: u32 = 0;
+
+    let mut i = 0usize;
+    while i < sig.len() {
+        let tok = sig[i];
+        let text = tok.text;
+        match (tok.kind, text) {
+            (TokenKind::Ident, "fn") => {
+                // `fn name` starts an item header; a bare `fn` (function
+                // pointer type `fn(i32) -> i32`) has no name and no body.
+                if let Some(next) = sig.get(i + 1) {
+                    if next.kind == TokenKind::Ident {
+                        let name = next.text.strip_prefix("r#").unwrap_or(next.text);
+                        pending.push(Pending::Fn(name));
+                    }
+                }
+            }
+            (TokenKind::Punct, "#") => {
+                // Attribute: detect exactly `#[cfg(test)]`; skip nothing
+                // else — other attribute contents are harmless idents.
+                if is_cfg_test_attr(&sig, i) {
+                    pending.push(Pending::CfgTest);
+                    i += 7; // '#' '[' 'cfg' '(' 'test' ')' ']'
+                    continue;
+                }
+            }
+            (TokenKind::Punct, "(") | (TokenKind::Punct, "[") => group_depth += 1,
+            (TokenKind::Punct, ")") | (TokenKind::Punct, "]") => {
+                group_depth = group_depth.saturating_sub(1);
+            }
+            (TokenKind::Punct, ";") if group_depth == 0 => {
+                // `mod tests;`, trait method declarations: the pending
+                // header has no inline body after all.
+                pending.clear();
+            }
+            (TokenKind::Punct, "{") => {
+                brace_depth += 1;
+                if group_depth == 0 && !pending.is_empty() {
+                    for p in pending.drain(..) {
+                        match p {
+                            Pending::Fn(name) => {
+                                let parent = innermost_fn(&stack);
+                                fns.push(FnScope { name, parent });
+                                stack.push(ScopeEntry::Fn {
+                                    id: (fns.len() - 1) as u32,
+                                    open_depth: brace_depth,
+                                });
+                            }
+                            Pending::CfgTest => stack.push(ScopeEntry::CfgTest {
+                                open_depth: brace_depth,
+                                start_line: tok.line,
+                            }),
+                        }
+                    }
+                }
+            }
+            (TokenKind::Punct, "}") => {
+                while let Some(entry) = stack.last() {
+                    let open_depth = match entry {
+                        ScopeEntry::Fn { open_depth, .. } => *open_depth,
+                        ScopeEntry::CfgTest { open_depth, .. } => *open_depth,
+                    };
+                    if open_depth != brace_depth {
+                        break;
+                    }
+                    if let Some(ScopeEntry::CfgTest { start_line, .. }) = stack.pop() {
+                        test_line_spans.push((start_line, tok.line));
+                    }
+                }
+                brace_depth = brace_depth.saturating_sub(1);
+            }
+            _ => {}
+        }
+
+        tokens.push(ScopedToken {
+            token: tok,
+            in_test: stack
+                .iter()
+                .any(|e| matches!(e, ScopeEntry::CfgTest { .. })),
+            fn_scope: innermost_fn(&stack),
+        });
+        i += 1;
+    }
+
+    // Unterminated `#[cfg(test)]` regions (truncated files) run to EOF.
+    for entry in stack {
+        if let ScopeEntry::CfgTest { start_line, .. } = entry {
+            test_line_spans.push((start_line, u32::MAX));
+        }
+    }
+
+    ScopedFile {
+        tokens,
+        fns,
+        test_line_spans,
+    }
+}
+
+fn innermost_fn(stack: &[ScopeEntry]) -> Option<u32> {
+    stack.iter().rev().find_map(|e| match e {
+        ScopeEntry::Fn { id, .. } => Some(*id),
+        ScopeEntry::CfgTest { .. } => None,
+    })
+}
+
+/// Whether tokens starting at `i` spell exactly `#[cfg(test)]`.
+fn is_cfg_test_attr(sig: &[Token<'_>], i: usize) -> bool {
+    const WANT: [&str; 7] = ["#", "[", "cfg", "(", "test", ")", "]"];
+    sig.len() >= i + WANT.len() && WANT.iter().enumerate().all(|(k, w)| sig[i + k].text == *w)
+}
+
+/// Lexes a pattern string into its significant token texts. Patterns
+/// and sources go through the same lexer, so matching is exact.
+pub fn pattern_tokens(pattern: &str) -> Vec<&str> {
+    lex(pattern)
+        .into_iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .map(|t| t.text)
+        .collect()
+}
+
+/// Returns the token indices where `pattern` matches the scoped token
+/// stream: consecutive significant tokens whose texts equal the
+/// pattern's token texts. With `prefix_last`, the final pattern token
+/// matches any token that *starts with* it — the hook for rules like
+/// `explain::record_` whose tail names a function family. An empty
+/// pattern never matches.
+pub fn find_pattern_matches(
+    file: &ScopedFile<'_>,
+    pattern: &[&str],
+    prefix_last: bool,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    if pattern.is_empty() || file.tokens.len() < pattern.len() {
+        return out;
+    }
+    let last = pattern.len() - 1;
+    for i in 0..=(file.tokens.len() - pattern.len()) {
+        if pattern.iter().enumerate().all(|(k, p)| {
+            let text = file.tokens[i + k].token.text;
+            if prefix_last && k == last {
+                text.starts_with(p)
+            } else {
+                text == *p
+            }
+        }) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Keywords that may legitimately precede a `[` without the bracket
+/// being a panicking index expression (slice patterns, array types,
+/// `for x in [..]`, …).
+const NON_INDEX_PRECEDERS: &[&str] = &[
+    "let", "mut", "ref", "in", "if", "else", "match", "return", "break", "continue", "move", "for",
+    "while", "loop", "where", "as", "dyn", "impl", "fn", "pub", "use", "box", "static", "const",
+    "type", "enum", "struct", "trait", "union", "unsafe", "extern", "crate", "mod",
+];
+
+/// Token indices of `[` brackets that look like panicking index or
+/// slice expressions: the bracket directly follows an identifier (that
+/// is not a statement keyword), a `)`, a `]`, or a `?`. Attributes
+/// (`#[…]`), macro brackets (`vec![…]`), array types (`: [u8; 4]`), and
+/// slice patterns (`let [a, b] = …`) all fail that test.
+pub fn find_index_exprs(file: &ScopedFile<'_>) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in 1..file.tokens.len() {
+        if file.tokens[i].token.text != "[" {
+            continue;
+        }
+        let prev = &file.tokens[i - 1].token;
+        let indexes = match prev.kind {
+            TokenKind::Ident => !NON_INDEX_PRECEDERS.contains(&prev.text),
+            TokenKind::Punct => matches!(prev.text, ")" | "]" | "?"),
+            _ => false,
+        };
+        if indexes {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Methods whose call on a hash container leaks iteration order.
+const ITER_SINKS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Tokens whose presence in the same statement (or a trailing `sort` in
+/// the next) makes hash-order iteration deterministic or irrelevant:
+/// the stream is re-ordered, collected into an ordered container, or
+/// consumed by an order-insensitive reducer.
+const ORDER_SAFE: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "count",
+    "len",
+    "is_empty",
+    "any",
+    "all",
+    "contains",
+    "contains_key",
+];
+
+/// Token indices where a `HashMap`/`HashSet` binding is iterated
+/// without an ordering step (CRP011's core heuristic).
+///
+/// Hash-typed names are collected file-wide from `name: HashMap<…>`
+/// annotations (fields, params, lets) and `name = HashMap::new()`-style
+/// initializations; a name is then flagged where `name.iter()` /
+/// `.keys()` / `.values()` / … is called or where a `for … in name {`
+/// loop consumes it, unless the statement also mentions an
+/// order-restoring token (`sort*`, `BTreeMap`, `BTreeSet`, …) or the
+/// *next* statement sorts what was just collected.
+pub fn find_unordered_iterations(file: &ScopedFile<'_>) -> Vec<usize> {
+    let toks = &file.tokens;
+    let text = |i: usize| toks[i].token.text;
+
+    // Pass 1: names with hash-container types.
+    let mut hash_names: Vec<&str> = Vec::new();
+    for i in 0..toks.len() {
+        if !matches!(text(i), "HashMap" | "HashSet") {
+            continue;
+        }
+        // `name : [&] [mut] HashMap` — field, parameter, or let type.
+        let mut j = i;
+        while j > 0 && matches!(text(j - 1), "&" | "mut" | "'") {
+            j -= 1;
+        }
+        if j >= 2 && text(j - 1) == ":" && toks[j - 2].token.kind == TokenKind::Ident {
+            hash_names.push(text(j - 2));
+            continue;
+        }
+        // `name = HashMap::new()` / `::with_capacity` / `::from`.
+        if i >= 2 && text(i - 1) == "=" && toks[i - 2].token.kind == TokenKind::Ident {
+            hash_names.push(text(i - 2));
+        }
+    }
+    if hash_names.is_empty() {
+        return Vec::new();
+    }
+
+    // Pass 2: iteration sinks on those names.
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].token.kind != TokenKind::Ident || !hash_names.contains(&text(i)) {
+            continue;
+        }
+        // `name.iter()` and friends.
+        let method_sink = i + 2 < toks.len()
+            && text(i + 1) == "."
+            && ITER_SINKS.contains(&text(i + 2))
+            && toks.get(i + 3).is_some_and(|t| t.token.text == "(");
+        // `for pat in name {` / `for pat in &name {`.
+        let for_sink = {
+            let mut j = i;
+            if j > 0 && text(j - 1) == "&" {
+                j -= 1;
+            }
+            j > 0 && text(j - 1) == "in" && toks.get(i + 1).is_some_and(|t| t.token.text == "{")
+        };
+        if (method_sink || for_sink) && !escapes_order(toks, i) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Whether the statement containing token `i` (scanned forward to the
+/// first `;` or block brace) mentions an order-safe token, or the
+/// statement directly after it starts a `sort`.
+fn escapes_order(toks: &[ScopedToken<'_>], i: usize) -> bool {
+    let mut j = i;
+    while j < toks.len() {
+        let t = toks[j].token.text;
+        if t == ";" || t == "{" {
+            break;
+        }
+        if ORDER_SAFE.contains(&t) {
+            return true;
+        }
+        j += 1;
+    }
+    // Collected into a local, sorted on the next line:
+    // `let mut v: Vec<_> = m.keys().collect(); v.sort();`
+    if toks.get(j).is_some_and(|t| t.token.text == ";") {
+        let mut k = j + 1;
+        while k < toks.len() {
+            let t = toks[k].token.text;
+            if t == ";" || t == "{" || t == "}" {
+                break;
+            }
+            if t.starts_with("sort") {
+                return true;
+            }
+            k += 1;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_scopes_are_tracked() {
+        let src =
+            "fn outer() { inner_call(); fn nested() { deep(); } tail(); }\nfn other() { x(); }";
+        let file = ScopedFile::parse(src);
+        let at = |name: &str| {
+            file.tokens
+                .iter()
+                .position(|t| t.token.text == name)
+                .expect("token present")
+        };
+        assert!(file.in_fn_named(at("inner_call"), &["outer"]));
+        assert!(!file.in_fn_named(at("inner_call"), &["other"]));
+        // Nested fn: both the nested and outer names are on the chain.
+        assert!(file.in_fn_named(at("deep"), &["nested"]));
+        assert!(file.in_fn_named(at("deep"), &["outer"]));
+        assert!(file.in_fn_named(at("tail"), &["outer"]));
+        assert!(!file.in_fn_named(at("tail"), &["nested"]));
+        assert!(file.in_fn_named(at("x"), &["other"]));
+    }
+
+    #[test]
+    fn signature_semicolons_do_not_cancel_headers() {
+        // The `;` inside `[u8; 4]` sits at bracket depth 1 and must not
+        // cancel the pending `fn` header.
+        let src = "fn takes_array(x: [u8; 4]) { body(); }";
+        let file = ScopedFile::parse(src);
+        let at = file
+            .tokens
+            .iter()
+            .position(|t| t.token.text == "body")
+            .expect("token present");
+        assert!(file.in_fn_named(at, &["takes_array"]));
+    }
+
+    #[test]
+    fn trait_method_declarations_have_no_body() {
+        let src = "trait T { fn decl(&self) -> u32; }\nfn real() { work(); }";
+        let file = ScopedFile::parse(src);
+        let at = file
+            .tokens
+            .iter()
+            .position(|t| t.token.text == "work")
+            .expect("token present");
+        assert!(file.in_fn_named(at, &["real"]));
+        assert!(!file.in_fn_named(at, &["decl"]));
+    }
+
+    #[test]
+    fn cfg_test_regions_cover_their_items() {
+        let src = "fn lib() { a(); }\n#[cfg(test)]\nmod tests {\n    fn t() { b(); }\n}\nfn after() { c(); }";
+        let file = ScopedFile::parse(src);
+        let tok = |name: &str| {
+            file.tokens
+                .iter()
+                .find(|t| t.token.text == name)
+                .expect("token present")
+        };
+        assert!(!tok("a").in_test);
+        assert!(tok("b").in_test);
+        assert!(!tok("c").in_test);
+        assert!(file.line_in_test(4));
+        assert!(!file.line_in_test(1));
+    }
+
+    #[test]
+    fn out_of_line_test_mod_declares_no_region() {
+        let src = "#[cfg(test)]\nmod tests;\nfn lib() { a(); }";
+        let file = ScopedFile::parse(src);
+        assert!(file.test_line_spans.is_empty());
+        assert!(!file.tokens.iter().any(|t| t.in_test));
+    }
+
+    #[test]
+    fn cfg_test_on_single_fn() {
+        let src = "#[cfg(test)]\nfn helper() { h(); }\nfn lib() { a(); }";
+        let file = ScopedFile::parse(src);
+        let tok = |name: &str| {
+            file.tokens
+                .iter()
+                .find(|t| t.token.text == name)
+                .expect("token present")
+        };
+        assert!(tok("h").in_test);
+        assert!(!tok("a").in_test);
+    }
+
+    #[test]
+    fn raw_ident_fn_name_is_stripped() {
+        let src = "fn r#loop() { spin(); }";
+        let file = ScopedFile::parse(src);
+        let at = file
+            .tokens
+            .iter()
+            .position(|t| t.token.text == "spin")
+            .expect("token present");
+        assert!(file.in_fn_named(at, &["loop"]));
+    }
+
+    #[test]
+    fn pattern_matching_is_token_exact() {
+        let file = ScopedFile::parse("a.unwrap(); b.unwrap_or(0); c . unwrap ( ) ;");
+        let pat = pattern_tokens(".unwrap()");
+        assert_eq!(pat, vec![".", "unwrap", "(", ")"]);
+        let hits = find_pattern_matches(&file, &pat, false);
+        // Matches the tight and the spaced call, never `unwrap_or`.
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn pattern_matching_ignores_strings_and_comments() {
+        let file = ScopedFile::parse("// x.unwrap()\nlet s = \".unwrap()\";\n");
+        assert!(find_pattern_matches(&file, &pattern_tokens(".unwrap()"), false).is_empty());
+    }
+
+    #[test]
+    fn prefix_last_matches_ident_families() {
+        let file = ScopedFile::parse("explain::record_ranking(&e); explain::recorder();");
+        let pat = pattern_tokens("explain::record_");
+        assert_eq!(find_pattern_matches(&file, &pat, true).len(), 1);
+        assert!(find_pattern_matches(&file, &pat, false).is_empty());
+    }
+
+    #[test]
+    fn index_exprs_detected_and_types_excluded() {
+        let file = ScopedFile::parse(
+            "fn f(xs: &[u8], m: &M) -> [u8; 2] {\n    let [a, b] = [xs[0], m.get(1)?[0]];\n    #[allow(dead_code)]\n    let v = vec![1];\n    [a, b]\n}",
+        );
+        let hits = find_index_exprs(&file);
+        // xs[0] and ?[0] — not the types, patterns, attribute, vec!, or
+        // the array literals.
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn unordered_hashmap_iteration_flagged() {
+        let src = "fn f(m: &HashMap<u32, f64>) -> f64 {\n    let mut acc = 0.0;\n    for (_k, v) in m.iter() { acc += v; }\n    acc\n}";
+        let file = ScopedFile::parse(src);
+        assert_eq!(find_unordered_iterations(&file).len(), 1);
+    }
+
+    #[test]
+    fn for_loop_over_borrowed_map_flagged() {
+        let src = "fn f(m: &HashMap<u32, f64>) {\n    for v in &m { use_it(v); }\n}";
+        let file = ScopedFile::parse(src);
+        assert_eq!(find_unordered_iterations(&file).len(), 1);
+    }
+
+    #[test]
+    fn btree_collect_escapes() {
+        let src = "fn f(m: &HashMap<u32, f64>) -> BTreeSet<u32> {\n    m.keys().copied().collect::<BTreeSet<u32>>()\n}";
+        let file = ScopedFile::parse(src);
+        assert!(find_unordered_iterations(&file).is_empty());
+    }
+
+    #[test]
+    fn next_statement_sort_escapes() {
+        let src = "fn f(m: &HashMap<u32, f64>) -> Vec<u32> {\n    let mut ks: Vec<u32> = m.keys().copied().collect();\n    ks.sort();\n    ks\n}";
+        let file = ScopedFile::parse(src);
+        assert!(find_unordered_iterations(&file).is_empty());
+    }
+
+    #[test]
+    fn hashmap_new_binding_is_tracked() {
+        let src = "fn f() {\n    let mut m = HashMap::new();\n    m.insert(1, 2);\n    for k in m.keys() { go(k); }\n}";
+        let file = ScopedFile::parse(src);
+        assert_eq!(find_unordered_iterations(&file).len(), 1);
+    }
+
+    #[test]
+    fn order_insensitive_reducers_escape() {
+        let src = "fn f(m: &HashMap<u32, f64>) -> usize {\n    m.keys().count()\n}";
+        let file = ScopedFile::parse(src);
+        assert!(find_unordered_iterations(&file).is_empty());
+    }
+
+    #[test]
+    fn non_hash_containers_are_ignored() {
+        let src = "fn f(m: &BTreeMap<u32, f64>) -> f64 {\n    m.values().sum()\n}";
+        let file = ScopedFile::parse(src);
+        assert!(find_unordered_iterations(&file).is_empty());
+    }
+}

@@ -1,0 +1,547 @@
+//! A small dependency-free Rust lexer.
+//!
+//! The lint engine works on token streams, not raw text: substring
+//! patterns cannot tell `unwrap` from `unwrap_or`, cannot see whether a
+//! match sits inside a string literal, and — most importantly — carry no
+//! notion of *scope*, so "no allocation inside this function's hot loop"
+//! is inexpressible. [`lex`] turns source text into a flat token list
+//! with 1-based line numbers; the scope pass in [`crate::engine`] then
+//! layers item boundaries (`fn`, `mod`, `#[cfg(test)]`) on top.
+//!
+//! The lexer is deliberately modest: it distinguishes identifiers
+//! (including raw `r#idents`), lifetimes vs. char literals, string /
+//! raw-string / byte-string literals, numbers, comments, and single-byte
+//! punctuation. Multi-character operators (`::`, `->`, `>>`) are *not*
+//! joined — `Vec<Vec<u32>>` lexes as two plain `>` tokens, so nested
+//! generics never confuse downstream matching, and token-sequence
+//! patterns are lexed by the same function so both sides agree.
+
+/// What a token is.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword, including raw identifiers (`r#fn`).
+    Ident,
+    /// A lifetime such as `'a` (quote included in the text).
+    Lifetime,
+    /// String literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// Numeric literal, suffix included (`1_000u64`, `0xFF`, `1e9`).
+    Number,
+    /// A single punctuation byte (`.`, `:`, `[`, `!`, …).
+    Punct,
+    /// Line or block comment, text included (allow markers live here).
+    Comment,
+}
+
+/// One lexed token. `text` borrows from the source; `line` is 1-based
+/// and refers to the token's *first* byte (multi-line tokens — block
+/// comments, raw strings — are attributed to where they start).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Exact source slice, quotes and prefixes included.
+    pub text: &'a str,
+    /// 1-based line of the first byte.
+    pub line: u32,
+}
+
+/// Lexes `source` into tokens. Whitespace is skipped; everything else,
+/// including comments, is kept. Invalid bytes degrade gracefully into
+/// single-byte `Punct` tokens — the linter must never panic on weird
+/// input, it is pointed at arbitrary files.
+pub fn lex(source: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => {
+                    self.line_comment();
+                    self.push(TokenKind::Comment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment();
+                    self.push(TokenKind::Comment, start, line);
+                }
+                b'"' => {
+                    self.string_literal();
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'\'' => self.char_or_lifetime(start, line),
+                b'r' | b'b' if self.raw_string_ahead() => {
+                    self.raw_string();
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'b' if self.peek(1) == Some(b'"') => {
+                    self.pos += 1;
+                    self.string_literal();
+                    self.push(TokenKind::Str, start, line);
+                }
+                b'b' if self.peek(1) == Some(b'\'') => {
+                    self.pos += 1;
+                    self.byte_char();
+                    self.push(TokenKind::Char, start, line);
+                }
+                b'r' if self.peek(1) == Some(b'#') && self.ident_byte(2) => {
+                    // Raw identifier r#name: one Ident token, prefix kept,
+                    // so `r#fn` is never mistaken for the `fn` keyword.
+                    self.pos += 2;
+                    self.ident_tail();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                _ if b.is_ascii_digit() => {
+                    self.number();
+                    self.push(TokenKind::Number, start, line);
+                }
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => {
+                    self.ident_tail();
+                    self.push(TokenKind::Ident, start, line);
+                }
+                _ => {
+                    self.pos += 1;
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn ident_byte(&self, ahead: usize) -> bool {
+        self.peek(ahead)
+            .is_some_and(|c| c == b'_' || c.is_ascii_alphabetic() || c >= 0x80)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.out.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+        });
+    }
+
+    /// Advances one byte, keeping the line count honest.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn line_comment(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest.
+        let mut depth = 0usize;
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// Consumes a `"…"` literal starting at the opening quote.
+    fn string_literal(&mut self) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Whether `r"…"`, `r#"…"#`, `br"…"`, or `br#"…"#` starts here —
+    /// but not a raw identifier like `r#fn` (hash without a quote).
+    fn raw_string_ahead(&self) -> bool {
+        let mut j = 0usize;
+        if self.peek(j) == Some(b'b') {
+            j += 1;
+        }
+        if self.peek(j) != Some(b'r') {
+            return false;
+        }
+        j += 1;
+        while self.peek(j) == Some(b'#') {
+            j += 1;
+        }
+        self.peek(j) == Some(b'"')
+    }
+
+    fn raw_string(&mut self) {
+        if self.bytes[self.pos] == b'b' {
+            self.pos += 1;
+        }
+        self.pos += 1; // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut k = 0usize;
+                while k < hashes && self.peek(1 + k) == Some(b'#') {
+                    k += 1;
+                }
+                if k == hashes {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// At a `'`: either a lifetime (`'a`, quote + ident, no closing
+    /// quote) or a char literal (`'x'`, `'\''`, `'\u{1F600}'`).
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        let next = self.peek(1);
+        let next_is_ident =
+            next.is_some_and(|c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80);
+        if next_is_ident && next != Some(b'\\') && self.peek(2) != Some(b'\'') {
+            // Lifetime: consume the quote and the identifier.
+            self.pos += 1;
+            self.ident_tail();
+            self.push(TokenKind::Lifetime, start, line);
+            return;
+        }
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => break, // stray quote, not a char literal
+                _ => self.bump(),
+            }
+        }
+        self.push(TokenKind::Char, start, line);
+    }
+
+    /// A byte-char `b'…'` with the `b` already consumed; the cursor sits
+    /// on the opening quote.
+    fn byte_char(&mut self) {
+        self.pos += 1;
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.pos += 1;
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
+                }
+                b'\'' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\n' => return,
+                _ => self.bump(),
+            }
+        }
+    }
+
+    fn ident_tail(&mut self) {
+        while self.pos < self.bytes.len() {
+            let c = self.bytes[self.pos];
+            if c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Numbers: digits, underscores, suffixes, hex/oct/bin prefixes, a
+    /// fractional part when a digit follows the dot (`1.5` but not the
+    /// range `1..5` or the method call `1.max(2)`), and signed
+    /// exponents (`1e-9`).
+    fn number(&mut self) {
+        self.ident_tail(); // digits, `_`, `x`/`b`/`o` prefixes, suffixes, `e`
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            self.ident_tail();
+        }
+        if self.bytes.get(self.pos.wrapping_sub(1)) == Some(&b'e')
+            || self.bytes.get(self.pos.wrapping_sub(1)) == Some(&b'E')
+        {
+            if let (Some(b'+') | Some(b'-'), Some(d)) = (self.peek(0), self.peek(1)) {
+                if d.is_ascii_digit() {
+                    self.pos += 1;
+                    self.ident_tail();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_are_kept_as_tokens_with_kind() {
+        assert_eq!(
+            texts("a // trailing\nb"),
+            vec![
+                (TokenKind::Ident, "a"),
+                (TokenKind::Comment, "// trailing"),
+                (TokenKind::Ident, "b"),
+            ]
+        );
+    }
+
+    fn sig_texts(src: &str) -> Vec<&str> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Comment)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        assert_eq!(sig_texts("x.unwrap()"), vec!["x", ".", "unwrap", "(", ")"]);
+    }
+
+    #[test]
+    fn unwrap_or_is_one_ident() {
+        // The whole point of token-level matching: `unwrap_or` must not
+        // decompose into something a `.unwrap()` pattern could match.
+        assert_eq!(
+            sig_texts("x.unwrap_or(0)"),
+            vec!["x", ".", "unwrap_or", "(", "0", ")"]
+        );
+    }
+
+    #[test]
+    fn nested_generics_lex_as_single_angle_brackets() {
+        assert_eq!(
+            sig_texts("Vec<Vec<u32>>"),
+            vec!["Vec", "<", "Vec", "<", "u32", ">", ">"]
+        );
+        assert_eq!(
+            sig_texts("HashMap<K, Vec<(u8, u8)>>"),
+            vec!["HashMap", "<", "K", ",", "Vec", "<", "(", "u8", ",", "u8", ")", ">", ">"]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'u' }");
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        let chars: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(chars, vec!["'u'"]);
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let toks = lex(r"let q = '\''; done();");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == r"'\''"));
+        assert!(toks.iter().any(|t| t.text == "done"));
+    }
+
+    #[test]
+    fn static_lifetime() {
+        let toks = lex("x: &'static str");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'static"));
+    }
+
+    #[test]
+    fn raw_strings_are_single_tokens() {
+        let toks = lex(r####"let m = r#"raw "quoted" unwrap()"#; after();"####);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(strs, vec![r###"r#"raw "quoted" unwrap()"#"###]);
+        // Nothing inside the raw string leaks out as an ident.
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "unwrap"));
+        assert!(toks.iter().any(|t| t.text == "after"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = lex(r#"let a = b"bytes"; let c = b'\n';"#);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text == r#"b"bytes""#));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Char && t.text == r"b'\n'"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_keywords() {
+        let toks = lex("let r#fn = 1; let r#mod = 2;");
+        let raw: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident && t.text.starts_with("r#"))
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(raw, vec!["r#fn", "r#mod"]);
+        // Specifically: no bare `fn` token appears.
+        assert!(!toks.iter().any(|t| t.text == "fn"));
+    }
+
+    #[test]
+    fn comments_are_kept_as_tokens() {
+        let toks = lex("a(); // crp-lint: allow(CRP001) — reason\nb();");
+        let comments: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Comment)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(comments.len(), 1);
+        assert!(comments[0].contains("allow(CRP001)"));
+        // And the ident inside the comment does not become a token.
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "allow"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = lex("a /* outer /* inner unwrap() */ still */ b");
+        assert_eq!(
+            sig_texts("a /* outer /* inner unwrap() */ still */ b"),
+            vec!["a", "b"]
+        );
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Comment).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls_or_ranges() {
+        assert_eq!(sig_texts("1.5f64"), vec!["1.5f64"]);
+        assert_eq!(sig_texts("1..5"), vec!["1", ".", ".", "5"]);
+        assert_eq!(sig_texts("1.max(2)"), vec!["1", ".", "max", "(", "2", ")"]);
+        assert_eq!(
+            sig_texts("t.0.clone()"),
+            vec!["t", ".", "0", ".", "clone", "(", ")"]
+        );
+        assert_eq!(sig_texts("1e-9"), vec!["1e-9"]);
+        assert_eq!(sig_texts("0xFF_u8"), vec!["0xFF_u8"]);
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let src = "a\n\"two\nlines\"\nb /* c\nc */ d";
+        let toks = lex(src);
+        let find = |text: &str| toks.iter().find(|t| t.text == text).map(|t| t.line);
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("\"two\nlines\""), Some(2));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("d"), Some(5));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = lex(r#"let s = ".unwrap()"; real();"#);
+        assert!(!toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "unwrap"));
+        assert!(toks.iter().any(|t| t.text == "real"));
+    }
+
+    #[test]
+    fn multibyte_utf8_in_idents_and_comments() {
+        // Non-ASCII bytes must not split tokens or desync the cursor.
+        let toks = lex("// héllo wörld — ok\nlet déjà = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "déjà"));
+    }
+
+    #[test]
+    fn empty_and_pathological_inputs() {
+        assert!(lex("").is_empty());
+        assert_eq!(lex("\"unterminated").len(), 1);
+        assert_eq!(lex("/* unterminated").len(), 1);
+        let _ = lex("r#\"unterminated raw");
+        let _ = lex("'");
+    }
+}

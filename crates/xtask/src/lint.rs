@@ -1,6 +1,16 @@
-//! The lint rules and the file/workspace scanners.
+//! The lint rules and the file/workspace scanners, built on the
+//! token-level engine in [`crate::engine`].
+//!
+//! Rules no longer match substrings against scrubbed lines: each file
+//! is lexed once, annotated with scope context (enclosing `fn` items,
+//! `#[cfg(test)]` regions), and the rules run over that token stream.
+//! Comments and string literals therefore can never false-positive,
+//! and rules can be scope-aware — "no allocation inside *this*
+//! function" (CRP009) or "this `HashMap` is iterated without sorting"
+//! (CRP011) are token/scope questions, not line questions.
 
-use crate::scrub::scrub;
+use crate::engine::{self, ScopedFile};
+use crate::lexer::{self, TokenKind};
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -34,9 +44,9 @@ pub enum Scope {
     /// too).
     CrateSources,
     /// Library sources of the simulation crates (`crp-netsim`,
-    /// `crp-cdn`, `crp-core`, `crp-telemetry`) plus their test modules —
-    /// simulated time must never mix with wall-clock time, even in
-    /// tests.
+    /// `crp-cdn`, `crp-core`, `crp-telemetry`, `crp-audit`) plus their
+    /// test modules — simulated time must never mix with wall-clock
+    /// time, even in tests.
     SimCrates,
     /// Library and binary sources of every crate *except* the
     /// sanctioned wall-clock users: `crp-bench`, `crp-eval`, and the
@@ -49,15 +59,40 @@ pub enum Scope {
     /// gate in a reviewed location — scattering record calls through
     /// hot paths erodes the zero-cost-when-disabled contract.
     Provenance,
+    /// The declared hot-path functions ([`HOT_PATHS`]): the crp-core
+    /// ratio/similarity/select kernels and the tracker ingest path,
+    /// where per-call allocation is a scaling bug (ROADMAP item 1).
+    HotPath,
+    /// Library sources of the crates destined for the serving path
+    /// ([`SERVING_CRATES`]), where a panic is an outage, excluding test
+    /// regions.
+    Serving,
+    /// Every classified non-harness file outside test regions —
+    /// `crp-lint: allow` markers are audited wherever they appear.
+    AllowMarkers,
 }
 
-/// A static-analysis rule: an ID, the substring patterns that trigger
-/// it, and where it applies.
+/// How a rule finds its violations.
+pub enum Check {
+    /// Token-sequence patterns (lexed with the same lexer as the
+    /// source; a trailing `_` makes the final token a prefix match).
+    Patterns(&'static [&'static str]),
+    /// Token-sequence patterns plus the bracket-indexing detector —
+    /// `m[k]` panics where `m.get(k)` would not.
+    PanicFree(&'static [&'static str]),
+    /// The `HashMap`/`HashSet` iteration-order heuristic.
+    UnorderedIteration,
+    /// `crp-lint: allow` markers that no longer suppress anything.
+    StaleAllow,
+}
+
+/// A static-analysis rule: an ID, how it detects violations, and where
+/// it applies.
 pub struct Rule {
-    /// Stable identifier, `CRP001`..`CRP008`.
+    /// Stable identifier, `CRP001`..`CRP012`.
     pub id: &'static str,
-    /// Substring patterns (matched against scrubbed source).
-    pub patterns: &'static [&'static str],
+    /// The detection strategy.
+    pub check: Check,
     /// Which files/regions the rule scans.
     pub scope: Scope,
     /// Default severity.
@@ -66,11 +101,20 @@ pub struct Rule {
     pub message: &'static str,
 }
 
+/// Pattern label used for bracket-indexing findings (CRP010).
+const INDEXING_PATTERN: &str = "[...]";
+
+/// Pattern label used for hash-iteration findings (CRP011).
+const HASH_ITER_PATTERN: &str = "HashMap/HashSet iteration";
+
+/// Pattern label used for stale-marker findings (CRP012).
+const STALE_ALLOW_PATTERN: &str = "crp-lint: allow";
+
 /// The rule set, in ID order.
 pub const RULES: &[Rule] = &[
     Rule {
         id: "CRP001",
-        patterns: &[".unwrap()", ".expect("],
+        check: Check::Patterns(&[".unwrap()", ".expect("]),
         scope: Scope::Library,
         severity: Severity::Error,
         message: "panicking unwrap/expect in library code; return a Result \
@@ -78,7 +122,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "CRP002",
-        patterns: &["thread_rng", "from_entropy", "rand::random"],
+        check: Check::Patterns(&["thread_rng", "from_entropy", "rand::random"]),
         scope: Scope::CrateSources,
         severity: Severity::Error,
         message: "nondeterministic RNG source; all randomness must flow from \
@@ -86,7 +130,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "CRP003",
-        patterns: &[".partial_cmp("],
+        check: Check::Patterns(&[".partial_cmp("]),
         scope: Scope::Library,
         severity: Severity::Error,
         message: "NaN-unsafe float ordering; use f64::total_cmp for \
@@ -94,12 +138,12 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "CRP004",
-        patterns: &[
+        check: Check::Patterns(&[
             "std::time::Instant",
             "std::time::SystemTime",
             "Instant::now",
             "SystemTime::now",
-        ],
+        ]),
         scope: Scope::SimCrates,
         severity: Severity::Error,
         message: "wall-clock time in a simulation crate; simulated code must \
@@ -107,7 +151,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "CRP005",
-        patterns: &["println!", "eprintln!"],
+        check: Check::Patterns(&["println!", "eprintln!"]),
         scope: Scope::Library,
         severity: Severity::Warning,
         message: "stdout/stderr printing from a library crate; output is \
@@ -115,7 +159,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "CRP006",
-        patterns: &["File::create(", "OpenOptions::new(", "fs::write("],
+        check: Check::Patterns(&["File::create(", "OpenOptions::new(", "fs::write("]),
         scope: Scope::Library,
         severity: Severity::Error,
         message: "direct file I/O from library code; telemetry flows through \
@@ -123,12 +167,12 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "CRP007",
-        patterns: &[
+        check: Check::Patterns(&[
             "std::time::Instant",
             "std::time::SystemTime",
             "Instant::now",
             "SystemTime::now",
-        ],
+        ]),
         scope: Scope::WallClock,
         severity: Severity::Error,
         message: "wall-clock time outside the sanctioned perf layer; only \
@@ -137,7 +181,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         id: "CRP008",
-        patterns: &["explain::record_"],
+        check: Check::Patterns(&["explain::record_"]),
         scope: Scope::Provenance,
         severity: Severity::Error,
         message: "provenance record call outside the sanctioned sites; \
@@ -145,14 +189,71 @@ pub const RULES: &[Rule] = &[
                   points and the crp-eval audit layer, each behind an \
                   explain::enabled() gate",
     },
+    Rule {
+        id: "CRP009",
+        check: Check::Patterns(&[
+            ".clone()",
+            ".cloned()",
+            ".to_vec()",
+            ".to_owned()",
+            ".to_string()",
+            ".collect(",
+            "format!",
+            "vec!",
+            "String::from",
+            "String::new",
+            "Box::new",
+            "Vec::new",
+            "VecDeque::new",
+            "HashMap::new",
+            "HashSet::new",
+            "BTreeMap::new",
+            "BTreeSet::new",
+        ]),
+        scope: Scope::HotPath,
+        severity: Severity::Error,
+        message: "allocation in a declared hot-path function; hoist it out, \
+                  reuse a scratch buffer, or justify with \
+                  crp-lint: allow(CRP009)",
+    },
+    Rule {
+        id: "CRP010",
+        check: Check::PanicFree(&[".unwrap()", ".expect(", "panic!"]),
+        scope: Scope::Serving,
+        severity: Severity::Error,
+        message: "panic-capable construct in a serving-path crate; use \
+                  get()/checked APIs and propagate errors, or justify with \
+                  crp-lint: allow(CRP010)",
+    },
+    Rule {
+        id: "CRP011",
+        check: Check::UnorderedIteration,
+        scope: Scope::SimCrates,
+        severity: Severity::Error,
+        message: "HashMap/HashSet iteration without an ordering step in a \
+                  sim crate; sort the stream or collect into a BTree \
+                  container before anything depends on its order",
+    },
+    Rule {
+        id: "CRP012",
+        check: Check::StaleAllow,
+        scope: Scope::AllowMarkers,
+        severity: Severity::Error,
+        message: "stale crp-lint allow marker: it suppresses no finding on \
+                  the lines it covers; delete it or correct its rule list",
+    },
 ];
 
-/// Crates whose library code is a simulation path (CRP004). The
+/// Crates whose library code is a simulation path (CRP004, CRP011). The
 /// telemetry crate is included because its records are keyed on
 /// simulated time — mixing in the wall clock would break determinism —
 /// and the audit crate because its drift scans re-interpret SimTime
 /// history and must stay on simulated time exclusively.
 const SIM_CRATES: &[&str] = &["netsim", "cdn", "core", "telemetry", "audit"];
+
+/// Crates destined for the serving path (CRP010): the positioning core,
+/// the CDN model it serves from, and the DNS front end.
+const SERVING_CRATES: &[&str] = &["core", "cdn", "dns"];
 
 /// Crates allowed to print from library code (CRP005 exemption).
 const OUTPUT_CRATES: &[&str] = &["eval"];
@@ -184,6 +285,48 @@ const PROVENANCE_FILES: &[&str] = &[
     "crates/eval/src/telemetry.rs",
 ];
 
+/// The declared hot-path set (CRP009): per file, the functions on the
+/// per-query or per-observation path once the tracker scales to the
+/// 100k–1M-host regime of ROADMAP item 1. Paths are workspace-relative
+/// so the fixture tree (which mirrors the layout) exercises the same
+/// configuration.
+const HOT_PATHS: &[(&str, &[&str])] = &[
+    (
+        "crates/core/src/ratio.rs",
+        &[
+            "from_counts",
+            "from_weights",
+            "get",
+            "dot",
+            "cosine_similarity",
+            "l1_distance",
+            "overlaps",
+            "strongest",
+            "l2_norm",
+        ],
+    ),
+    (
+        "crates/core/src/similarity.rs",
+        &["compare", "jaccard", "weighted_overlap"],
+    ),
+    (
+        "crates/core/src/select.rs",
+        &["rank", "top", "top_k", "score_of"],
+    ),
+    (
+        "crates/core/src/tracker.rs",
+        &["record", "record_slice", "ratio_map", "prune_before"],
+    ),
+];
+
+/// The hot-path function list for a workspace-relative path, if any.
+fn hot_fns(joined: &str) -> Option<&'static [&'static str]> {
+    HOT_PATHS
+        .iter()
+        .find(|(path, _)| *path == joined)
+        .map(|(_, fns)| *fns)
+}
+
 /// A single lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -195,7 +338,7 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Effective severity.
     pub severity: Severity,
-    /// The matched pattern.
+    /// The matched pattern (or a fixed label for the scope checks).
     pub pattern: &'static str,
     /// Rule explanation.
     pub message: &'static str,
@@ -231,6 +374,8 @@ struct FileClass {
     kind: FileKind,
     /// Short crate name (`core`, `cdn`, ... or `crp` for the root).
     crate_name: String,
+    /// The `/`-joined workspace-relative path, for file-keyed lists.
+    joined: String,
     /// Whether the file is on the [`WALL_CLOCK_FILES`] exemption list.
     wall_clock_exempt: bool,
     /// Whether the file is on the [`PROVENANCE_FILES`] exemption list.
@@ -261,6 +406,7 @@ fn classify(rel: &Path) -> Option<FileClass> {
         return Some(FileClass {
             kind: FileKind::Harness,
             crate_name,
+            joined,
             wall_clock_exempt,
             provenance_exempt,
         });
@@ -278,6 +424,7 @@ fn classify(rel: &Path) -> Option<FileClass> {
         return Some(FileClass {
             kind,
             crate_name,
+            joined,
             wall_clock_exempt,
             provenance_exempt,
         });
@@ -286,6 +433,7 @@ fn classify(rel: &Path) -> Option<FileClass> {
         return Some(FileClass {
             kind: FileKind::Library,
             crate_name: "crp".to_string(),
+            joined,
             wall_clock_exempt,
             provenance_exempt,
         });
@@ -320,54 +468,123 @@ fn rule_applies(rule: &Rule, class: &FileClass, in_test_region: bool) -> bool {
         Scope::Provenance => {
             class.kind != FileKind::Harness && !in_test_region && !class.provenance_exempt
         }
+        Scope::HotPath => {
+            class.kind == FileKind::Library && !in_test_region && hot_fns(&class.joined).is_some()
+        }
+        Scope::Serving => {
+            class.kind == FileKind::Library
+                && !in_test_region
+                && SERVING_CRATES.contains(&class.crate_name.as_str())
+        }
+        Scope::AllowMarkers => class.kind != FileKind::Harness && !in_test_region,
     }
 }
 
-/// Byte ranges covered by `#[cfg(test)]` items, found by brace matching
-/// on scrubbed source.
-fn test_regions(scrubbed: &str) -> Vec<(usize, usize)> {
-    let bytes = scrubbed.as_bytes();
-    let mut regions = Vec::new();
-    let mut search = 0usize;
-    while let Some(found) = scrubbed[search..].find("#[cfg(test)]") {
-        let attr_start = search + found;
-        let mut i = attr_start + "#[cfg(test)]".len();
-        // Find the item's opening brace; stop at `;` (e.g. `mod tests;`
-        // — the out-of-line file is classified separately).
-        let mut open = None;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'{' => {
-                    open = Some(i);
-                    break;
-                }
-                b';' => break,
-                _ => i += 1,
-            }
+/// A parsed `crp-lint: allow(...)` marker.
+struct Marker {
+    /// 1-based line of the comment holding the marker.
+    line: usize,
+    /// 1-based line on which the comment ends (block comments span).
+    end_line: usize,
+    /// Whether the comment shares its line(s) with no code — such
+    /// markers also cover the line directly below.
+    comment_only: bool,
+    /// Rule IDs listed inside `allow(...)`.
+    rules: Vec<String>,
+    /// Whether justification text follows the closing paren. Only
+    /// justified markers suppress; the justification is the reviewed
+    /// reason the violation is acceptable.
+    justified: bool,
+}
+
+impl Marker {
+    /// Whether the marker covers findings on 1-based line `line`.
+    fn covers(&self, line: usize) -> bool {
+        (line >= self.line && line <= self.end_line)
+            || (self.comment_only && line == self.end_line + 1)
+    }
+}
+
+/// Extracts allow markers from the comment tokens of `source`. Marker
+/// text inside string literals is invisible here — only real comments
+/// count, which also keeps this tool's own sources lintable.
+fn parse_markers(source: &str) -> Vec<Marker> {
+    let tokens = lexer::lex(source);
+    let mut markers = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Comment {
+            continue;
         }
-        let Some(open) = open else {
-            search = i.max(attr_start + 1);
+        // Doc comments describe the marker syntax, they don't use it —
+        // `//! ... crp-lint: allow(CRP00x) ...` in module docs must
+        // neither suppress nor count as stale.
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|p| tok.text.starts_with(p))
+        {
+            continue;
+        }
+        let Some((rules, justified)) = parse_marker_text(tok.text) else {
             continue;
         };
-        let mut depth = 0usize;
-        let mut j = open;
-        while j < bytes.len() {
-            match bytes[j] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            j += 1;
-        }
-        regions.push((attr_start, j));
-        search = j.max(attr_start + 1);
+        let line = tok.line as usize;
+        let end_line = line + tok.text.matches('\n').count();
+        let code_before = tokens[..i]
+            .iter()
+            .any(|t| t.kind != TokenKind::Comment && t.line as usize == line);
+        let code_after = tokens[i + 1..]
+            .iter()
+            .take_while(|t| t.line as usize <= end_line)
+            .any(|t| t.kind != TokenKind::Comment);
+        markers.push(Marker {
+            line,
+            end_line,
+            comment_only: !code_before && !code_after,
+            rules,
+            justified,
+        });
     }
-    regions
+    markers
+}
+
+/// Whether `r` has the shape of a real rule ID (`CRP` + three
+/// digits). Prose that merely talks about markers — `CRP00x`,
+/// `<rules>` — must not parse as one.
+fn is_rule_id(r: &str) -> bool {
+    r.len() == 6 && r.starts_with("CRP") && r[3..].bytes().all(|b| b.is_ascii_digit())
+}
+
+/// Parses one comment's text for `crp-lint: allow(<rules>) <reason>`.
+fn parse_marker_text(text: &str) -> Option<(Vec<String>, bool)> {
+    let pos = text.find("crp-lint:")?;
+    let rest = &text[pos + "crp-lint:".len()..];
+    let open = rest.find("allow(")?;
+    let inner = &rest[open + "allow(".len()..];
+    let close = inner.find(')')?;
+    let rules: Vec<String> = inner[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() || !rules.iter().all(|r| is_rule_id(r)) {
+        return None;
+    }
+    let tail = inner[close + 1..].trim().trim_end_matches("*/").trim();
+    Some((rules, !tail.is_empty()))
+}
+
+/// Whether a justified marker covering `line` allows `rule_id`.
+fn suppressed(markers: &[Marker], line: usize, rule_id: &str) -> bool {
+    markers
+        .iter()
+        .any(|m| m.justified && m.covers(line) && m.rules.iter().any(|r| r == rule_id))
+}
+
+/// A finding before allow-marker suppression.
+struct Candidate {
+    line: usize,
+    rule_idx: usize,
+    pattern: &'static str,
 }
 
 /// Lints one file's source text. `rel` is the path used in diagnostics
@@ -377,78 +594,127 @@ pub fn lint_source(rel: &Path, source: &str, demoted: &[String]) -> Vec<Diagnost
     let Some(class) = classify(rel) else {
         return Vec::new();
     };
-    let scrubbed = scrub(source);
-    let regions = test_regions(&scrubbed);
-    let mut diagnostics = Vec::new();
+    let file = ScopedFile::parse(source);
+    let markers = parse_markers(source);
 
-    let mut offset = 0usize;
-    let original_lines: Vec<&str> = source.lines().collect();
-    for (line_idx, line) in scrubbed.lines().enumerate() {
-        let line_start = offset;
-        offset += line.len() + 1;
-        let in_test = regions
-            .iter()
-            .any(|&(start, end)| line_start >= start && line_start <= end);
-        for rule in RULES {
-            if !rule_applies(rule, &class, in_test) {
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for (rule_idx, rule) in RULES.iter().enumerate() {
+        let mut hits: Vec<(usize, &'static str)> = Vec::new();
+        match rule.check {
+            Check::Patterns(pats) | Check::PanicFree(pats) => {
+                for pat in pats {
+                    let toks = engine::pattern_tokens(pat);
+                    let prefix = pat.ends_with('_');
+                    for idx in engine::find_pattern_matches(&file, &toks, prefix) {
+                        hits.push((idx, pat));
+                    }
+                }
+                if matches!(rule.check, Check::PanicFree(_)) {
+                    for idx in engine::find_index_exprs(&file) {
+                        hits.push((idx, INDEXING_PATTERN));
+                    }
+                }
+            }
+            Check::UnorderedIteration => {
+                for idx in engine::find_unordered_iterations(&file) {
+                    hits.push((idx, HASH_ITER_PATTERN));
+                }
+            }
+            Check::StaleAllow => {}
+        }
+        for (idx, pattern) in hits {
+            let tok = &file.tokens[idx];
+            if !rule_applies(rule, &class, tok.in_test) {
                 continue;
             }
-            for pattern in rule.patterns {
-                if !line.contains(pattern) {
+            if rule.scope == Scope::HotPath {
+                let Some(fns) = hot_fns(&class.joined) else {
                     continue;
-                }
-                if allowed(&original_lines, line_idx, rule.id) {
-                    continue;
-                }
-                let severity = if demoted.iter().any(|d| d == rule.id) {
-                    Severity::Warning
-                } else {
-                    rule.severity
                 };
-                diagnostics.push(Diagnostic {
-                    file: rel.to_path_buf(),
-                    line: line_idx + 1,
-                    rule: rule.id,
-                    severity,
-                    pattern,
-                    message: rule.message,
-                });
+                if !file.in_fn_named(idx, fns) {
+                    continue;
+                }
             }
+            let line = tok.token.line as usize;
+            // One finding per (rule, line, pattern), as the line engine
+            // reported.
+            if candidates
+                .iter()
+                .any(|c| c.rule_idx == rule_idx && c.line == line && c.pattern == pattern)
+            {
+                continue;
+            }
+            candidates.push(Candidate {
+                line,
+                rule_idx,
+                pattern,
+            });
         }
     }
+
+    let mut diagnostics = Vec::new();
+    for c in &candidates {
+        let rule = &RULES[c.rule_idx];
+        if suppressed(&markers, c.line, rule.id) {
+            continue;
+        }
+        diagnostics.push(make_diagnostic(rel, c.line, rule, c.pattern, demoted));
+    }
+
+    // CRP012: markers that cover no candidate of any rule they list are
+    // stale. Usage is judged against pre-suppression candidates, so an
+    // unjustified marker sitting on a real violation is not *also*
+    // reported as stale — the violation itself already fires.
+    if let Some(stale_rule) = RULES.iter().find(|r| matches!(r.check, Check::StaleAllow)) {
+        for m in &markers {
+            if !rule_applies(stale_rule, &class, file.line_in_test(m.line as u32)) {
+                continue;
+            }
+            if m.rules.iter().any(|r| r == stale_rule.id) {
+                // `allow(CRP012)` in the list marks the marker as
+                // intentionally kept.
+                continue;
+            }
+            let used = candidates
+                .iter()
+                .any(|c| m.covers(c.line) && m.rules.iter().any(|r| r == RULES[c.rule_idx].id));
+            if used || suppressed(&markers, m.line, stale_rule.id) {
+                continue;
+            }
+            diagnostics.push(make_diagnostic(
+                rel,
+                m.line,
+                stale_rule,
+                STALE_ALLOW_PATTERN,
+                demoted,
+            ));
+        }
+    }
+
+    diagnostics.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
     diagnostics
 }
 
-/// Whether line `line_idx` (0-based) carries or inherits a
-/// `crp-lint: allow(<rule>)` comment: same line, or the directly
-/// preceding line when that line is only a comment.
-fn allowed(original_lines: &[&str], line_idx: usize, rule_id: &str) -> bool {
-    let marker_here = original_lines
-        .get(line_idx)
-        .is_some_and(|l| has_allow(l, rule_id));
-    if marker_here {
-        return true;
+fn make_diagnostic(
+    rel: &Path,
+    line: usize,
+    rule: &Rule,
+    pattern: &'static str,
+    demoted: &[String],
+) -> Diagnostic {
+    let severity = if demoted.iter().any(|d| d == rule.id) {
+        Severity::Warning
+    } else {
+        rule.severity
+    };
+    Diagnostic {
+        file: rel.to_path_buf(),
+        line,
+        rule: rule.id,
+        severity,
+        pattern,
+        message: rule.message,
     }
-    line_idx > 0
-        && original_lines
-            .get(line_idx - 1)
-            .is_some_and(|l| l.trim_start().starts_with("//") && has_allow(l, rule_id))
-}
-
-fn has_allow(line: &str, rule_id: &str) -> bool {
-    let Some(pos) = line.find("crp-lint:") else {
-        return false;
-    };
-    let rest = &line[pos + "crp-lint:".len()..];
-    let Some(open) = rest.find("allow(") else {
-        return false;
-    };
-    let Some(close) = rest[open..].find(')') else {
-        return false;
-    };
-    rest[open + "allow(".len()..open + close]
-        .split(',')
-        .any(|r| r.trim() == rule_id)
 }
 
 /// Recursively lints every `.rs` file under `root`, skipping
@@ -494,8 +760,10 @@ fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io:
 mod tests {
     use super::*;
 
+    /// A library file in a crate with no special scope memberships —
+    /// not sim, not serving, not I/O- or wall-clock-sanctioned.
     fn lib_path() -> PathBuf {
-        PathBuf::from("crates/core/src/demo.rs")
+        PathBuf::from("crates/demo/src/demo.rs")
     }
 
     #[test]
@@ -524,12 +792,32 @@ mod tests {
 
     #[test]
     fn allow_comment_suppresses() {
-        let same = "fn f() { x.unwrap(); } // crp-lint: allow(CRP001)\n";
+        let same = "fn f() { x.unwrap(); } // crp-lint: allow(CRP001) — documented invariant\n";
         assert!(lint_source(&lib_path(), same, &[]).is_empty());
-        let above = "// safe: crp-lint: allow(CRP001)\nfn f() { x.unwrap(); }\n";
+        let above =
+            "// safe by construction: crp-lint: allow(CRP001) — reviewed\nfn f() { x.unwrap(); }\n";
         assert!(lint_source(&lib_path(), above, &[]).is_empty());
-        let wrong_rule = "fn f() { x.unwrap(); } // crp-lint: allow(CRP002)\n";
-        assert_eq!(lint_source(&lib_path(), wrong_rule, &[]).len(), 1);
+        // A marker for the wrong rule suppresses nothing — the original
+        // finding fires, and the marker itself is stale (CRP012).
+        let wrong_rule = "fn f() { x.unwrap(); } // crp-lint: allow(CRP002) — misfiled\n";
+        let diags = lint_source(&lib_path(), wrong_rule, &[]);
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["CRP001", "CRP012"]);
+    }
+
+    #[test]
+    fn unjustified_allow_does_not_suppress() {
+        let src = "fn f() { x.unwrap(); } // crp-lint: allow(CRP001)\n";
+        let diags = lint_source(&lib_path(), src, &[]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "CRP001");
+    }
+
+    #[test]
+    fn marker_inside_string_literal_is_ignored() {
+        // Neither suppresses anything nor counts as a stale marker.
+        let src = "fn f() -> &'static str { \"crp-lint: allow(CRP001) — not a comment\" }\n";
+        assert!(lint_source(&lib_path(), src, &[]).is_empty());
     }
 
     #[test]
@@ -717,5 +1005,182 @@ mod tests {
         let src = "fn f() { let t = std::time::Instant::now(); }\n";
         let diags = lint_source(&PathBuf::from("crates/audit/src/drift.rs"), src, &[]);
         assert!(diags.iter().any(|d| d.rule == "CRP004"), "{diags:?}");
+    }
+
+    // ---- CRP009: hot-path allocation discipline -------------------------
+
+    #[test]
+    fn allocation_in_hot_path_function_is_flagged() {
+        let src = "impl R {\n    fn dot(&self) -> f64 {\n        let v = self.entries.to_vec();\n        v.len() as f64\n    }\n}\n";
+        let diags = lint_source(&PathBuf::from("crates/core/src/ratio.rs"), src, &[]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "CRP009");
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn allocation_outside_hot_functions_is_fine() {
+        // `top_entries` is not on the declared hot-path list.
+        let src = "impl R {\n    fn top_entries(&self) -> Vec<u32> {\n        self.entries.to_vec()\n    }\n}\n";
+        let diags = lint_source(&PathBuf::from("crates/core/src/ratio.rs"), src, &[]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allocation_in_non_hot_file_is_fine() {
+        let src = "fn dot() -> Vec<u32> { Vec::new() }\n";
+        let diags = lint_source(&PathBuf::from("crates/core/src/observation.rs"), src, &[]);
+        assert!(diags.iter().all(|d| d.rule != "CRP009"), "{diags:?}");
+    }
+
+    #[test]
+    fn justified_allow_suppresses_hot_path_allocation() {
+        let src = "impl R {\n    fn dot(&self) -> f64 {\n        // crp-lint: allow(CRP009) — one-time setup, amortized\n        let v = self.entries.to_vec();\n        v.len() as f64\n    }\n}\n";
+        let diags = lint_source(&PathBuf::from("crates/core/src/ratio.rs"), src, &[]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn hot_path_test_regions_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn dot() { let v: Vec<u32> = Vec::new(); }\n}\n";
+        let diags = lint_source(&PathBuf::from("crates/core/src/ratio.rs"), src, &[]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    // ---- CRP010: serving-path panic freedom -----------------------------
+
+    #[test]
+    fn serving_crates_flag_unwrap_twice_over() {
+        // CRP001 (library) and CRP010 (serving) both apply in crp-dns.
+        let src = "fn resolve() { addr.unwrap(); }\n";
+        let diags = lint_source(&PathBuf::from("crates/dns/src/resolve.rs"), src, &[]);
+        let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["CRP001", "CRP010"]);
+    }
+
+    #[test]
+    fn indexing_in_serving_crate_is_flagged() {
+        let src = "fn pick(xs: &[u32], i: usize) -> u32 { xs[i] }\n";
+        let diags = lint_source(&PathBuf::from("crates/cdn/src/route.rs"), src, &[]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "CRP010");
+        assert_eq!(diags[0].pattern, "[...]");
+    }
+
+    #[test]
+    fn indexing_outside_serving_crates_is_fine() {
+        let src = "fn pick(xs: &[u32], i: usize) -> u32 { xs[i] }\n";
+        let diags = lint_source(&lib_path(), src, &[]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn panic_macro_in_serving_crate_is_flagged() {
+        let src = "fn f(x: u32) { if x > 9 { panic!(\"bad\"); } }\n";
+        let diags = lint_source(&PathBuf::from("crates/core/src/observation.rs"), src, &[]);
+        assert!(diags.iter().any(|d| d.rule == "CRP010"), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_suppresses_serving_panic() {
+        let src = "fn pick(xs: &[u32]) -> u32 { xs[0] } \
+                   // crp-lint: allow(CRP010) — len checked by caller contract\n";
+        let diags = lint_source(&PathBuf::from("crates/cdn/src/route.rs"), src, &[]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn array_types_and_attributes_are_not_indexing() {
+        let src = "#[derive(Clone)]\nstruct S { buf: [u8; 4] }\nfn f() -> [u8; 2] { [0, 1] }\n";
+        let diags = lint_source(&PathBuf::from("crates/cdn/src/route.rs"), src, &[]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    // ---- CRP011: iteration-order determinism ----------------------------
+
+    #[test]
+    fn unordered_hash_iteration_in_sim_crate_is_flagged() {
+        let src =
+            "fn tally(m: &HashMap<u32, u64>) {\n    for (k, v) in m.iter() { emit(k, v); }\n}\n";
+        let diags = lint_source(&PathBuf::from("crates/netsim/src/sweep.rs"), src, &[]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "CRP011");
+    }
+
+    #[test]
+    fn sorted_hash_iteration_is_fine() {
+        let src = "fn tally(m: &HashMap<u32, u64>) {\n    let mut ks: Vec<u32> = m.keys().copied().collect();\n    ks.sort();\n}\n";
+        let diags = lint_source(&PathBuf::from("crates/netsim/src/sweep.rs"), src, &[]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn hash_iteration_outside_sim_crates_is_fine() {
+        let src =
+            "fn tally(m: &HashMap<u32, u64>) {\n    for (k, v) in m.iter() { emit(k, v); }\n}\n";
+        let diags = lint_source(&PathBuf::from("crates/meridian/src/overlay.rs"), src, &[]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn allow_suppresses_hash_iteration() {
+        let src = "fn tally(m: &HashMap<u32, u64>) {\n    \
+                   // crp-lint: allow(CRP011) — feeds a commutative sum\n    \
+                   for (k, v) in m.iter() { emit(k, v); }\n}\n";
+        let diags = lint_source(&PathBuf::from("crates/netsim/src/sweep.rs"), src, &[]);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    // ---- CRP012: stale allow markers ------------------------------------
+
+    #[test]
+    fn stale_marker_is_flagged() {
+        let src = "fn f() -> u32 {\n    // crp-lint: allow(CRP001) — was needed before the refactor\n    0\n}\n";
+        let diags = lint_source(&lib_path(), src, &[]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "CRP012");
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn used_marker_is_not_stale() {
+        let src = "fn f() { x.unwrap(); } // crp-lint: allow(CRP001) — invariant documented\n";
+        assert!(lint_source(&lib_path(), src, &[]).is_empty());
+    }
+
+    #[test]
+    fn stale_marker_in_test_region_is_ignored() {
+        let src = "#[cfg(test)]\nmod tests {\n    // crp-lint: allow(CRP001) — test scaffolding\n    fn t() {}\n}\n";
+        assert!(lint_source(&lib_path(), src, &[]).is_empty());
+    }
+
+    #[test]
+    fn marker_listing_crp012_is_kept_intentionally() {
+        let src = "fn f() -> u32 {\n    // crp-lint: allow(CRP001, CRP012) — kept for the pending revert\n    0\n}\n";
+        assert!(lint_source(&lib_path(), src, &[]).is_empty());
+    }
+
+    #[test]
+    fn doc_comments_mentioning_marker_syntax_are_not_markers() {
+        let src = "//! Suppress with a `crp-lint: allow(CRP001) — reason` comment.\n\
+                   /// See crp-lint: allow(CRP006) — like this.\nfn f() {}\n";
+        assert!(lint_source(&lib_path(), src, &[]).is_empty());
+    }
+
+    #[test]
+    fn placeholder_rule_ids_do_not_form_markers() {
+        // Prose in a regular comment naming the syntax with a
+        // placeholder rule must be neither a suppression nor stale.
+        let src = "// justify with crp-lint: allow(CRP00x) — placeholder\nfn f() {}\n";
+        assert!(lint_source(&lib_path(), src, &[]).is_empty());
+        assert!(!is_rule_id("CRP00x"));
+        assert!(!is_rule_id("<rules>"));
+        assert!(is_rule_id("CRP009"));
+    }
+
+    #[test]
+    fn harness_markers_are_never_stale() {
+        let src = "// crp-lint: allow(CRP001) — whatever\nfn t() {}\n";
+        assert!(lint_source(&PathBuf::from("crates/core/tests/x.rs"), src, &[]).is_empty());
     }
 }

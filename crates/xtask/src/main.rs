@@ -4,14 +4,22 @@
 //!
 //! ```text
 //! cargo run -p crp-xtask -- lint [--root <dir>] [--warn <RULE>]... [--quiet]
+//!                               [--json <path>] [--baseline <path>]
+//!                               [--no-baseline] [--update-baseline]
 //! cargo run -p crp-xtask -- rules
 //! ```
 //!
-//! `lint` exits nonzero when any error-severity finding remains;
-//! `--warn CRP00x` demotes a rule to warning for the run.
+//! `lint` exits nonzero when any error-severity finding remains after
+//! the baseline ratchet; `--warn CRP00x` demotes a rule to warning for
+//! the run. Without `--baseline`, `<root>/LINT_BASELINE.json` is used
+//! when it exists; `--no-baseline` forces strict mode (every error
+//! fails); `--update-baseline` rewrites the baseline to the current
+//! counts and exits green.
 
-use crp_xtask::{lint_root, Severity, RULES};
-use std::path::PathBuf;
+use crp_xtask::baseline::{error_counts, Baseline, DeltaRow};
+use crp_xtask::json::Value;
+use crp_xtask::{lint_root, Diagnostic, Severity, RULES};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -37,79 +45,267 @@ fn main() -> ExitCode {
 }
 
 fn usage() {
-    eprintln!("usage: crp-xtask lint [--root <dir>] [--warn <RULE>]... [--quiet]");
+    eprintln!(
+        "usage: crp-xtask lint [--root <dir>] [--warn <RULE>]... [--quiet] \
+         [--json <path>] [--baseline <path>] [--no-baseline] [--update-baseline]"
+    );
     eprintln!("       crp-xtask rules");
 }
 
-fn lint_command(args: &[String]) -> ExitCode {
-    let mut root = PathBuf::from(".");
-    let mut demoted: Vec<String> = Vec::new();
-    let mut quiet = false;
+struct LintOptions {
+    root: PathBuf,
+    demoted: Vec<String>,
+    quiet: bool,
+    json_path: Option<PathBuf>,
+    baseline_path: Option<PathBuf>,
+    no_baseline: bool,
+    update_baseline: bool,
+}
+
+fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
+    let mut opts = LintOptions {
+        root: PathBuf::from("."),
+        demoted: Vec::new(),
+        quiet: false,
+        json_path: None,
+        baseline_path: None,
+        no_baseline: false,
+        update_baseline: false,
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => match it.next() {
-                Some(dir) => root = PathBuf::from(dir),
-                None => {
-                    eprintln!("--root requires a directory");
-                    return ExitCode::from(2);
-                }
+                Some(dir) => opts.root = PathBuf::from(dir),
+                None => return Err("--root requires a directory".to_string()),
             },
             "--warn" => match it.next() {
-                Some(rule) => demoted.push(rule.clone()),
-                None => {
-                    eprintln!("--warn requires a rule ID");
-                    return ExitCode::from(2);
-                }
+                Some(rule) => opts.demoted.push(rule.clone()),
+                None => return Err("--warn requires a rule ID".to_string()),
             },
-            "--quiet" => quiet = true,
-            other => {
-                eprintln!("unknown lint option `{other}`");
-                return ExitCode::from(2);
-            }
+            "--json" => match it.next() {
+                Some(path) => opts.json_path = Some(PathBuf::from(path)),
+                None => return Err("--json requires a file path".to_string()),
+            },
+            "--baseline" => match it.next() {
+                Some(path) => opts.baseline_path = Some(PathBuf::from(path)),
+                None => return Err("--baseline requires a file path".to_string()),
+            },
+            "--no-baseline" => opts.no_baseline = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--quiet" => opts.quiet = true,
+            other => return Err(format!("unknown lint option `{other}`")),
         }
     }
+    Ok(opts)
+}
+
+fn lint_command(args: &[String]) -> ExitCode {
+    let mut opts = match parse_lint_args(args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
 
     // When invoked via `cargo run -p crp-xtask`, the working directory
     // is already the workspace root; CARGO_MANIFEST_DIR lets the tool
     // also work from anywhere inside the tree.
-    if root == PathBuf::from(".") {
+    if opts.root == PathBuf::from(".") {
         if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
             let candidate = PathBuf::from(manifest);
             if let Some(ws) = candidate.parent().and_then(|p| p.parent()) {
                 if ws.join("Cargo.toml").is_file() {
-                    root = ws.to_path_buf();
+                    opts.root = ws.to_path_buf();
                 }
             }
         }
     }
 
-    let diagnostics = match lint_root(&root, &demoted) {
+    let diagnostics = match lint_root(&opts.root, &opts.demoted) {
         Ok(d) => d,
         Err(e) => {
-            eprintln!("lint failed to read {}: {e}", root.display());
+            eprintln!("lint failed to read {}: {e}", opts.root.display());
             return ExitCode::FAILURE;
         }
     };
 
+    let baseline_path = opts
+        .baseline_path
+        .clone()
+        .unwrap_or_else(|| opts.root.join("LINT_BASELINE.json"));
+
+    if opts.update_baseline {
+        let baseline = Baseline::from_counts(error_counts(&diagnostics));
+        if let Err(e) = std::fs::write(&baseline_path, baseline.to_json()) {
+            eprintln!("cannot write {}: {e}", baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        let total: u64 = error_counts(&diagnostics).values().sum();
+        println!(
+            "crp-xtask lint: baseline updated at {} ({total} error allowance(s) \
+             across {} bucket(s))",
+            baseline_path.display(),
+            error_counts(&diagnostics).len()
+        );
+        if let Some(json_path) = &opts.json_path {
+            if let Err(e) = write_json_report(json_path, &opts.root, &diagnostics, &[], 0) {
+                eprintln!("cannot write {}: {e}", json_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = if opts.no_baseline {
+        None
+    } else {
+        match Baseline::load(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("lint baseline error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let (remaining, rows, baselined) = match &baseline {
+        Some(b) => {
+            let outcome = b.apply(diagnostics.clone());
+            (outcome.diagnostics, outcome.rows, outcome.baselined)
+        }
+        None => (diagnostics.clone(), Vec::new(), 0),
+    };
+
     let mut errors = 0usize;
     let mut warnings = 0usize;
-    for diag in &diagnostics {
+    for diag in &remaining {
         match diag.severity {
             Severity::Error => errors += 1,
             Severity::Warning => warnings += 1,
         }
-        if !quiet {
+        if !opts.quiet {
             println!("{diag}");
         }
     }
+    if !opts.quiet && !rows.is_empty() {
+        print_delta_table(&rows);
+    }
+
+    if let Some(json_path) = &opts.json_path {
+        if let Err(e) = write_json_report(json_path, &opts.root, &diagnostics, &rows, baselined) {
+            eprintln!("cannot write {}: {e}", json_path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let baselined_note = if baselined > 0 {
+        format!(" ({baselined} baselined)")
+    } else {
+        String::new()
+    };
     println!(
-        "crp-xtask lint: {errors} error(s), {warnings} warning(s) in {}",
-        root.display()
+        "crp-xtask lint: {errors} error(s), {warnings} warning(s) in {}{baselined_note}",
+        opts.root.display()
     );
     if errors > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Prints the per-rule/per-crate ratchet comparison, `bench_check`
+/// style: one row per bucket, regressions marked.
+fn print_delta_table(rows: &[DeltaRow]) {
+    println!("lint ratchet (baseline -> current):");
+    for row in rows {
+        let status = if row.regressed() {
+            "REGRESSED"
+        } else if row.current < row.baseline {
+            "improved (refresh baseline to lock in)"
+        } else {
+            "at baseline"
+        };
+        println!(
+            "  {:<7} {:<10} {:>3} -> {:<3} {status}",
+            row.rule, row.crate_name, row.baseline, row.current
+        );
+    }
+}
+
+/// Writes the machine-readable diagnostics report. All findings appear
+/// (including ones the ratchet absorbed) so downstream tooling sees the
+/// full picture; `baselined` marks the absorbed ones.
+fn write_json_report(
+    path: &Path,
+    root: &Path,
+    diagnostics: &[Diagnostic],
+    rows: &[DeltaRow],
+    baselined_total: usize,
+) -> std::io::Result<()> {
+    // Recompute which buckets are within allowance to tag diagnostics.
+    let over: Vec<(&str, &str)> = rows
+        .iter()
+        .filter(|r| r.regressed())
+        .map(|r| (r.rule.as_str(), r.crate_name.as_str()))
+        .collect();
+    let has_baseline = !rows.is_empty();
+
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let diags: Vec<Value> = diagnostics
+        .iter()
+        .map(|d| {
+            let crate_name = crp_xtask::baseline::crate_of(&d.file);
+            let absorbed = has_baseline
+                && d.severity == Severity::Error
+                && !over.contains(&(d.rule, crate_name.as_str()));
+            match d.severity {
+                Severity::Error if !absorbed => errors += 1,
+                Severity::Warning => warnings += 1,
+                _ => {}
+            }
+            Value::Obj(vec![
+                (
+                    "file".to_string(),
+                    Value::Str(d.file.to_string_lossy().replace('\\', "/")),
+                ),
+                ("line".to_string(), Value::Num(d.line as f64)),
+                ("rule".to_string(), Value::Str(d.rule.to_string())),
+                ("crate".to_string(), Value::Str(crate_name)),
+                ("severity".to_string(), Value::Str(d.severity.to_string())),
+                ("pattern".to_string(), Value::Str(d.pattern.to_string())),
+                ("message".to_string(), Value::Str(d.message.to_string())),
+                ("baselined".to_string(), Value::Bool(absorbed)),
+            ])
+        })
+        .collect();
+
+    let ratchet: Vec<Value> = rows
+        .iter()
+        .map(|r| {
+            Value::Obj(vec![
+                ("rule".to_string(), Value::Str(r.rule.clone())),
+                ("crate".to_string(), Value::Str(r.crate_name.clone())),
+                ("baseline".to_string(), Value::Num(r.baseline as f64)),
+                ("current".to_string(), Value::Num(r.current as f64)),
+                ("regressed".to_string(), Value::Bool(r.regressed())),
+            ])
+        })
+        .collect();
+
+    let report = Value::Obj(vec![
+        (
+            "root".to_string(),
+            Value::Str(root.to_string_lossy().replace('\\', "/")),
+        ),
+        ("errors".to_string(), Value::Num(errors as f64)),
+        ("warnings".to_string(), Value::Num(warnings as f64)),
+        ("baselined".to_string(), Value::Num(baselined_total as f64)),
+        ("diagnostics".to_string(), Value::Arr(diags)),
+        ("ratchet".to_string(), Value::Arr(ratchet)),
+    ]);
+    std::fs::write(path, crp_xtask::json::to_pretty(&report))
 }

@@ -1,0 +1,32 @@
+//! Fixture: allocation discipline inside declared hot paths (CRP009).
+//! This relative path (`crates/core/src/ratio.rs`) is on the real
+//! hot-path list, so `from_counts`/`get` here are hot functions.
+
+/// Hot path: allocates a fresh buffer on every call (flagged).
+pub fn from_counts(n: usize) -> usize {
+    let mut scratch = Vec::new();
+    scratch.resize(n, 0u64);
+    scratch.len()
+}
+
+/// Hot path with a justified allocation (suppressed).
+pub fn get(n: usize) -> usize {
+    // crp-lint: allow(CRP009) — the map owns its key; this copy is irreducible
+    let owned = String::from("key");
+    owned.len() + n
+}
+
+/// Not a declared hot path: allocation is fine (not flagged).
+pub fn rebuild(n: usize) -> Vec<u64> {
+    let mut fresh = Vec::new();
+    fresh.resize(n, 0);
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate_freely() {
+        assert_eq!(super::from_counts(Vec::new().len()), 0);
+    }
+}

@@ -12,5 +12,5 @@ pub fn open_log(path: &str) {
 
 /// Sanctioned escape hatch with a marker (suppressed).
 pub fn allowed(path: &str) {
-    let _ = std::fs::File::create(path); // crp-lint: allow(CRP006)
+    let _ = std::fs::File::create(path); // crp-lint: allow(CRP006) — crash-dump escape hatch
 }

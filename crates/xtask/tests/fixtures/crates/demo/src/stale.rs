@@ -1,0 +1,20 @@
+//! Fixture: stale allow markers (CRP012). A marker that suppresses
+//! nothing is debt; one that self-lists CRP012 is intentionally kept.
+
+/// The marker below suppresses a real finding (marker is live).
+pub fn justified(v: Option<u32>) -> u32 {
+    // crp-lint: allow(CRP001) — demo fixture exercises the suppression path
+    v.unwrap()
+}
+
+/// The marker below covers nothing — CRP001 never fires here (flagged).
+pub fn drifted(v: Option<u32>) -> u32 {
+    // crp-lint: allow(CRP001) — this justification went stale after a refactor
+    v.unwrap_or(0)
+}
+
+/// Self-listing CRP012 documents an intentionally retained marker.
+pub fn retained(v: Option<u32>) -> u32 {
+    // crp-lint: allow(CRP001, CRP012) — kept for an upcoming change
+    v.unwrap_or(1)
+}

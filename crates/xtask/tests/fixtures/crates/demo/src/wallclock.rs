@@ -8,6 +8,6 @@ pub fn leak() -> SystemTime {
 }
 
 pub fn sanctioned() -> SystemTime {
-    // startup timestamp reviewed: crp-lint: allow(CRP007)
+    // crp-lint: allow(CRP007) — startup timestamp reviewed, never enters sim state
     SystemTime::now()
 }

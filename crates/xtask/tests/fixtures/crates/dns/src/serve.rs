@@ -1,0 +1,31 @@
+//! Fixture: panic-freedom on the serving path (CRP010) — `crp-dns`
+//! answers live queries, so unchecked indexing and `panic!` are debt.
+
+/// Indexes straight into the answer list (flagged).
+pub fn first(answers: &[u32]) -> u32 {
+    answers[0]
+}
+
+/// Checked access (not flagged).
+pub fn first_checked(answers: &[u32]) -> Option<u32> {
+    answers.first().copied()
+}
+
+/// Reviewed invariants carry justifications (suppressed).
+pub fn last(answers: &[u32]) -> u32 {
+    if answers.is_empty() {
+        // crp-lint: allow(CRP010) — empty sets are rejected at ingress
+        panic!("serve: empty answer set");
+    }
+    answers[answers.len() - 1] // crp-lint: allow(CRP010) — bounds proven by the guard above
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_index() {
+        let v = vec![1u32, 2];
+        assert_eq!(v[1], 2);
+        assert_eq!(super::first(&v), 1);
+    }
+}

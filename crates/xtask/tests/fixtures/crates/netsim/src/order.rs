@@ -1,0 +1,27 @@
+//! Fixture: order-dependent hash iteration in a sim crate (CRP011).
+//! `crp-netsim` output must be replay-stable, so hash-order loops leak
+//! nondeterminism.
+
+use std::collections::HashMap;
+
+/// Walks the map in hash order (flagged).
+pub fn hash_order_walk(latencies: &HashMap<u32, u64>) -> u64 {
+    let mut acc = 0;
+    for (_, v) in latencies.iter() {
+        acc += v;
+    }
+    acc
+}
+
+/// Sorts before anything depends on the order (not flagged).
+pub fn stable_keys(latencies: &HashMap<u32, u64>) -> Vec<u32> {
+    let mut keys: Vec<u32> = latencies.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Order provably cannot escape (suppressed).
+pub fn max_latency(latencies: &HashMap<u32, u64>) -> u64 {
+    // crp-lint: allow(CRP011) — max() is order-insensitive
+    latencies.values().copied().fold(0, u64::max)
+}
