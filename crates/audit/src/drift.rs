@@ -338,6 +338,9 @@ where
             );
         }
         crp_telemetry::counter_add("audit.drift.windows", 1);
+        // Feeds the live time-series store so the default
+        // ratio-map-drift-rate alert rule has a series to watch.
+        crp_telemetry::observe_at(window.to_ms, "audit.ratio_drift.l1", window.mean_l1);
         if compared > 0 && window.strongest_changed_fraction >= cfg.remap_fraction {
             let event = RemapEvent {
                 at_ms: window.to_ms,

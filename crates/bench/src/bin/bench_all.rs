@@ -174,6 +174,24 @@ fn register_all(runner: &mut Runner) {
         }
         t
     });
+    // The same ingest loop with the live-observability stack armed:
+    // every probe mints a causal trace and feeds the time-series store,
+    // so the delta against the row above is the per-probe cost of
+    // running traced. (Collectors are torn down before the next row.)
+    crp_telemetry::trace::start(crp_telemetry::trace::TraceConfig::default());
+    crp_telemetry::timeseries::start(crp_telemetry::timeseries::TimeSeriesConfig::default());
+    runner.run("tracker/ingest_1000_bounded30_traced", 20, 20, || {
+        let mut t = RedirectionTracker::<u32>::with_capacity(30);
+        for i in 0..1_000u64 {
+            let id = crp_telemetry::trace::mint(&[7, i]);
+            crp_telemetry::trace::begin(id, i * 60_000, "bench.ingest");
+            t.record_slice(SimTime::from_mins(i), &[(i % 9) as u32]);
+        }
+        t
+    });
+    let _ = crp_telemetry::trace::finish();
+    let _ = crp_telemetry::timeseries::finish();
+
     let mut full = RedirectionTracker::new();
     for i in 0..720usize {
         full.record(

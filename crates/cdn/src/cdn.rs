@@ -401,7 +401,7 @@ impl Cdn {
                 Some((e, _)) if *e == epoch => return,
                 Some((_, b)) if *b != best => {
                     self.remap_events.fetch_add(1, Ordering::Relaxed);
-                    crp_telemetry::counter_add("cdn.remap.events", 1);
+                    crp_telemetry::counter_add_at(now.as_millis(), "cdn.remap.events", 1);
                     if crp_telemetry::enabled() {
                         crp_telemetry::event(
                             now.as_millis(),
@@ -462,7 +462,19 @@ impl AuthoritativeServer for Cdn {
         let customer_idx = *self.by_domain.get(query)?;
         let customer = &self.customers[customer_idx];
         self.queries_answered.fetch_add(1, Ordering::Relaxed);
-        crp_telemetry::counter_add("cdn.queries", 1);
+        crp_telemetry::counter_add_at(now.as_millis(), "cdn.queries", 1);
+        // The redirection event is where a causal trace is born: the id
+        // is a pure function of the deterministic inputs, so the same
+        // seeded run mints the same ids.
+        if crp_telemetry::trace::enabled() {
+            let id = crp_telemetry::trace::mint(&[
+                self.net.seed(),
+                resolver.key(),
+                now.as_millis(),
+                customer_idx as u64,
+            ]);
+            crp_telemetry::trace::begin(id, now.as_millis(), "cdn.redirect");
+        }
 
         let shortlist = self.shortlist(resolver, customer_idx);
         let mut ranked: Vec<(f64, ReplicaId)> = shortlist
@@ -476,12 +488,12 @@ impl AuthoritativeServer for Cdn {
             .first()
             .is_some_and(|(ms, _)| *ms <= self.cfg.coverage_radius_ms);
         if let Some((best_ms, best)) = ranked.first() {
-            crp_telemetry::observe("cdn.best_candidate_ms", *best_ms);
+            crp_telemetry::observe_at(now.as_millis(), "cdn.best_candidate_ms", *best_ms);
             self.note_epoch_best(resolver, customer_idx, *best, now);
         }
 
         let picked = if well_covered {
-            crp_telemetry::counter_add("cdn.answers.load_balanced", 1);
+            crp_telemetry::counter_add_at(now.as_millis(), "cdn.answers.load_balanced", 1);
             let pool = &ranked[..ranked.len().min(self.cfg.load_balance_pool)];
             self.weighted_pick(pool, self.cfg.answers_per_response, resolver, now)
         } else {
@@ -493,7 +505,7 @@ impl AuthoritativeServer for Cdn {
             ]);
             if fallback_draw < self.cfg.fallback_probability && !self.fallbacks.is_empty() {
                 self.fallback_answers.fetch_add(1, Ordering::Relaxed);
-                crp_telemetry::counter_add("cdn.answers.fallback", 1);
+                crp_telemetry::counter_add_at(now.as_millis(), "cdn.answers.fallback", 1);
                 let pool: Vec<(f64, ReplicaId)> = self
                     .fallbacks
                     .iter()
@@ -503,7 +515,7 @@ impl AuthoritativeServer for Cdn {
                 self.weighted_pick(&pool, self.cfg.answers_per_response, resolver, now)
             } else {
                 self.scattered_answers.fetch_add(1, Ordering::Relaxed);
-                crp_telemetry::counter_add("cdn.answers.scattered", 1);
+                crp_telemetry::counter_add_at(now.as_millis(), "cdn.answers.scattered", 1);
                 // The CDN cannot localize this resolver: re-rank the
                 // shortlist under heavy measurement noise so answers
                 // scatter far and wide, epoch to epoch.

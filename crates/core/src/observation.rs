@@ -11,10 +11,15 @@ pub struct Observation<K> {
     pub time: SimTime,
     /// The replica servers in the answer, in answer order.
     pub servers: Vec<K>,
+    /// Raw causal-trace id stamped at record time (0 = untraced). Lets a
+    /// later query attribute its ratio-map and ranking stages back to the
+    /// redirection events that fed them.
+    pub trace: u64,
 }
 
 impl<K> Observation<K> {
-    /// Creates an observation.
+    /// Creates an observation, stamping it with the ambient trace
+    /// context (0 when tracing is disabled or the event was unsampled).
     ///
     /// # Panics
     ///
@@ -22,7 +27,11 @@ impl<K> Observation<K> {
     /// *absence* of an observation, not by an empty one.
     pub fn new(time: SimTime, servers: Vec<K>) -> Self {
         assert!(!servers.is_empty(), "observations must carry servers");
-        Observation { time, servers }
+        Observation {
+            time,
+            servers,
+            trace: crp_telemetry::trace::current_raw(),
+        }
     }
 }
 

@@ -57,6 +57,7 @@ impl<N: Ord> Ranking<N> {
             crate::explain::record_ranking(&entries);
         }
         crp_telemetry::counter_add("core.ranking.builds", 1);
+        crp_telemetry::trace::query_stage("core.ranking");
         if let Some((_, top)) = entries.first() {
             crp_telemetry::observe_unit("core.ranking.top_score", *top);
         }

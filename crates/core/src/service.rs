@@ -129,6 +129,7 @@ where
     /// Returns [`RatioMapError::Empty`] if either node has no usable
     /// observations.
     pub fn similarity(&self, a: &N, b: &N, now: SimTime) -> Result<f64, RatioMapError> {
+        crp_telemetry::trace::begin_query(now.as_millis());
         let ma = self.ratio_map(a, now)?;
         let mb = self.ratio_map(b, now)?;
         Ok(self.metric.compare(&ma, &mb))
@@ -151,6 +152,7 @@ where
     where
         I: IntoIterator<Item = N>,
     {
+        crp_telemetry::trace::begin_query(now.as_millis());
         let client_map = self.ratio_map(client, now)?;
         let maps: Vec<(N, RatioMap<K>)> = candidates
             .into_iter()
@@ -202,6 +204,7 @@ where
         reference: &N,
         now: SimTime,
     ) -> Result<crate::relative::RelativeOrder, RatioMapError> {
+        crp_telemetry::trace::begin_query(now.as_millis());
         let ma = self.ratio_map(a, now)?;
         let mb = self.ratio_map(b, now)?;
         let mr = self.ratio_map(reference, now)?;
@@ -216,6 +219,7 @@ where
     /// Clusters every node with usable observations using SMF (§IV-B).
     /// Nodes without usable observations are omitted from the result.
     pub fn cluster(&self, cfg: &SmfConfig, now: SimTime) -> Clustering<N> {
+        crp_telemetry::trace::begin_query(now.as_millis());
         let nodes: Vec<(N, RatioMap<K>)> = self
             .trackers
             .iter()

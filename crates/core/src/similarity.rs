@@ -46,6 +46,7 @@ impl SimilarityMetric {
     /// ```
     pub fn compare<K: Ord + Clone + fmt::Debug>(self, a: &RatioMap<K>, b: &RatioMap<K>) -> f64 {
         crp_telemetry::counter_add("core.similarity.calls", 1);
+        crp_telemetry::trace::query_stage("core.similarity");
         let score = match self {
             SimilarityMetric::Cosine => a.cosine_similarity(b),
             SimilarityMetric::Jaccard => jaccard(a, b),

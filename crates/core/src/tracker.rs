@@ -95,11 +95,12 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
             );
         }
         self.observations.push_back(Observation::new(time, servers));
-        crp_telemetry::counter_add("core.tracker.observations", 1);
+        crp_telemetry::trace::stage_at(time.as_millis(), "core.tracker.record");
+        crp_telemetry::counter_add_at(time.as_millis(), "core.tracker.observations", 1);
         if let Some(cap) = self.capacity {
             while self.observations.len() > cap {
                 self.observations.pop_front();
-                crp_telemetry::counter_add("core.tracker.evictions", 1);
+                crp_telemetry::counter_add_at(time.as_millis(), "core.tracker.evictions", 1);
             }
         }
     }
@@ -130,12 +131,14 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
             .is_some_and(|cap| self.observations.len() >= cap);
         if at_capacity {
             if let Some(mut recycled) = self.observations.pop_front() {
-                crp_telemetry::counter_add("core.tracker.evictions", 1);
+                crp_telemetry::counter_add_at(time.as_millis(), "core.tracker.evictions", 1);
                 recycled.time = time;
+                recycled.trace = crp_telemetry::trace::current_raw();
                 recycled.servers.clear();
                 recycled.servers.extend_from_slice(servers);
                 self.observations.push_back(recycled);
-                crp_telemetry::counter_add("core.tracker.observations", 1);
+                crp_telemetry::trace::stage_at(time.as_millis(), "core.tracker.record");
+                crp_telemetry::counter_add_at(time.as_millis(), "core.tracker.observations", 1);
                 return;
             }
         }
@@ -143,7 +146,8 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
         // crp-lint: allow(CRP009) — one-time warm-up copy; steady state recycles evicted buffers
         let owned = servers.to_vec();
         self.observations.push_back(Observation::new(time, owned));
-        crp_telemetry::counter_add("core.tracker.observations", 1);
+        crp_telemetry::trace::stage_at(time.as_millis(), "core.tracker.record");
+        crp_telemetry::counter_add_at(time.as_millis(), "core.tracker.observations", 1);
     }
 
     /// Number of observations currently held.
@@ -214,6 +218,19 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
                 SimTime::from_millis(now.as_millis().saturating_sub(max_age.as_millis())),
             ),
         };
+        if crp_telemetry::trace::enabled() {
+            // Attribute the build to every traced observation feeding it,
+            // so a query's span tree reaches back to redirection events.
+            for o in self
+                .observations
+                .iter()
+                .take(known)
+                .skip(skip)
+                .filter(|o| o.time >= min_time)
+            {
+                crp_telemetry::trace::resume(o.trace, now.as_millis(), "core.ratio_map");
+            }
+        }
         let selected = self
             .observations
             .iter()

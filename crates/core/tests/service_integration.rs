@@ -1,0 +1,176 @@
+//! Integration tests for [`CrpService`] as a long-running positioning
+//! service: observations arrive over simulated hours, windows expire,
+//! nodes churn, and queries must reflect only the live window. A second
+//! test pins down the causal-trace layer as a pure observer: enabling
+//! tracing (at any sampling rate) cannot change a single query result.
+
+use crp_core::{CrpService, RelativeOrder, SimilarityMetric, SmfConfig, WindowPolicy};
+use crp_netsim::{SimDuration, SimTime};
+use crp_telemetry::trace;
+use crp_telemetry::trace::TraceConfig;
+use std::fmt::Write as _;
+
+fn mins(m: u64) -> SimTime {
+    SimTime::from_mins(m)
+}
+
+/// A service whose window only admits the last 30 minutes.
+fn aged_service() -> CrpService<&'static str, &'static str> {
+    CrpService::new(
+        WindowPolicy::MaxAge(SimDuration::from_mins(30)),
+        SimilarityMetric::Cosine,
+    )
+}
+
+#[test]
+fn queries_track_the_live_window_across_expiry_and_churn() {
+    let mut svc = aged_service();
+
+    // Minute 0-10: the client looks like server A (both redirect to r1
+    // heavy, r2 light); server B lives behind a disjoint replica set.
+    for t in 0..5 {
+        svc.record("client", mins(2 * t), vec!["r1", "r1", "r1", "r2"]);
+        svc.record("server_a", mins(2 * t), vec!["r1", "r1", "r2", "r2"]);
+        svc.record("server_b", mins(2 * t), vec!["r9", "r8"]);
+    }
+    let ranking = svc
+        .closest(&"client", ["server_a", "server_b"], mins(10))
+        .expect("client has observations in window");
+    assert_eq!(ranking.top(), Some(&"server_a"));
+    assert_eq!(ranking.len(), 2);
+    assert!(matches!(
+        svc.relative(&"server_a", &"server_b", &"client", mins(10))
+            .expect("all three positioned"),
+        RelativeOrder::CloserA { .. }
+    ));
+
+    // Minute 50: every observation is now older than the 30-minute
+    // window — the same nodes can no longer be positioned at all.
+    assert!(svc.ratio_map(&"client", mins(50)).is_err());
+    assert!(svc
+        .closest(&"client", ["server_a", "server_b"], mins(50))
+        .is_err());
+
+    // Minutes 45-50: fresh observations arrive, but the client has
+    // moved — it now resolves like server B. Only the live window may
+    // speak: the stale minute-0 affinity to A must not leak in.
+    for t in 45..50 {
+        svc.record("client", mins(t), vec!["r9", "r9", "r8"]);
+        svc.record("server_a", mins(t), vec!["r1", "r1", "r2"]);
+        svc.record("server_b", mins(t), vec!["r9", "r8", "r8"]);
+    }
+    let ranking = svc
+        .closest(&"client", ["server_a", "server_b"], mins(50))
+        .expect("fresh observations in window");
+    assert_eq!(ranking.top(), Some(&"server_b"));
+
+    // Clustering sees the same live picture: client and B share a
+    // cluster, A stands alone on its disjoint replicas.
+    let clustering = svc.cluster(&SmfConfig::paper(0.1), mins(50));
+    assert_eq!(clustering.total_nodes(), 3);
+    let of = |node: &&str| {
+        clustering
+            .clusters()
+            .iter()
+            .position(|c| c.members().contains(node))
+    };
+    assert_eq!(of(&"client"), of(&"server_b"));
+    assert_ne!(of(&"client"), of(&"server_a"));
+
+    // Churn bookkeeping: pruning at the window cutoff drops exactly the
+    // 15 expired minute 0-10 observations and keeps all three nodes;
+    // removing a node makes it unknown to queries.
+    let (dropped, removed) = svc.prune_stale(mins(50), SimDuration::from_mins(30));
+    assert_eq!((dropped, removed), (15, 0));
+    assert_eq!(svc.node_count(), 3);
+    assert!(svc.remove_node(&"server_a"));
+    assert!(!svc.remove_node(&"server_a"));
+    assert!(svc.ratio_map(&"server_a", mins(50)).is_err());
+    assert_eq!(svc.node_count(), 2);
+}
+
+/// Replays a fixed observation script through a fresh service and
+/// renders every query result into one comparable string. When `traced`
+/// is set, each record runs under a freshly minted causal trace — the
+/// exact ingest shape the CDN layer produces.
+fn scripted_run(traced: bool) -> String {
+    let mut svc: CrpService<u32, u32> =
+        CrpService::new(WindowPolicy::LastProbes(10), SimilarityMetric::Cosine);
+    for step in 0u64..120 {
+        let node = (step % 6) as u32;
+        // A deterministic, slightly skewed replica pattern per node.
+        let replicas = vec![
+            (node + (step / 6) as u32 % 3) % 8,
+            (node * 2 + 1) % 8,
+            node % 8,
+        ];
+        if traced {
+            let id = trace::mint(&[42, u64::from(node), step]);
+            trace::begin(id, step * 60_000, "test.ingest");
+        }
+        svc.record(node, SimTime::from_mins(step), replicas);
+    }
+    let now = SimTime::from_mins(120);
+    let mut out = String::new();
+    for client in 0u32..6 {
+        let ranking = svc
+            .closest(&client, (0..6).filter(|c| *c != client), now)
+            .expect("every node has observations");
+        let _ = writeln!(out, "closest {client}: {:?}", ranking.entries());
+        let _ = writeln!(
+            out,
+            "relative {client}: {:?}",
+            svc.relative(&((client + 1) % 6), &((client + 2) % 6), &client, now)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "cluster: {:?}",
+        svc.cluster(&SmfConfig::paper(0.5), now)
+    );
+    out
+}
+
+#[test]
+fn trace_sampling_on_or_off_never_changes_query_results() {
+    // One test function drives all phases: the trace collector is
+    // process-global, so phases must not run on parallel test threads.
+    assert!(!trace::enabled());
+    let baseline = scripted_run(false);
+    assert!(!baseline.is_empty());
+
+    // Keep-everything sampling: results identical, every mint sampled.
+    trace::start(TraceConfig {
+        sample_one_in: 1,
+        ..TraceConfig::default()
+    });
+    let all = scripted_run(true);
+    let log_all = trace::finish().expect("trace collector started");
+    assert_eq!(baseline, all, "tracing (1-in-1) changed query results");
+    assert_eq!(log_all.minted, 120);
+    assert_eq!(log_all.sampled, 120);
+
+    // Default head sampling: results still identical, strictly fewer
+    // traces kept, and the sample is deterministic.
+    trace::start(TraceConfig::default());
+    let sampled = scripted_run(true);
+    let log_sampled = trace::finish().expect("trace collector started");
+    assert_eq!(baseline, sampled, "tracing (1-in-4) changed query results");
+    assert_eq!(log_sampled.minted, 120);
+    assert!(log_sampled.sampled < log_sampled.minted);
+
+    // A second sampled run reproduces the identical trace log.
+    trace::start(TraceConfig::default());
+    let again = scripted_run(true);
+    let log_again = trace::finish().expect("trace collector started");
+    assert_eq!(baseline, again);
+    assert_eq!(
+        serde_json::to_string(&log_sampled).expect("serializable"),
+        serde_json::to_string(&log_again).expect("serializable"),
+        "same seed must record identical traces"
+    );
+
+    // Off again: still byte-identical.
+    assert!(!trace::enabled());
+    assert_eq!(scripted_run(false), baseline);
+}

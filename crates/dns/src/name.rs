@@ -57,11 +57,7 @@ impl DomainName {
     /// # Ok::<(), crp_dns::ParseNameError>(())
     /// ```
     pub fn is_subdomain_of(&self, suffix: &DomainName) -> bool {
-        if suffix.labels.len() > self.labels.len() {
-            return false;
-        }
-        let offset = self.labels.len() - suffix.labels.len();
-        self.labels[offset..] == suffix.labels[..]
+        self.labels.ends_with(&suffix.labels)
     }
 
     /// Prepends a label, producing `label.self`.

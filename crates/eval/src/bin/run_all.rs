@@ -14,7 +14,10 @@
 //! roll-up, and the list of failed experiments. With `--audit <dir>`
 //! each binary additionally writes drift timelines and decision
 //! provenance there, and run_all joins them into
-//! `<out>/audit_report.json` with run-health verdicts.
+//! `<out>/audit_report.json` with run-health verdicts. With `--live
+//! <dir>` each binary writes its SimTime time-series store, sampled
+//! causal traces, and SLO alert log there, and run_all joins the alert
+//! logs into `<out>/alerts.json` with a cross-run firing count.
 //!
 //! All durations come from [`Stopwatch`] — the same monotonic clock the
 //! profiler uses — so coarse and fine-grained attribution share a basis.
@@ -117,6 +120,19 @@ fn main() {
                 }
             }
         }
+        // Join the per-experiment alert logs so one file answers "did
+        // any SLO fire anywhere in the run".
+        if let Some(live_dir) = parsed.live.as_deref() {
+            match aggregate_alerts(Path::new(live_dir), &parsed.out_dir) {
+                Ok((n, firing)) => {
+                    eprintln!("[run_all] aggregated {n} alert logs, {firing} rule(s) firing");
+                }
+                Err(err) => {
+                    eprintln!("[run_all] alert aggregation failed: {err}");
+                    failures.push("alert_aggregation");
+                }
+            }
+        }
     }
 
     if failures.is_empty() {
@@ -125,6 +141,52 @@ fn main() {
         eprintln!("[run_all] failures: {failures:?}");
         std::process::exit(1);
     }
+}
+
+/// Collects every `<live_dir>/<exp>_alerts.json` into
+/// `<out_dir>/alerts.json`: an object with `experiments` (per-experiment
+/// alert logs, each wrapped with its name and the rules it left firing)
+/// and `firing_total`, the cross-run count of still-firing rules.
+/// Returns `(logs_folded, firing_total)`.
+fn aggregate_alerts(live_dir: &Path, out_dir: &str) -> Result<(usize, usize), String> {
+    let mut entries: Vec<Value> = Vec::new();
+    let mut firing_total = 0usize;
+    for exp in EXPERIMENTS {
+        let path = live_dir.join(format!("{exp}_alerts.json"));
+        let Ok(raw) = std::fs::read_to_string(&path) else {
+            continue; // experiment failed or ran without --live
+        };
+        let value = serde_json::parse(&raw)
+            .map_err(|e| format!("{}: malformed alert log: {e}", path.display()))?;
+        let log = crp_telemetry::alert::AlertLog::from_value(&value)
+            .map_err(|e| format!("{}: unexpected shape: {e}", path.display()))?;
+        let firing = log.firing();
+        firing_total += firing.len();
+        entries.push(Value::Object(vec![
+            ("experiment".to_owned(), Value::String((*exp).to_owned())),
+            (
+                "firing".to_owned(),
+                Value::Array(
+                    firing
+                        .iter()
+                        .map(|name| Value::String((*name).to_owned()))
+                        .collect(),
+                ),
+            ),
+            ("alerts".to_owned(), value),
+        ]));
+    }
+    let count = entries.len();
+    let document = Value::Object(vec![
+        ("experiments".to_owned(), Value::Array(entries)),
+        ("firing_total".to_owned(), Value::UInt(firing_total as u64)),
+    ]);
+    let json = serde_json::to_string(&document).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;
+    let out_path = Path::new(out_dir).join("alerts.json");
+    std::fs::write(&out_path, json + "\n").map_err(|e| e.to_string())?;
+    eprintln!("[run_all] wrote {}", out_path.display());
+    Ok((count, firing_total))
 }
 
 /// Spawns one experiment and supervises it to completion, sampling its

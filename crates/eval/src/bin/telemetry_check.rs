@@ -9,6 +9,10 @@
 //! [`TelemetrySummary`] whose event counters match the stream: each
 //! `event.<name>` counter must equal the number of `kind == "event"`
 //! lines carrying that name, and `events_recorded` must equal the total.
+//! Also surfaces sink backpressure: a non-zero `sink_dropped` in the
+//! summary prints a warning, and a count above `--max-dropped N`
+//! (default 100) fails the check — a lossy stream can no longer back
+//! the counter cross-validation it exists for.
 //! Exits non-zero with a diagnostic on any mismatch.
 
 use crp_telemetry::TelemetrySummary;
@@ -17,13 +21,25 @@ use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::ExitCode;
 
+/// Sink drops tolerated before the check fails outright.
+const DEFAULT_MAX_DROPPED: u64 = 100;
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut max_dropped = DEFAULT_MAX_DROPPED;
+    if let Some(pos) = args.iter().position(|a| a == "--max-dropped") {
+        let Some(value) = args.get(pos + 1).and_then(|v| v.parse().ok()) else {
+            eprintln!("--max-dropped requires an integer value");
+            return ExitCode::from(2);
+        };
+        max_dropped = value;
+        args.drain(pos..=pos + 1);
+    }
     let [dir, experiment] = args.as_slice() else {
-        eprintln!("usage: telemetry_check <dir> <experiment>");
+        eprintln!("usage: telemetry_check <dir> <experiment> [--max-dropped N]");
         return ExitCode::from(2);
     };
-    match check(Path::new(dir), experiment) {
+    match check(Path::new(dir), experiment, max_dropped) {
         Ok(report) => {
             println!("{report}");
             ExitCode::SUCCESS
@@ -44,7 +60,7 @@ fn str_field(value: &serde::Value, name: &str) -> Result<String, serde::Error> {
     }
 }
 
-fn check(dir: &Path, experiment: &str) -> Result<String, String> {
+fn check(dir: &Path, experiment: &str, max_dropped: u64) -> Result<String, String> {
     let jsonl_path = dir.join(format!("{experiment}.jsonl"));
     let raw = std::fs::read_to_string(&jsonl_path)
         .map_err(|e| format!("{}: {e}", jsonl_path.display()))?;
@@ -90,13 +106,31 @@ fn check(dir: &Path, experiment: &str) -> Result<String, String> {
             summary.experiment
         ));
     }
-    if summary.events_recorded != event_lines {
+    if summary.sink_dropped > max_dropped {
+        return Err(format!(
+            "sink dropped {} record(s), above the --max-dropped limit of {max_dropped}; \
+             the stream is too lossy to validate",
+            summary.sink_dropped
+        ));
+    }
+    // Counters are recorded in-process and never dropped, so the stream
+    // can only ever run short of them — and must match exactly when the
+    // sink reports no drops.
+    let lossy = summary.sink_dropped > 0;
+    let consistent = |stream: u64, counted: u64| {
+        if lossy {
+            stream <= counted
+        } else {
+            stream == counted
+        }
+    };
+    if !consistent(event_lines, summary.events_recorded) {
         return Err(format!(
             "summary says {} events, stream has {event_lines}",
             summary.events_recorded
         ));
     }
-    if summary.spans_recorded != span_pairs {
+    if !consistent(span_pairs, summary.spans_recorded) {
         return Err(format!(
             "summary says {} spans, stream has {span_pairs} span_end records",
             summary.spans_recorded
@@ -104,17 +138,25 @@ fn check(dir: &Path, experiment: &str) -> Result<String, String> {
     }
     for (name, n) in &per_name {
         let counter = format!("event.{name}");
-        if summary.counter(&counter) != Some(*n) {
+        if !consistent(*n, summary.counter(&counter).unwrap_or(0)) {
             return Err(format!(
                 "counter `{counter}` is {:?}, stream has {n} `{name}` events",
                 summary.counter(&counter)
             ));
         }
     }
-    Ok(format!(
+    let mut report = format!(
         "{experiment}: {total_records} JSONL records ok ({event_lines} events across {} names, \
          {span_pairs} spans); summary consistent with {} counters",
         per_name.len(),
         summary.counters.len()
-    ))
+    );
+    if summary.sink_dropped > 0 {
+        report.push_str(&format!(
+            "\nwarning: sink dropped {} record(s) (limit {max_dropped}); \
+             counters remain authoritative but the stream is incomplete",
+            summary.sink_dropped
+        ));
+    }
+    Ok(report)
 }

@@ -29,6 +29,12 @@ pub struct EvalArgs {
     /// scanning, writing `<dir>/<experiment>_provenance.json` and
     /// `<dir>/<experiment>_drift.json`. `None` leaves auditing disabled.
     pub audit: Option<String>,
+    /// Live-observability output directory: enables the SimTime
+    /// time-series store, causal tracing, and the SLO alert engine,
+    /// writing `<dir>/<experiment>_timeseries.json`,
+    /// `<dir>/<experiment>_traces.json`, and
+    /// `<dir>/<experiment>_alerts.json`. `None` leaves all three off.
+    pub live: Option<String>,
 }
 
 impl Default for EvalArgs {
@@ -43,6 +49,7 @@ impl Default for EvalArgs {
             telemetry: None,
             profile: None,
             audit: None,
+            live: None,
         }
     }
 }
@@ -55,7 +62,8 @@ impl EvalArgs {
             eprintln!("{message}");
             eprintln!(
                 "usage: [--seed N] [--clients N] [--candidates N] [--hours N] \
-                 [--scale X] [--out DIR] [--telemetry DIR] [--profile DIR] [--audit DIR]"
+                 [--scale X] [--out DIR] [--telemetry DIR] [--profile DIR] [--audit DIR] \
+                 [--live DIR]"
             );
             std::process::exit(2)
         })
@@ -110,6 +118,7 @@ impl EvalArgs {
                 "telemetry" => out.telemetry = Some(v),
                 "profile" => out.profile = Some(v),
                 "audit" => out.audit = Some(v),
+                "live" => out.live = Some(v),
                 other => return Err(format!("unknown flag --{other}")),
             }
         }
@@ -136,7 +145,7 @@ mod tests {
     fn parses_all_flags() {
         let a = parse(
             "--seed 7 --clients 100 --candidates 30 --hours 12 --scale 0.5 --out /tmp/r \
-             --telemetry /tmp/t --profile /tmp/p --audit /tmp/a",
+             --telemetry /tmp/t --profile /tmp/p --audit /tmp/a --live /tmp/l",
         );
         assert_eq!(a.seed, 7);
         assert_eq!(a.clients, Some(100));
@@ -147,14 +156,16 @@ mod tests {
         assert_eq!(a.telemetry.as_deref(), Some("/tmp/t"));
         assert_eq!(a.profile.as_deref(), Some("/tmp/p"));
         assert_eq!(a.audit.as_deref(), Some("/tmp/a"));
+        assert_eq!(a.live.as_deref(), Some("/tmp/l"));
     }
 
     #[test]
-    fn telemetry_profile_and_audit_default_off() {
+    fn telemetry_profile_audit_and_live_default_off() {
         let a = parse("--seed 3");
         assert_eq!(a.telemetry, None);
         assert_eq!(a.profile, None);
         assert_eq!(a.audit, None);
+        assert_eq!(a.live, None);
     }
 
     #[test]

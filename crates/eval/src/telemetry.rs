@@ -20,10 +20,20 @@
 //! Like telemetry and profiling, provenance is a pure observer: enabling
 //! it never changes experiment outputs (`tests/telemetry_determinism.rs`
 //! proves this byte-for-byte).
+//!
+//! With `--live <dir>` the session turns on the live-observability
+//! layer: the SimTime [time-series store](crp_telemetry::timeseries),
+//! [causal tracing](crp_telemetry::trace), and — at shutdown — the
+//! [SLO alert engine](crp_telemetry::alert) replayed over the collected
+//! windows. On drop it writes `<dir>/<experiment>_timeseries.json`,
+//! `<dir>/<experiment>_traces.json`, and
+//! `<dir>/<experiment>_alerts.json`. All three are keyed on simulated
+//! time, so the same seeded run reproduces them byte-for-byte.
 
 use crate::EvalArgs;
 use crp_core::explain::ExplainLog;
 use crp_telemetry::profile::ProfileNode;
+use crp_telemetry::{alert, timeseries, trace};
 use crp_telemetry::{JsonlSink, TelemetrySummary};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -39,6 +49,7 @@ pub struct TelemetrySession {
     dir: Option<PathBuf>,
     profile_dir: Option<PathBuf>,
     audit_dir: Option<PathBuf>,
+    live_dir: Option<PathBuf>,
     experiment: &'static str,
 }
 
@@ -46,6 +57,11 @@ impl TelemetrySession {
     /// The audit output directory, when `--audit` was given.
     pub fn audit_dir(&self) -> Option<&Path> {
         self.audit_dir.as_deref()
+    }
+
+    /// The live-observability output directory, when `--live` was given.
+    pub fn live_dir(&self) -> Option<&Path> {
+        self.live_dir.as_deref()
     }
 }
 
@@ -77,10 +93,16 @@ pub fn session(args: &EvalArgs, experiment: &'static str) -> TelemetrySession {
     if audit_dir.is_some() {
         crp_core::explain::start();
     }
+    let live_dir = args.live.as_ref().map(PathBuf::from);
+    if live_dir.is_some() {
+        timeseries::start(timeseries::TimeSeriesConfig::default());
+        trace::start(trace::TraceConfig::default());
+    }
     TelemetrySession {
         dir,
         profile_dir,
         audit_dir,
+        live_dir,
         experiment,
     }
 }
@@ -113,6 +135,26 @@ pub fn write_provenance(
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     fs::create_dir_all(dir)?;
     let path = dir.join(format!("{experiment}_provenance.json"));
+    fs::write(&path, json + "\n")?;
+    Ok(path)
+}
+
+/// Writes one live-observability artifact (`timeseries`, `traces`, or
+/// `alerts`) to `<dir>/<experiment>_<what>.json`.
+///
+/// # Errors
+///
+/// Returns any serialization or file-system error.
+pub fn write_live<T: serde::Serialize>(
+    dir: &Path,
+    experiment: &str,
+    what: &str,
+    value: &T,
+) -> std::io::Result<PathBuf> {
+    let json = serde_json::to_string(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{experiment}_{what}.json"));
     fs::write(&path, json + "\n")?;
     Ok(path)
 }
@@ -154,6 +196,34 @@ impl Drop for TelemetrySession {
                 match write_provenance(dir, self.experiment, &log) {
                     Ok(path) => println!("  [wrote {}]", path.display()),
                     Err(err) => eprintln!("[telemetry] cannot write provenance: {err}"),
+                }
+            }
+        }
+        // Live observability last: the alert engine replays the
+        // completed time-series windows, so it needs the store after
+        // every instrumented call site has gone quiet.
+        let store = timeseries::finish();
+        let traces = trace::finish();
+        if let Some(dir) = &self.live_dir {
+            if let Some(store) = &store {
+                let export = store.export();
+                match write_live(dir, self.experiment, "timeseries", &export) {
+                    Ok(path) => println!("  [wrote {}]", path.display()),
+                    Err(err) => eprintln!("[telemetry] cannot write timeseries: {err}"),
+                }
+                let alerts = alert::AlertEngine::new(alert::default_rules()).evaluate(store);
+                for name in alerts.firing() {
+                    eprintln!("[live] ALERT firing at end of run: {name}");
+                }
+                match write_live(dir, self.experiment, "alerts", &alerts) {
+                    Ok(path) => println!("  [wrote {}]", path.display()),
+                    Err(err) => eprintln!("[telemetry] cannot write alerts: {err}"),
+                }
+            }
+            if let Some(traces) = &traces {
+                match write_live(dir, self.experiment, "traces", traces) {
+                    Ok(path) => println!("  [wrote {}]", path.display()),
+                    Err(err) => eprintln!("[telemetry] cannot write traces: {err}"),
                 }
             }
         }
@@ -250,5 +320,35 @@ mod tests {
         assert_eq!(log.inversions.len(), 1);
         assert_eq!(log.inversions[0].client, "c0");
         let _ = fs::remove_dir_all(&adir);
+
+        // Live path: --live starts the time-series store and tracing;
+        // the drop replays the alert rules and writes all three
+        // artifacts.
+        let ldir = std::env::temp_dir().join("crp-eval-live-test");
+        let _ = fs::remove_dir_all(&ldir);
+        let args = EvalArgs {
+            live: Some(ldir.to_string_lossy().into_owned()),
+            ..EvalArgs::default()
+        };
+        let s = session(&args, "t_live");
+        assert!(timeseries::enabled());
+        assert!(trace::enabled());
+        assert_eq!(s.live_dir(), Some(ldir.as_path()));
+        let id = trace::mint(&[7]);
+        trace::begin(id, 0, "cdn.redirect");
+        crp_telemetry::observe_at(0, "cdn.best_candidate_ms", 12.5);
+        drop(s);
+        assert!(!timeseries::enabled());
+        assert!(!trace::enabled());
+        for what in ["timeseries", "traces", "alerts"] {
+            let path = ldir.join(format!("t_live_{what}.json"));
+            assert!(path.exists(), "missing {}", path.display());
+        }
+        let raw = fs::read_to_string(ldir.join("t_live_alerts.json")).expect("alerts written");
+        let value = serde_json::parse(&raw).expect("valid json");
+        let alerts = <alert::AlertLog as serde::Deserialize>::from_value(&value).expect("shape");
+        assert!(alerts.rule("ingest-latency-p99").is_some());
+        assert!(alerts.firing().is_empty(), "one cheap sample cannot fire");
+        let _ = fs::remove_dir_all(&ldir);
     }
 }

@@ -52,16 +52,22 @@
 //! assert_eq!(records.lock().unwrap().len(), 1);
 //! ```
 
+pub mod alert;
 pub mod metrics;
 pub mod profile;
 pub mod record;
 pub mod sink;
 pub mod summary;
+pub mod timeseries;
+pub mod trace;
 
+pub use alert::{AlertEngine, AlertLog, AlertRule};
 pub use metrics::{default_bounds, unit_bounds, Histogram, HistogramSummary};
 pub use record::{FieldValue, Record};
 pub use sink::{JsonlSink, MemorySink, NoopSink, Sink};
 pub use summary::{CounterEntry, GaugeEntry, TelemetrySummary};
+pub use timeseries::{TimeSeriesConfig, TimeSeriesExport, TimeSeriesStore};
+pub use trace::{TraceConfig, TraceId, TraceLog};
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -177,6 +183,10 @@ impl Collector {
         if self.sink.flush().is_err() {
             self.sink_dropped += 1;
         }
+        // Records the sink silently shed (encode/IO failures) become a
+        // first-class health signal: `telemetry_check` warns on any loss
+        // and fails past its threshold.
+        self.sink_dropped = self.sink_dropped.saturating_add(self.sink.dropped());
         TelemetrySummary {
             experiment: experiment.to_owned(),
             events_recorded: self.events,
@@ -293,6 +303,30 @@ pub fn observe_unit(name: &str, value: f64) {
     }
     if let Some(c) = collector_slot().as_mut() {
         c.observe_with(name, &unit_bounds(), value);
+    }
+}
+
+/// Like [`observe`], but keyed with the simulated time so the sample
+/// also lands in the live [`timeseries`] store (when one is running)
+/// with the current trace as its exemplar. No-op when both layers are
+/// disabled.
+#[inline]
+pub fn observe_at(time_ms: u64, name: &str, value: f64) {
+    observe(name, value);
+    if timeseries::enabled() {
+        timeseries::record(time_ms, name, value);
+    }
+}
+
+/// Like [`counter_add`], but keyed with the simulated time so the
+/// increment also lands in the live [`timeseries`] store (per-window
+/// `sum` is then the windowed rate). No-op when both layers are
+/// disabled.
+#[inline]
+pub fn counter_add_at(time_ms: u64, name: &str, delta: u64) {
+    counter_add(name, delta);
+    if timeseries::enabled() {
+        timeseries::bump(time_ms, name, delta);
     }
 }
 
@@ -448,6 +482,29 @@ mod tests {
         assert_eq!(counter_names, ["alpha", "zeta"]);
         let gauge_names: Vec<&str> = s.gauges.iter().map(|e| e.name.as_str()).collect();
         assert_eq!(gauge_names, ["aaa", "mid"]);
+    }
+
+    #[test]
+    fn sink_drop_counts_surface_in_summary() {
+        struct LossySink {
+            dropped: u64,
+        }
+        impl Sink for LossySink {
+            fn record(&mut self, _record: &Record) {
+                self.dropped += 1; // pretend every record failed to encode
+            }
+            fn label(&self) -> &'static str {
+                "lossy"
+            }
+            fn dropped(&self) -> u64 {
+                self.dropped
+            }
+        }
+        let mut c = Collector::new(Box::new(LossySink { dropped: 0 }));
+        c.event(1, "e", &[]);
+        c.event(2, "e", &[]);
+        let s = c.finish("exp");
+        assert_eq!(s.sink_dropped, 2, "sink losses surface in the summary");
     }
 
     #[test]

@@ -34,6 +34,13 @@ pub trait Sink: Send {
 
     /// Short human-readable label for diagnostics.
     fn label(&self) -> &'static str;
+
+    /// Records this sink has silently dropped (encode or I/O failures).
+    /// Surfaced into [`crate::TelemetrySummary::sink_dropped`] at
+    /// shutdown so lossy runs are visible, not absorbed.
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// Discards every record.
@@ -163,6 +170,10 @@ impl Sink for JsonlSink {
 
     fn label(&self) -> &'static str {
         "jsonl"
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
     }
 }
 

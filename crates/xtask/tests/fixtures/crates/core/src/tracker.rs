@@ -1,0 +1,6 @@
+//! Fixture: trace hooks on the sanctioned ingest path (no CRP008).
+
+pub fn ingest(t: u64) {
+    crp_telemetry::trace::stage_at(t, "core.tracker.record");
+    crp_telemetry::trace::resume(0, t, "core.ratio_map");
+}

@@ -1,0 +1,5 @@
+//! Fixture: a causal-trace hook outside the sanctioned sites.
+
+pub fn sneaky(t: u64) {
+    crp_telemetry::trace::stage_at(t, "demo.sneaky");
+}

@@ -123,4 +123,61 @@ fn telemetry_never_perturbs_results_and_is_itself_deterministic() {
     let _ = campaign_fingerprint();
     let log_b = crp_core::explain::finish().expect("explain recorder started");
     assert_eq!(log, log_b, "same seed must record identical provenance");
+
+    // Phase 9: the full live-observability stack — SimTime time-series
+    // store, causal tracing, and the alert replay over the finished
+    // store. All of it rides the same hot paths as provenance, so the
+    // same bar applies: byte-identical experiment output, and every
+    // collector demonstrably fed.
+    crp_telemetry::timeseries::start(crp_telemetry::timeseries::TimeSeriesConfig::default());
+    crp_telemetry::trace::start(crp_telemetry::trace::TraceConfig::default());
+    let live = campaign_fingerprint();
+    let store = crp_telemetry::timeseries::finish().expect("time-series store started");
+    let traces = crp_telemetry::trace::finish().expect("trace collector started");
+    assert_eq!(
+        baseline, live,
+        "live observability changed experiment output"
+    );
+    let export = store.export();
+    assert!(
+        export.series("cdn.best_candidate_ms").is_some(),
+        "ingest latency series missing: {:?}",
+        export.series.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+    assert!(traces.minted > 0, "no traces minted: {traces:?}");
+    let alerts = crp_telemetry::alert::AlertEngine::new(crp_telemetry::alert::default_rules())
+        .evaluate(&store);
+    assert!(
+        alerts.rule("ingest-latency-p99").is_some(),
+        "default rules not evaluated"
+    );
+
+    // Phase 10: a second live run serializes byte-identical time
+    // series, alert log, and trace trees — the artifacts CI diffs.
+    crp_telemetry::timeseries::start(crp_telemetry::timeseries::TimeSeriesConfig::default());
+    crp_telemetry::trace::start(crp_telemetry::trace::TraceConfig::default());
+    assert_eq!(campaign_fingerprint(), baseline);
+    let store_b = crp_telemetry::timeseries::finish().expect("time-series store started");
+    let traces_b = crp_telemetry::trace::finish().expect("trace collector started");
+    let alerts_b = crp_telemetry::alert::AlertEngine::new(crp_telemetry::alert::default_rules())
+        .evaluate(&store_b);
+    assert_eq!(
+        serde_json::to_string(&export).expect("serializable"),
+        serde_json::to_string(&store_b.export()).expect("serializable"),
+        "same seed must export identical time series"
+    );
+    assert_eq!(
+        serde_json::to_string(&traces).expect("serializable"),
+        serde_json::to_string(&traces_b).expect("serializable"),
+        "same seed must record identical traces"
+    );
+    assert_eq!(
+        serde_json::to_string(&alerts).expect("serializable"),
+        serde_json::to_string(&alerts_b).expect("serializable"),
+        "same seed must replay identical alerts"
+    );
+
+    // Phase 11: everything off again — the baseline still reproduces.
+    assert!(!crp_telemetry::trace::enabled());
+    assert_eq!(campaign_fingerprint(), baseline);
 }
