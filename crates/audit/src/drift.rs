@@ -246,6 +246,23 @@ where
                 .filter_map(|h| service.ratio_map(h, t).ok().map(|m| (h.clone(), m)))
                 .collect();
             let clustering = cfg.smf.as_ref().map(|smf| service.cluster(smf, t));
+            // Capacity gauges, sampled at each snapshot boundary so
+            // live_report can chart occupancy growth over the scan.
+            if crp_telemetry::timeseries::enabled() {
+                use crp_telemetry::MemFootprint;
+                crp_telemetry::observe_at(
+                    t.as_millis(),
+                    "mem.footprint.core.service",
+                    service.mem_footprint() as f64,
+                );
+                if let Some(c) = &clustering {
+                    crp_telemetry::observe_at(
+                        t.as_millis(),
+                        "mem.footprint.core.clustering",
+                        c.mem_footprint() as f64,
+                    );
+                }
+            }
             Snapshot {
                 at: t,
                 maps,

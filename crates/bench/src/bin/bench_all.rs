@@ -11,10 +11,15 @@
 //! working directory) — the start of the repo's perf trajectory.
 //! `bench_check` diffs a later run against such a snapshot.
 //!
-//! The binary installs the counting global allocator, so every result
-//! also reports allocation pressure per iteration.
+//! The binary links the counting global allocator, so every result
+//! also reports allocation pressure per iteration. After the timing
+//! pass, a second **attribution pass** re-runs the tracked rows with
+//! `crp_telemetry::mem` armed — armed attribution taxes every
+//! allocation, so it must never overlap the timed iterations — and the
+//! per-domain budgets land in `<out>/mem.json`, the input `mem_check`
+//! gates against `MEM_BASELINE.json` and `mem_report` renders.
 
-use crp_bench::harness::Runner;
+use crp_bench::harness::{self, MemReport, MemResult, Runner};
 use crp_bench::{observed_scenario, synthetic_map, synthetic_maps};
 use crp_core::{
     Clustering, Ranking, RatioMap, RedirectionTracker, SimilarityMetric, SmfConfig, WindowPolicy,
@@ -22,12 +27,12 @@ use crp_core::{
 use crp_dns::{AuthoritativeServer, DomainName};
 use crp_meridian::{FaultPlan, MeridianConfig, MeridianOverlay};
 use crp_netsim::{HostId, NetworkBuilder, PopulationSpec, SimTime};
-use crp_telemetry::profile::CountingAllocator;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-#[global_allocator]
-static ALLOC: CountingAllocator = CountingAllocator;
+// The counting global allocator is installed crate-wide by `crp_eval`
+// (a dependency), so this binary gets allocation counts without a
+// second `#[global_allocator]` declaration.
 
 struct Options {
     quick: bool,
@@ -83,6 +88,15 @@ fn main() -> ExitCode {
     let mut runner = Runner::new(opts.quick);
     register_all(&mut runner);
     let report = runner.into_report(&opts.label);
+    crp_telemetry::mem::start();
+    let mut mem_results = Vec::new();
+    mem_pass(&report, &mut mem_results);
+    let _ = crp_telemetry::mem::finish();
+    let mem_report = MemReport {
+        label: report.label.clone(),
+        quick: report.quick,
+        results: mem_results,
+    };
 
     println!(
         "{:<34} {:>12} {:>12} {:>14} {:>10} {:>8}",
@@ -122,7 +136,81 @@ fn main() -> ExitCode {
         }
         eprintln!("bench_all: wrote {}", path.display());
     }
+    let mem_json = match serde_json::to_string(&mem_report) {
+        Ok(json) => json + "\n",
+        Err(err) => {
+            eprintln!("bench_all: failed to serialize mem report: {err}");
+            return ExitCode::from(1);
+        }
+    };
+    let mem_path = opts.out_dir.join("mem.json");
+    if let Err(err) = std::fs::write(&mem_path, &mem_json) {
+        eprintln!("bench_all: cannot write {}: {err}", mem_path.display());
+        return ExitCode::from(1);
+    }
+    eprintln!("bench_all: wrote {}", mem_path.display());
     ExitCode::SUCCESS
+}
+
+/// The attribution pass: re-runs each tracked workload exactly as many
+/// iterations as its timing row executed (warmup included), with fresh
+/// counters per row, and appends the per-domain budgets to `mem`.
+fn mem_pass(report: &crp_bench::harness::BenchReport, mem: &mut Vec<MemResult>) {
+    run_mem_row(report, mem, "tracker/ingest_1000_bounded30", ingest_row);
+    run_mem_row(report, mem, "macro/fig4_closest_smoke", fig4_row);
+    run_mem_row(report, mem, "macro/fig6_clustering_smoke", fig6_row);
+    run_mem_row(report, mem, "macro/observation_campaign_6h", campaign_row);
+}
+
+/// Replays one tracked workload under armed attribution, mirroring the
+/// timing plan recorded in its [`BenchResult`].
+fn run_mem_row<T, F>(
+    report: &crp_bench::harness::BenchReport,
+    mem: &mut Vec<MemResult>,
+    name: &str,
+    mut f: F,
+) where
+    F: FnMut() -> T,
+{
+    let Some(result) = report.result(name) else {
+        return;
+    };
+    let iters = (result.samples + 1).max(1) * result.iters_per_sample.max(1);
+    crp_telemetry::mem::reset();
+    for _ in 0..iters {
+        std::hint::black_box(f());
+    }
+    let snap = crp_telemetry::mem::snapshot();
+    mem.push(harness::mem_result_for(result, &snap));
+}
+
+/// The tracker-ingest workload: 1,000 probes into a 30-bounded window.
+fn ingest_row() -> RedirectionTracker<u32> {
+    let mut t = RedirectionTracker::<u32>::with_capacity(30);
+    for i in 0..1_000u64 {
+        t.record_slice(SimTime::from_mins(i), &[(i % 9) as u32]);
+    }
+    t
+}
+
+/// The Fig. 4 closest-node pipeline at smoke scale.
+fn fig4_row() -> usize {
+    crp_eval::run_closest(&crp_eval::ClosestConfig::smoke(11))
+        .outcomes
+        .len()
+}
+
+/// The Fig. 6 clustering pipeline at smoke scale.
+fn fig6_row() -> usize {
+    crp_eval::run_clustering(&crp_eval::ClusterExpConfig::smoke(12))
+        .king_ms
+        .len()
+}
+
+/// The 6-hour observation campaign at smoke scale.
+fn campaign_row() -> usize {
+    let (_scenario, service, _end) = observed_scenario(13, 8, 4);
+    service.node_count()
 }
 
 fn format_ns(ns: u64) -> String {
@@ -167,13 +255,7 @@ fn register_all(runner: &mut Runner) {
     });
 
     // --- redirection tracker (per-probe bookkeeping + window derivation)
-    runner.run("tracker/ingest_1000_bounded30", 20, 20, || {
-        let mut t = RedirectionTracker::<u32>::with_capacity(30);
-        for i in 0..1_000u64 {
-            t.record_slice(SimTime::from_mins(i), &[(i % 9) as u32]);
-        }
-        t
-    });
+    runner.run("tracker/ingest_1000_bounded30", 20, 20, ingest_row);
     // The same ingest loop with the live-observability stack armed:
     // every probe mints a causal trace and feeds the time-series store,
     // so the delta against the row above is the per-probe cost of
@@ -245,20 +327,9 @@ fn register_all(runner: &mut Runner) {
     });
 
     // --- macro kernels: the per-figure experiment pipelines at smoke scale
-    runner.run("macro/fig4_closest_smoke", 5, 1, || {
-        crp_eval::run_closest(&crp_eval::ClosestConfig::smoke(11))
-            .outcomes
-            .len()
-    });
-    runner.run("macro/fig6_clustering_smoke", 5, 1, || {
-        crp_eval::run_clustering(&crp_eval::ClusterExpConfig::smoke(12))
-            .king_ms
-            .len()
-    });
-    runner.run("macro/observation_campaign_6h", 5, 1, || {
-        let (_scenario, service, _end) = observed_scenario(13, 8, 4);
-        service.node_count()
-    });
+    runner.run("macro/fig4_closest_smoke", 5, 1, fig4_row);
+    runner.run("macro/fig6_clustering_smoke", 5, 1, fig6_row);
+    runner.run("macro/observation_campaign_6h", 5, 1, campaign_row);
 }
 
 fn cdn_fixture() -> (crp_cdn::Cdn, HostId, DomainName) {

@@ -1,0 +1,178 @@
+//! The memory-budget gate: diffs a fresh `bench_all` memory report
+//! against the committed `MEM_BASELINE.json`.
+//!
+//! ```text
+//! cargo run --release -p crp-bench --bin mem_check [-- \
+//!     --baseline <file>] [--current <file>] [--tolerance <pct>[%]]
+//!     [--update-baseline]
+//! ```
+//!
+//! Defaults: `--current results/mem.json`, `--baseline
+//! MEM_BASELINE.json`, tolerance 20%. A domain budget regresses when
+//! its per-iteration allocation count or raw peak bytes exceed the
+//! baseline by more than the tolerance; a benchmark missing from the
+//! current run fails too (a silent drop would disable its own gate).
+//!
+//! `--update-baseline` rewrites the baseline file from the current
+//! report instead of gating — the refresh path, mirroring `bench_all
+//! --snapshot` for timing baselines.
+//!
+//! Exit status: 0 on pass (or refresh), 1 on regression or missing
+//! benchmarks, 2 on usage or I/O errors — mirroring `bench_check`.
+
+use crp_bench::harness::{compare_mem, parse_tolerance, MemReport};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    baseline: PathBuf,
+    current: PathBuf,
+    tolerance_pct: f64,
+    update_baseline: bool,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        baseline: PathBuf::from("MEM_BASELINE.json"),
+        current: PathBuf::from("results/mem.json"),
+        tolerance_pct: 20.0,
+        update_baseline: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                opts.baseline = PathBuf::from(it.next().ok_or("--baseline needs a value")?);
+            }
+            "--current" => {
+                opts.current = PathBuf::from(it.next().ok_or("--current needs a value")?);
+            }
+            "--tolerance" => {
+                opts.tolerance_pct =
+                    parse_tolerance(it.next().ok_or("--tolerance needs a value")?)?;
+            }
+            "--update-baseline" => opts.update_baseline = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: mem_check [--baseline <file>] [--current <file>] [--tolerance <pct>[%]] \
+         [--update-baseline]"
+    );
+}
+
+fn load_report(path: &Path) -> Result<MemReport, String> {
+    let raw = std::fs::read_to_string(path)
+        .map_err(|err| format!("cannot read {}: {err}", path.display()))?;
+    serde_json::from_str(&raw).map_err(|err| format!("{}: malformed report: {err}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_options(&args) {
+        Ok(opts) => opts,
+        Err(err) => {
+            eprintln!("mem_check: {err}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let current = match load_report(&opts.current) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("mem_check: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.update_baseline {
+        let json = match serde_json::to_string(&current) {
+            Ok(json) => json + "\n",
+            Err(err) => {
+                eprintln!("mem_check: failed to serialize baseline: {err}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(err) = std::fs::write(&opts.baseline, &json) {
+            eprintln!("mem_check: cannot write {}: {err}", opts.baseline.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "mem_check: baseline {} refreshed from {}",
+            opts.baseline.display(),
+            opts.current.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match load_report(&opts.baseline) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("mem_check: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "mem_check: {} (label {:?}) vs {} (label {:?}), tolerance {}%",
+        opts.current.display(),
+        current.label,
+        opts.baseline.display(),
+        baseline.label,
+        opts.tolerance_pct
+    );
+    let outcome = compare_mem(&baseline, &current, opts.tolerance_pct);
+
+    // Per-budget delta table, printed on success too — the refresh
+    // decision is made from how close each budget sits to its gate.
+    println!("mem_check: per-domain budget deltas (current vs baseline):");
+    println!(
+        "  {:<34} {:<22} {:>14} {:>14} {:>12} {:>12}",
+        "benchmark", "domain", "base allocs", "cur allocs", "base peak", "cur peak"
+    );
+    for base in &baseline.results {
+        let Some(cur) = current.result(&base.name) else {
+            continue;
+        };
+        for row in &base.domains {
+            let (cur_allocs, cur_peak) = cur
+                .domain(&row.domain)
+                .map_or((0, 0), |d| (d.allocs_per_iter as i64, d.peak_bytes));
+            println!(
+                "  {:<34} {:<22} {:>14} {:>14} {:>12} {:>12}",
+                base.name, row.domain, row.allocs_per_iter, cur_allocs, row.peak_bytes, cur_peak
+            );
+        }
+    }
+
+    for name in &outcome.added {
+        eprintln!("mem_check: note: new domain budget {name} (not in baseline)");
+    }
+    for name in &outcome.missing {
+        eprintln!("mem_check: MISSING {name}: in baseline but not in current run");
+    }
+    for reg in &outcome.regressions {
+        eprintln!(
+            "mem_check: REGRESSION {}/{}: {} {} -> {} ({:.2}x)",
+            reg.name, reg.domain, reg.metric, reg.baseline, reg.current, reg.ratio
+        );
+    }
+    if outcome.passed() {
+        println!(
+            "mem_check: OK — {} domain budget(s) within {}% of baseline",
+            outcome.checked, opts.tolerance_pct
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "mem_check: FAILED — {} regression(s), {} missing of {} checked",
+            outcome.regressions.len(),
+            outcome.missing.len(),
+            outcome.checked
+        );
+        ExitCode::from(1)
+    }
+}

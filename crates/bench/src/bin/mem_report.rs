@@ -1,0 +1,134 @@
+//! Renders a `bench_all` memory report as a per-benchmark attribution
+//! table: who allocated, how much, and what stayed unaccounted.
+//!
+//! ```text
+//! cargo run --release -p crp-bench --bin mem_report [-- \
+//!     --current <file>] [--top <n>]
+//! ```
+//!
+//! Defaults: `--current results/mem.json`, top 10 domains per
+//! benchmark (by allocations per iteration). The attributed fraction
+//! on each benchmark line is the share of its allocations charged to
+//! named domains — the number the tentpole acceptance gate (≥ 95% on
+//! `macro/fig4_closest_smoke`) reads.
+//!
+//! Exit status: 0 on success, 2 on usage or I/O errors.
+
+use crp_bench::harness::MemReport;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    current: PathBuf,
+    top: usize,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        current: PathBuf::from("results/mem.json"),
+        top: 10,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--current" => {
+                opts.current = PathBuf::from(it.next().ok_or("--current needs a value")?);
+            }
+            "--top" => {
+                opts.top = it
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|_| "--top needs a positive integer".to_owned())?;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    if opts.top == 0 {
+        return Err("--top needs a positive integer".to_owned());
+    }
+    Ok(opts)
+}
+
+fn usage() {
+    eprintln!("usage: mem_report [--current <file>] [--top <n>]");
+}
+
+fn format_bytes(bytes: i64) -> String {
+    let magnitude = bytes.unsigned_abs();
+    let sign = if bytes < 0 { "-" } else { "" };
+    if magnitude >= 1 << 20 {
+        format!("{sign}{:.1}MiB", magnitude as f64 / (1 << 20) as f64)
+    } else if magnitude >= 1 << 10 {
+        format!("{sign}{:.1}KiB", magnitude as f64 / (1 << 10) as f64)
+    } else {
+        format!("{sign}{magnitude}B")
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_options(&args) {
+        Ok(opts) => opts,
+        Err(err) => {
+            eprintln!("mem_report: {err}");
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let raw = match std::fs::read_to_string(&opts.current) {
+        Ok(raw) => raw,
+        Err(err) => {
+            eprintln!("mem_report: cannot read {}: {err}", opts.current.display());
+            return ExitCode::from(2);
+        }
+    };
+    let report: MemReport = match serde_json::from_str(&raw) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!(
+                "mem_report: {}: malformed report: {err}",
+                opts.current.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "mem_report: label {:?}{}, {} benchmark(s)",
+        report.label,
+        if report.quick { " (quick plan)" } else { "" },
+        report.results.len()
+    );
+    for result in &report.results {
+        println!(
+            "\n{} — {} iterations, {:.1}% of allocations attributed",
+            result.name,
+            result.iters,
+            result.attributed_fraction * 100.0
+        );
+        println!(
+            "  {:<24} {:>14} {:>14} {:>12}",
+            "domain", "allocs/iter", "bytes/iter", "peak"
+        );
+        let mut rows: Vec<_> = result.domains.iter().collect();
+        rows.sort_by(|a, b| {
+            b.allocs_per_iter
+                .cmp(&a.allocs_per_iter)
+                .then_with(|| a.domain.cmp(&b.domain))
+        });
+        for row in rows.iter().take(opts.top) {
+            println!(
+                "  {:<24} {:>14} {:>14} {:>12}",
+                row.domain,
+                row.allocs_per_iter,
+                row.bytes_per_iter,
+                format_bytes(row.peak_bytes)
+            );
+        }
+        if rows.len() > opts.top {
+            println!("  ... {} more domain(s)", rows.len() - opts.top);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -20,6 +20,7 @@
 //! comparing, so every decision procedure here is unit-testable.
 
 use crp_telemetry::profile;
+use crp_telemetry::MemSnapshot;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -132,6 +133,12 @@ impl Runner {
             bytes / total_iters,
             allocs / total_iters,
         ));
+    }
+
+    /// The most recently recorded result (the row a mem snapshot taken
+    /// right after [`run`](Runner::run) belongs to).
+    pub fn last(&self) -> Option<&BenchResult> {
+        self.results.last()
     }
 
     /// Finishes the run and labels the report.
@@ -278,6 +285,187 @@ pub fn parse_tolerance(raw: &str) -> Result<f64, String> {
     Ok(value)
 }
 
+// ---------------------------------------------------------------------
+// Memory attribution: the `mem.json` / `MEM_BASELINE.json` schema and
+// the `mem_check` comparison logic
+// ---------------------------------------------------------------------
+
+/// One domain's allocation budget for one benchmark row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemDomainRow {
+    /// Attribution domain name (`core.tracker`, `(unattributed)`, ...).
+    pub domain: String,
+    /// Peak live bytes over the whole row (raw, not per-iteration — a
+    /// high-water mark does not scale with the plan).
+    pub peak_bytes: i64,
+    /// Mean heap allocations per iteration charged to this domain.
+    pub allocs_per_iter: u64,
+    /// Mean bytes allocated per iteration charged to this domain.
+    pub bytes_per_iter: u64,
+}
+
+/// Per-domain allocation statistics for one benchmark row.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemResult {
+    /// Benchmark name, matching the [`BenchResult`] it annotates.
+    pub name: String,
+    /// Iterations the counters cover (warmup included — attribution
+    /// sees every iteration the row ran).
+    pub iters: u64,
+    /// Fraction of the row's allocations charged to named domains.
+    pub attributed_fraction: f64,
+    /// Active domains, name-sorted; zero-activity domains are dropped.
+    pub domains: Vec<MemDomainRow>,
+}
+
+impl MemResult {
+    /// Looks up a domain row by name.
+    pub fn domain(&self, name: &str) -> Option<&MemDomainRow> {
+        self.domains.iter().find(|d| d.domain == name)
+    }
+}
+
+/// A full memory-attribution run: the `mem.json` / `MEM_BASELINE.json`
+/// schema.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemReport {
+    /// Snapshot label, matching the bench report of the same run.
+    pub label: String,
+    /// Whether the reduced `--quick` plan produced these numbers.
+    pub quick: bool,
+    /// Results in execution order.
+    pub results: Vec<MemResult>,
+}
+
+impl MemReport {
+    /// Looks up a result by benchmark name.
+    pub fn result(&self, name: &str) -> Option<&MemResult> {
+        self.results.iter().find(|r| r.name == name)
+    }
+}
+
+/// Condenses an armed attribution snapshot into the [`MemResult`] for
+/// the benchmark row just measured. `result` supplies the plan shape:
+/// counters are normalized over every iteration the row executed —
+/// `(samples + 1) * iters_per_sample`, warmup included, because the
+/// attribution counters saw the warmup too.
+pub fn mem_result_for(result: &BenchResult, snap: &MemSnapshot) -> MemResult {
+    let iters = (result.samples + 1).max(1) * result.iters_per_sample.max(1);
+    let domains = snap
+        .domains
+        .iter()
+        .filter(|d| d.allocs > 0 || d.reallocs > 0 || d.peak_bytes > 0)
+        .map(|d| MemDomainRow {
+            domain: d.name.clone(),
+            peak_bytes: d.peak_bytes,
+            allocs_per_iter: d.allocs / iters,
+            bytes_per_iter: d.total_bytes / iters,
+        })
+        .collect();
+    MemResult {
+        name: result.name.clone(),
+        iters,
+        attributed_fraction: snap.attributed_fraction(),
+        domains,
+    }
+}
+
+/// One domain budget that grew beyond the gate.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemRegression {
+    /// Benchmark name.
+    pub name: String,
+    /// Attribution domain within the benchmark.
+    pub domain: String,
+    /// Which budget regressed: `allocs_per_iter` or `peak_bytes`.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: i64,
+    /// Current value.
+    pub current: i64,
+    /// `current / baseline` growth factor.
+    pub ratio: f64,
+}
+
+/// Outcome of diffing a current memory report against a baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MemComparison {
+    /// Domain budgets present in both reports.
+    pub checked: usize,
+    /// Budgets beyond tolerance, worst first.
+    pub regressions: Vec<MemRegression>,
+    /// Baseline benchmarks missing from the current run.
+    pub missing: Vec<String>,
+    /// `benchmark/domain` pairs new in the current run (informational —
+    /// a new domain moves allocations, it does not create them).
+    pub added: Vec<String>,
+}
+
+impl MemComparison {
+    /// Whether the gate passes: nothing regressed, nothing missing.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Diffs `current` against `baseline`: a domain budget regresses when
+/// its per-iteration allocation count or raw peak bytes exceed the
+/// baseline by more than `tolerance_pct` percent. Zero-valued baseline
+/// budgets are skipped rather than divided by; domains absent from the
+/// current run count as zero (shrinking is always in-budget).
+pub fn compare_mem(baseline: &MemReport, current: &MemReport, tolerance_pct: f64) -> MemComparison {
+    let limit = 1.0 + tolerance_pct / 100.0;
+    let mut regressions = Vec::new();
+    let mut missing = Vec::new();
+    let mut checked = 0usize;
+    for base in &baseline.results {
+        let Some(cur) = current.result(&base.name) else {
+            missing.push(base.name.clone());
+            continue;
+        };
+        for row in &base.domains {
+            checked += 1;
+            let (cur_allocs, cur_peak) = cur
+                .domain(&row.domain)
+                .map_or((0, 0), |d| (d.allocs_per_iter as i64, d.peak_bytes));
+            for (metric, base_val, cur_val) in [
+                ("allocs_per_iter", row.allocs_per_iter as i64, cur_allocs),
+                ("peak_bytes", row.peak_bytes, cur_peak),
+            ] {
+                if base_val <= 0 {
+                    continue;
+                }
+                if cur_val as f64 > base_val as f64 * limit {
+                    regressions.push(MemRegression {
+                        name: base.name.clone(),
+                        domain: row.domain.clone(),
+                        metric: metric.to_owned(),
+                        baseline: base_val,
+                        current: cur_val,
+                        ratio: cur_val as f64 / base_val as f64,
+                    });
+                }
+            }
+        }
+    }
+    regressions.sort_by(|a, b| b.ratio.total_cmp(&a.ratio));
+    let mut added = Vec::new();
+    for cur in &current.results {
+        let base = baseline.result(&cur.name);
+        for row in &cur.domains {
+            if base.is_none_or(|b| b.domain(&row.domain).is_none()) {
+                added.push(format!("{}/{}", cur.name, row.domain));
+            }
+        }
+    }
+    MemComparison {
+        checked,
+        regressions,
+        missing,
+        added,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +589,119 @@ mod tests {
         let cmp = compare(&base, &cur, 10.0);
         assert!(cmp.passed(), "{cmp:?}");
         assert_eq!(cmp.checked, 2);
+    }
+
+    fn mem_report(label: &str, rows: &[(&str, &[(&str, i64, u64)])]) -> MemReport {
+        MemReport {
+            label: label.to_owned(),
+            quick: false,
+            results: rows
+                .iter()
+                .map(|&(name, domains)| MemResult {
+                    name: name.to_owned(),
+                    iters: 100,
+                    attributed_fraction: 0.97,
+                    domains: domains
+                        .iter()
+                        .map(|&(domain, peak, allocs)| MemDomainRow {
+                            domain: domain.to_owned(),
+                            peak_bytes: peak,
+                            allocs_per_iter: allocs,
+                            bytes_per_iter: allocs * 32,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn mem_result_normalizes_over_warmup_inclusive_iters() {
+        let bench = summarize("row", &[10, 10, 10], 5, 0, 0);
+        let snap = crp_telemetry::MemSnapshot {
+            domains: vec![
+                crp_telemetry::DomainMem {
+                    name: "core.tracker".to_owned(),
+                    live_bytes: 0,
+                    peak_bytes: 4096,
+                    total_bytes: 40_000,
+                    allocs: 400,
+                    deallocs: 400,
+                    reallocs: 0,
+                    size_classes: vec![0; 16],
+                },
+                crp_telemetry::DomainMem {
+                    name: "idle.domain".to_owned(),
+                    live_bytes: 0,
+                    peak_bytes: 0,
+                    total_bytes: 0,
+                    allocs: 0,
+                    deallocs: 0,
+                    reallocs: 0,
+                    size_classes: vec![0; 16],
+                },
+            ],
+        };
+        let r = mem_result_for(&bench, &snap);
+        // 3 samples + 1 warmup, 5 iters each = 20 iterations.
+        assert_eq!(r.iters, 20);
+        let row = r.domain("core.tracker").expect("active domain kept");
+        assert_eq!(row.allocs_per_iter, 20);
+        assert_eq!(row.bytes_per_iter, 2_000);
+        assert_eq!(row.peak_bytes, 4096, "peak stays raw");
+        assert!(r.domain("idle.domain").is_none(), "idle domains dropped");
+    }
+
+    #[test]
+    fn compare_mem_flags_both_budgets_and_skips_zero_baselines() {
+        let base = mem_report(
+            "base",
+            &[("bm", &[("a", 1000, 100), ("b", 0, 50), ("zero", 0, 0)])],
+        );
+        let cur = mem_report(
+            "cur",
+            &[(
+                "bm",
+                &[
+                    ("a", 1300, 100),
+                    ("b", 512, 80),
+                    ("fresh", 9, 9),
+                    ("zero", 9, 9),
+                ],
+            )],
+        );
+        let cmp = compare_mem(&base, &cur, 20.0);
+        assert!(!cmp.passed());
+        let keys: Vec<(&str, &str)> = cmp
+            .regressions
+            .iter()
+            .map(|r| (r.domain.as_str(), r.metric.as_str()))
+            .collect();
+        // `a` peak grew 30% (> 20%), `b` allocs grew 60%; `b` peak and
+        // `zero` have no baseline to gate against.
+        assert!(keys.contains(&("a", "peak_bytes")), "{keys:?}");
+        assert!(keys.contains(&("b", "allocs_per_iter")), "{keys:?}");
+        assert_eq!(keys.len(), 2, "{keys:?}");
+        assert_eq!(cmp.regressions[0].ratio, 1.6, "worst first");
+        assert_eq!(cmp.added, ["bm/fresh"], "new domains are informational");
+    }
+
+    #[test]
+    fn compare_mem_treats_vanished_domains_as_zero_and_missing_benchmarks_as_failures() {
+        let base = mem_report("base", &[("bm", &[("a", 1000, 100)]), ("gone", &[])]);
+        let cur = mem_report("cur", &[("bm", &[])]);
+        let cmp = compare_mem(&base, &cur, 10.0);
+        assert!(cmp.regressions.is_empty(), "shrinking to zero is in-budget");
+        assert_eq!(cmp.missing, ["gone"]);
+        assert!(!cmp.passed());
+    }
+
+    #[test]
+    fn mem_report_round_trips_through_json() {
+        let report = mem_report("rt", &[("bm", &[("a", 42, 7)])]);
+        let text = serde_json::to_string(&report).expect("serialize");
+        let back: MemReport = serde_json::from_str(&text).expect("parse");
+        assert_eq!(back, report);
     }
 
     #[test]

@@ -6,9 +6,29 @@ use crate::mapping::MappingConfig;
 use crate::replica::{ReplicaId, ReplicaServer};
 use crp_dns::{AuthoritativeServer, DnsResponse, DomainName, RecordData, ResourceRecord, SimIp};
 use crp_netsim::{noise, HostId, Network, Region, SimDuration, SimTime};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
+
+/// Reusable per-thread buffers for the answer path. The authoritative
+/// answer is the CDN's per-query hot path (`cdn/authoritative_answer_warm`
+/// tracks it); routing every intermediate list through these buffers
+/// keeps the warm path down to the single allocation the returned
+/// `DnsResponse` must own.
+#[derive(Default)]
+struct AnswerScratch {
+    shortlist: Vec<ReplicaId>,
+    ranked: Vec<(f64, ReplicaId)>,
+    scattered: Vec<(f64, ReplicaId)>,
+    remaining: Vec<(f64, ReplicaId)>,
+    weights: Vec<f64>,
+    picked: Vec<ReplicaId>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<AnswerScratch> = RefCell::default();
+}
 
 /// Noise-stream tags for the mapping system.
 const TAG_MEASURE: u64 = 0x31;
@@ -291,16 +311,19 @@ impl Cdn {
 
     /// The static shortlist of candidate replicas for `(resolver,
     /// customer)`: the `shortlist_size` nearest eligible replicas by
-    /// baseline RTT. Computed once and memoized.
-    fn shortlist(&self, resolver: HostId, customer_idx: usize) -> Vec<ReplicaId> {
+    /// baseline RTT. Computed once and memoized; the warm path copies
+    /// the memoized list into `out` instead of cloning a fresh `Vec`.
+    fn shortlist_into(&self, resolver: HostId, customer_idx: usize, out: &mut Vec<ReplicaId>) {
         let key = (resolver, customer_idx as u32);
+        out.clear();
         {
             let shortlists = self
                 .shortlists
                 .read()
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
             if let Some(hit) = shortlists.get(&key) {
-                return hit.clone();
+                out.extend_from_slice(hit);
+                return;
             }
         }
         let customer = &self.customers[customer_idx];
@@ -311,28 +334,36 @@ impl Cdn {
                 let host = self.replicas[id.index()].host();
                 (self.net.baseline_rtt(resolver, host).millis(), *id)
             })
-            .collect();
+            .collect(); // crp-lint: allow(CRP009) — one-time computation per (resolver, customer); memoized thereafter
         scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         scored.truncate(self.cfg.shortlist_size);
+        // crp-lint: allow(CRP009) — cold path: builds the memoized list
         let list: Vec<ReplicaId> = scored.into_iter().map(|(_, id)| id).collect();
+        out.extend_from_slice(&list);
         self.shortlists
             .write()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .insert(key, list.clone());
-        list
+            .insert(key, list);
     }
 
     /// Picks `count` distinct replicas from `pool` with weights that
-    /// favor lower measured latency (softmax over -rtt).
-    fn weighted_pick(
+    /// favor lower measured latency (softmax over -rtt). Results land in
+    /// `picked`; `remaining` and `weights` are caller-owned scratch so
+    /// the warm path allocates nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn weighted_pick_into(
         &self,
         pool: &[(f64, ReplicaId)],
         count: usize,
         resolver: HostId,
         t: SimTime,
-    ) -> Vec<ReplicaId> {
-        let mut remaining: Vec<(f64, ReplicaId)> = pool.to_vec();
-        let mut picked = Vec::with_capacity(count);
+        remaining: &mut Vec<(f64, ReplicaId)>,
+        weights: &mut Vec<f64>,
+        picked: &mut Vec<ReplicaId>,
+    ) {
+        remaining.clear();
+        remaining.extend_from_slice(pool);
+        picked.clear();
         let temp = 2.0; // ms scale over which preference decays
         for draw in 0..count.min(pool.len()) {
             let best = remaining
@@ -341,10 +372,12 @@ impl Cdn {
                 .fold(f64::INFINITY, f64::min);
             // Floor guards exp() underflow for extreme RTT spreads, so
             // every candidate keeps a nonzero (if negligible) weight.
-            let weights: Vec<f64> = remaining
-                .iter()
-                .map(|(ms, _)| (-(ms - best) / temp).exp().max(1e-300))
-                .collect();
+            weights.clear();
+            weights.extend(
+                remaining
+                    .iter()
+                    .map(|(ms, _)| (-(ms - best) / temp).exp().max(1e-300)),
+            );
             let total: f64 = weights.iter().sum();
             crp_core::debug_invariant!(
                 crp_core::invariant::check_ratio_distribution(
@@ -370,7 +403,6 @@ impl Cdn {
             }
             picked.push(remaining.swap_remove(chosen).1);
         }
-        picked
     }
 
     /// Observes the `(resolver, customer)` pair's best-measured replica
@@ -442,6 +474,36 @@ impl Cdn {
     }
 }
 
+impl crp_telemetry::MemFootprint for Cdn {
+    /// Deep size of the mapping tables that grow with resolver traffic:
+    /// memoized shortlists and the per-(resolver, customer) remap
+    /// observer state. Fleet and customer state is deployment-fixed and
+    /// excluded — the gauge tracks what *accumulates*.
+    fn mem_footprint(&self) -> usize {
+        let shortlists = self
+            .shortlists
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let lists: usize = shortlists
+            .values()
+            .map(|v| v.capacity() * std::mem::size_of::<ReplicaId>())
+            .sum();
+        let shortlist_table = crp_telemetry::mem::hash_map_footprint(
+            shortlists.len(),
+            std::mem::size_of::<(HostId, u32)>() + std::mem::size_of::<Vec<ReplicaId>>(),
+        );
+        let epoch_best = self
+            .epoch_best
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let remap_table = crp_telemetry::mem::hash_map_footprint(
+            epoch_best.len(),
+            std::mem::size_of::<(HostId, u32)>() + std::mem::size_of::<(u64, ReplicaId)>(),
+        );
+        shortlist_table + lists + remap_table
+    }
+}
+
 impl AuthoritativeServer for Cdn {
     /// Redirects `resolver` for `query` at time `now`.
     ///
@@ -459,6 +521,7 @@ impl AuthoritativeServer for Cdn {
         now: SimTime,
     ) -> Option<DnsResponse> {
         crp_telemetry::profile_scope!("cdn.authoritative_answer");
+        crp_telemetry::mem_domain!("cdn.answer");
         let customer_idx = *self.by_domain.get(query)?;
         let customer = &self.customers[customer_idx];
         self.queries_answered.fetch_add(1, Ordering::Relaxed);
@@ -476,53 +539,82 @@ impl AuthoritativeServer for Cdn {
             crp_telemetry::trace::begin(id, now.as_millis(), "cdn.redirect");
         }
 
-        let shortlist = self.shortlist(resolver, customer_idx);
-        let mut ranked: Vec<(f64, ReplicaId)> = shortlist
-            .iter()
-            .filter(|id| self.replica_is_up(**id, now))
-            .map(|id| (self.measured_ms(resolver, *id, now), *id))
-            .collect();
-        ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let AnswerScratch {
+                shortlist,
+                ranked,
+                scattered,
+                remaining,
+                weights,
+                picked,
+            } = scratch;
 
-        let well_covered = ranked
-            .first()
-            .is_some_and(|(ms, _)| *ms <= self.cfg.coverage_radius_ms);
-        if let Some((best_ms, best)) = ranked.first() {
-            crp_telemetry::observe_at(now.as_millis(), "cdn.best_candidate_ms", *best_ms);
-            self.note_epoch_best(resolver, customer_idx, *best, now);
-        }
-
-        let picked = if well_covered {
-            crp_telemetry::counter_add_at(now.as_millis(), "cdn.answers.load_balanced", 1);
-            let pool = &ranked[..ranked.len().min(self.cfg.load_balance_pool)];
-            self.weighted_pick(pool, self.cfg.answers_per_response, resolver, now)
-        } else {
-            let fallback_draw = noise::uniform(&[
-                self.net.seed(),
-                TAG_FALLBACK,
-                resolver.key(),
-                now.as_millis(),
-            ]);
-            if fallback_draw < self.cfg.fallback_probability && !self.fallbacks.is_empty() {
-                self.fallback_answers.fetch_add(1, Ordering::Relaxed);
-                crp_telemetry::counter_add_at(now.as_millis(), "cdn.answers.fallback", 1);
-                let pool: Vec<(f64, ReplicaId)> = self
-                    .fallbacks
+            self.shortlist_into(resolver, customer_idx, shortlist);
+            ranked.clear();
+            ranked.extend(
+                shortlist
                     .iter()
                     .filter(|id| self.replica_is_up(**id, now))
-                    .map(|id| (self.measured_ms(resolver, *id, now), *id))
-                    .collect();
-                self.weighted_pick(&pool, self.cfg.answers_per_response, resolver, now)
+                    .map(|id| (self.measured_ms(resolver, *id, now), *id)),
+            );
+            ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+            let well_covered = ranked
+                .first()
+                .is_some_and(|(ms, _)| *ms <= self.cfg.coverage_radius_ms);
+            if let Some((best_ms, best)) = ranked.first() {
+                crp_telemetry::observe_at(now.as_millis(), "cdn.best_candidate_ms", *best_ms);
+                self.note_epoch_best(resolver, customer_idx, *best, now);
+            }
+
+            if well_covered {
+                crp_telemetry::counter_add_at(now.as_millis(), "cdn.answers.load_balanced", 1);
+                let pool = &ranked[..ranked.len().min(self.cfg.load_balance_pool)];
+                self.weighted_pick_into(
+                    pool,
+                    self.cfg.answers_per_response,
+                    resolver,
+                    now,
+                    remaining,
+                    weights,
+                    picked,
+                );
             } else {
-                self.scattered_answers.fetch_add(1, Ordering::Relaxed);
-                crp_telemetry::counter_add_at(now.as_millis(), "cdn.answers.scattered", 1);
-                // The CDN cannot localize this resolver: re-rank the
-                // shortlist under heavy measurement noise so answers
-                // scatter far and wide, epoch to epoch.
-                let epoch = now.as_millis() / self.cfg.mapping_epoch_ms;
-                let mut scattered: Vec<(f64, ReplicaId)> = ranked
-                    .iter()
-                    .map(|(ms, id)| {
+                let fallback_draw = noise::uniform(&[
+                    self.net.seed(),
+                    TAG_FALLBACK,
+                    resolver.key(),
+                    now.as_millis(),
+                ]);
+                if fallback_draw < self.cfg.fallback_probability && !self.fallbacks.is_empty() {
+                    self.fallback_answers.fetch_add(1, Ordering::Relaxed);
+                    crp_telemetry::counter_add_at(now.as_millis(), "cdn.answers.fallback", 1);
+                    scattered.clear();
+                    scattered.extend(
+                        self.fallbacks
+                            .iter()
+                            .filter(|id| self.replica_is_up(**id, now))
+                            .map(|id| (self.measured_ms(resolver, *id, now), *id)),
+                    );
+                    self.weighted_pick_into(
+                        scattered,
+                        self.cfg.answers_per_response,
+                        resolver,
+                        now,
+                        remaining,
+                        weights,
+                        picked,
+                    );
+                } else {
+                    self.scattered_answers.fetch_add(1, Ordering::Relaxed);
+                    crp_telemetry::counter_add_at(now.as_millis(), "cdn.answers.scattered", 1);
+                    // The CDN cannot localize this resolver: re-rank the
+                    // shortlist under heavy measurement noise so answers
+                    // scatter far and wide, epoch to epoch.
+                    let epoch = now.as_millis() / self.cfg.mapping_epoch_ms;
+                    scattered.clear();
+                    scattered.extend(ranked.iter().map(|(ms, id)| {
                         let u = noise::uniform(&[
                             self.net.seed(),
                             TAG_SCATTER,
@@ -531,33 +623,37 @@ impl AuthoritativeServer for Cdn {
                             epoch,
                         ]);
                         (ms * (1.0 + self.cfg.scatter_noise * u), *id)
-                    })
-                    .collect();
-                scattered.sort_by(|a, b| a.0.total_cmp(&b.0));
-                let width = self
-                    .cfg
-                    .load_balance_pool
-                    .saturating_mul(self.cfg.scatter_factor)
-                    .min(scattered.len());
-                self.weighted_pick(
-                    &scattered[..width],
-                    self.cfg.answers_per_response,
-                    resolver,
-                    now,
-                )
+                    }));
+                    scattered.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    let width = self
+                        .cfg
+                        .load_balance_pool
+                        .saturating_mul(self.cfg.scatter_factor)
+                        .min(scattered.len());
+                    self.weighted_pick_into(
+                        &scattered[..width],
+                        self.cfg.answers_per_response,
+                        resolver,
+                        now,
+                        remaining,
+                        weights,
+                        picked,
+                    );
+                }
             }
-        };
 
-        if picked.is_empty() {
-            return None;
-        }
-        for id in &picked {
-            self.per_replica_answers[id.index()].fetch_add(1, Ordering::Relaxed);
-        }
-        Some(DnsResponse::new(
-            query.clone(),
-            self.answer_records(customer, &picked),
-        ))
+            if picked.is_empty() {
+                return None;
+            }
+            for id in picked.iter() {
+                self.per_replica_answers[id.index()].fetch_add(1, Ordering::Relaxed);
+            }
+            Some(DnsResponse::new(
+                // crp-lint: allow(CRP009) — Arc-backed name clone: a refcount bump, not a heap copy
+                query.clone(),
+                self.answer_records(customer, picked),
+            ))
+        })
     }
 }
 

@@ -275,6 +275,7 @@ impl<N: Ord + Clone> Clustering<N> {
         K: Ord + Clone + std::fmt::Debug,
     {
         crp_telemetry::profile_scope!("core.smf");
+        crp_telemetry::mem_domain!("core.cluster");
         cfg.validate();
         let ids: BTreeSet<&N> = nodes.iter().map(|(n, _)| n).collect();
         assert_eq!(ids.len(), nodes.len(), "duplicate node ids");
@@ -467,6 +468,17 @@ fn seeded_shuffle<T>(items: &mut [T], seed: u64) {
     for i in (1..items.len()).rev() {
         let j = (noise::mix(&[seed, i as u64]) % (i as u64 + 1)) as usize;
         items.swap(i, j);
+    }
+}
+
+impl<N> crp_telemetry::MemFootprint for Clustering<N> {
+    fn mem_footprint(&self) -> usize {
+        self.clusters.capacity() * std::mem::size_of::<Cluster<N>>()
+            + self
+                .clusters
+                .iter()
+                .map(|c| c.members.capacity() * std::mem::size_of::<N>())
+                .sum::<usize>()
     }
 }
 

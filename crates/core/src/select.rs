@@ -45,6 +45,7 @@ impl<N: Ord> Ranking<N> {
         I: IntoIterator<Item = (N, &'a RatioMap<K>)>,
     {
         crp_telemetry::profile_scope!("core.rank");
+        crp_telemetry::mem_domain!("core.select");
         let mut entries: Vec<(N, f64)> = candidates
             .into_iter()
             .map(|(n, map)| {

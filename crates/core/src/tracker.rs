@@ -88,6 +88,7 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
     /// Panics if `servers` is empty or `time` precedes the previous
     /// observation.
     pub fn record(&mut self, time: SimTime, servers: Vec<K>) {
+        crp_telemetry::mem_domain!("core.tracker");
         if let Some(last) = self.observations.back() {
             assert!(
                 time >= last.time,
@@ -119,6 +120,7 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
     /// Panics if `servers` is empty or `time` precedes the previous
     /// observation.
     pub fn record_slice(&mut self, time: SimTime, servers: &[K]) {
+        crp_telemetry::mem_domain!("core.tracker");
         assert!(!servers.is_empty(), "observations must carry servers");
         if let Some(last) = self.observations.back() {
             assert!(
@@ -204,6 +206,7 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
         now: SimTime,
     ) -> Result<RatioMap<K>, RatioMapError> {
         crp_telemetry::profile_scope!("core.ratio_map");
+        crp_telemetry::mem_domain!("core.ratio_map");
         crp_telemetry::counter_add("core.ratio_map.builds", 1);
         // Only history known at `now` participates. Every window policy
         // reduces to a (skip, min_time) pair over that prefix, so one
@@ -239,6 +242,17 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
             .filter(move |o| o.time >= min_time);
         // crp-lint: allow(CRP009) — ratio maps own their keys; one clone per selected event is irreducible
         RatioMap::from_counts(selected.flat_map(|o| o.servers.iter().cloned().map(|s| (s, 1u64))))
+    }
+}
+
+impl<K> crp_telemetry::MemFootprint for RedirectionTracker<K> {
+    fn mem_footprint(&self) -> usize {
+        self.observations.capacity() * std::mem::size_of::<Observation<K>>()
+            + self
+                .observations
+                .iter()
+                .map(|o| o.servers.capacity() * std::mem::size_of::<K>())
+                .sum::<usize>()
     }
 }
 

@@ -1,14 +1,20 @@
 //! Domain names.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::error::Error;
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// A validated, case-normalized DNS domain name.
 ///
 /// Labels are stored lowercase; comparison and hashing are therefore
 /// case-insensitive, matching DNS semantics.
+///
+/// Labels live behind an `Arc`, so cloning a name — which the CDN
+/// answer path does several times per DNS response — is a reference
+/// count bump, not a per-label heap copy. Names are immutable after
+/// parsing, so the sharing is invisible.
 ///
 /// # Example
 ///
@@ -21,9 +27,28 @@ use std::str::FromStr;
 /// assert_eq!(a.to_string(), "www.foxnews.com");
 /// # Ok::<(), crp_dns::ParseNameError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DomainName {
-    labels: Vec<String>,
+    labels: Arc<[String]>,
+}
+
+impl Serialize for DomainName {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for DomainName {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        match value {
+            Value::String(s) => s
+                .parse()
+                .map_err(|e: ParseNameError| serde::Error::custom(e.to_string())),
+            other => Err(serde::Error::custom(format!(
+                "expected domain name string, got {other:?}"
+            ))),
+        }
+    }
 }
 
 impl DomainName {
@@ -111,7 +136,9 @@ impl FromStr for DomainName {
             }
             labels.push(raw.to_ascii_lowercase());
         }
-        Ok(DomainName { labels })
+        Ok(DomainName {
+            labels: labels.into(),
+        })
     }
 }
 

@@ -17,7 +17,12 @@
 //! `<out>/audit_report.json` with run-health verdicts. With `--live
 //! <dir>` each binary writes its SimTime time-series store, sampled
 //! causal traces, and SLO alert log there, and run_all joins the alert
-//! logs into `<out>/alerts.json` with a cross-run firing count.
+//! logs into `<out>/alerts.json` with a cross-run firing count; the
+//! summary also gains a `timeseries_health` section surfacing each
+//! store's late-point and series-capacity drop counters. With `--mem
+//! <dir>` each binary arms allocation attribution and writes its
+//! per-domain snapshot there, and run_all joins the snapshots into
+//! `<out>/mem_report.json` with per-experiment attributed fractions.
 //!
 //! All durations come from [`Stopwatch`] — the same monotonic clock the
 //! profiler uses — so coarse and fine-grained attribution share a basis.
@@ -96,7 +101,8 @@ fn main() {
     if let Ok(parsed) = EvalArgs::try_from_args(args.clone()) {
         if parsed.telemetry.is_some() || !runs.is_empty() {
             let tdir = parsed.telemetry.as_deref().map(Path::new);
-            match aggregate_summaries(tdir, &parsed.out_dir, &runs, &failures) {
+            let ldir = parsed.live.as_deref().map(Path::new);
+            match aggregate_summaries(tdir, ldir, &parsed.out_dir, &runs, &failures) {
                 Ok(n) => eprintln!("[run_all] aggregated {n} telemetry summaries"),
                 Err(err) => {
                     eprintln!("[run_all] telemetry aggregation failed: {err}");
@@ -130,6 +136,17 @@ fn main() {
                 Err(err) => {
                     eprintln!("[run_all] alert aggregation failed: {err}");
                     failures.push("alert_aggregation");
+                }
+            }
+        }
+        // Join the per-experiment attribution snapshots so one file
+        // answers "which subsystem allocated what" across the run.
+        if let Some(mem_dir) = parsed.mem.as_deref() {
+            match aggregate_mem(Path::new(mem_dir), &parsed.out_dir) {
+                Ok(n) => eprintln!("[run_all] aggregated {n} memory snapshots"),
+                Err(err) => {
+                    eprintln!("[run_all] memory aggregation failed: {err}");
+                    failures.push("mem_aggregation");
                 }
             }
         }
@@ -189,6 +206,50 @@ fn aggregate_alerts(live_dir: &Path, out_dir: &str) -> Result<(usize, usize), St
     Ok((count, firing_total))
 }
 
+/// Collects every `<mem_dir>/<exp>_mem.json` into
+/// `<out_dir>/mem_report.json`: an object with `experiments` (each
+/// snapshot wrapped with its name, total allocation count, and
+/// attributed fraction) and `attributed_fraction_min`, the worst
+/// per-experiment fraction — the single number a dashboard gates on.
+/// Returns how many snapshots were folded in.
+fn aggregate_mem(mem_dir: &Path, out_dir: &str) -> Result<usize, String> {
+    let mut entries: Vec<Value> = Vec::new();
+    let mut min_fraction: Option<f64> = None;
+    for exp in EXPERIMENTS {
+        let path = mem_dir.join(format!("{exp}_mem.json"));
+        let Ok(raw) = std::fs::read_to_string(&path) else {
+            continue; // experiment failed or ran without --mem
+        };
+        let value = serde_json::parse(&raw)
+            .map_err(|e| format!("{}: malformed mem snapshot: {e}", path.display()))?;
+        let snap = crp_telemetry::MemSnapshot::from_value(&value)
+            .map_err(|e| format!("{}: unexpected shape: {e}", path.display()))?;
+        let fraction = snap.attributed_fraction();
+        min_fraction = Some(min_fraction.map_or(fraction, |m: f64| m.min(fraction)));
+        entries.push(Value::Object(vec![
+            ("experiment".to_owned(), Value::String((*exp).to_owned())),
+            ("total_allocs".to_owned(), Value::UInt(snap.total_allocs())),
+            ("total_bytes".to_owned(), Value::UInt(snap.total_bytes())),
+            ("attributed_fraction".to_owned(), Value::Float(fraction)),
+            ("mem".to_owned(), value),
+        ]));
+    }
+    let count = entries.len();
+    let document = Value::Object(vec![
+        ("experiments".to_owned(), Value::Array(entries)),
+        (
+            "attributed_fraction_min".to_owned(),
+            min_fraction.map_or(Value::Null, Value::Float),
+        ),
+    ]);
+    let json = serde_json::to_string(&document).map_err(|e| e.to_string())?;
+    std::fs::create_dir_all(out_dir).map_err(|e| e.to_string())?;
+    let out_path = Path::new(out_dir).join("mem_report.json");
+    std::fs::write(&out_path, json + "\n").map_err(|e| e.to_string())?;
+    eprintln!("[run_all] wrote {}", out_path.display());
+    Ok(count)
+}
+
 /// Spawns one experiment and supervises it to completion, sampling its
 /// peak RSS from `/proc/<pid>/status` while it runs (best-effort: the
 /// sample loop can miss a short-lived peak, and non-Linux platforms
@@ -219,15 +280,19 @@ fn run_experiment(path: &Path, args: &[String]) -> Result<(f64, Option<u64>), St
 }
 
 /// Collects every `<telemetry_dir>/<exp>_summary.json` into
-/// `<out_dir>/telemetry_summary.json` as an object with four keys:
+/// `<out_dir>/telemetry_summary.json` as an object with five keys:
 /// `experiments` (the per-experiment summaries, in experiment order),
 /// `wall_clock` (per-experiment seconds and peak RSS measured by
-/// run_all), `combined` (all summaries merged into one roll-up), and
-/// `failed_experiments` (names that failed so far, so a partial run is
-/// visible in the artifact and not just in the exit code). Returns how
-/// many summaries were folded in.
+/// run_all), `combined` (all summaries merged into one roll-up),
+/// `timeseries_health` (per-experiment late-point and series-capacity
+/// drop counters read back from the `--live` stores, so silent data
+/// loss in the observability layer itself is visible in the artifact),
+/// and `failed_experiments` (names that failed so far, so a partial run
+/// is visible in the artifact and not just in the exit code). Returns
+/// how many summaries were folded in.
 fn aggregate_summaries(
     telemetry_dir: Option<&Path>,
+    live_dir: Option<&Path>,
     out_dir: &str,
     runs: &[ExperimentRun],
     failures: &[&str],
@@ -257,6 +322,37 @@ fn aggregate_summaries(
         }
     }
     let count = entries.len();
+    let mut ts_health: Vec<Value> = Vec::new();
+    let mut late_total = 0u64;
+    let mut series_dropped_total = 0u64;
+    if let Some(ldir) = live_dir {
+        for exp in EXPERIMENTS {
+            let path = ldir.join(format!("{exp}_timeseries.json"));
+            let Ok(raw) = std::fs::read_to_string(&path) else {
+                continue; // experiment failed or ran without --live
+            };
+            let value = serde_json::parse(&raw)
+                .map_err(|e| format!("{}: malformed timeseries export: {e}", path.display()))?;
+            let export = crp_telemetry::timeseries::TimeSeriesExport::from_value(&value)
+                .map_err(|e| format!("{}: unexpected shape: {e}", path.display()))?;
+            late_total += export.late_dropped;
+            series_dropped_total += export.series_dropped;
+            ts_health.push(Value::Object(vec![
+                ("experiment".to_owned(), Value::String((*exp).to_owned())),
+                ("late_dropped".to_owned(), Value::UInt(export.late_dropped)),
+                (
+                    "series_dropped".to_owned(),
+                    Value::UInt(export.series_dropped),
+                ),
+            ]));
+        }
+        if late_total > 0 || series_dropped_total > 0 {
+            eprintln!(
+                "[run_all] timeseries health: {late_total} late point(s) dropped, \
+                 {series_dropped_total} series rejected at capacity"
+            );
+        }
+    }
     let wall_clock: Vec<Value> = runs
         .iter()
         .map(|run| {
@@ -274,6 +370,17 @@ fn aggregate_summaries(
         ("experiments".to_owned(), Value::Array(entries)),
         ("wall_clock".to_owned(), Value::Array(wall_clock)),
         ("combined".to_owned(), combined.to_value()),
+        (
+            "timeseries_health".to_owned(),
+            Value::Object(vec![
+                ("experiments".to_owned(), Value::Array(ts_health)),
+                ("late_dropped_total".to_owned(), Value::UInt(late_total)),
+                (
+                    "series_dropped_total".to_owned(),
+                    Value::UInt(series_dropped_total),
+                ),
+            ]),
+        ),
         (
             "failed_experiments".to_owned(),
             Value::Array(

@@ -13,8 +13,17 @@
 //! summary prints a warning, and a count above `--max-dropped N`
 //! (default 100) fails the check — a lossy stream can no longer back
 //! the counter cross-validation it exists for.
+//!
+//! When the run also produced a live time-series store
+//! (`<dir>/<experiment>_timeseries.json`), the check reads its health
+//! counters: points dropped for arriving late and series rejected at
+//! capacity. Both should be zero in a SimTime-keyed run — timestamps
+//! come from the simulation clock, so a late point means an
+//! instrumentation bug, not scheduling jitter. A total above
+//! `--max-late N` (default 0) fails the check.
 //! Exits non-zero with a diagnostic on any mismatch.
 
+use crp_telemetry::timeseries::TimeSeriesExport;
 use crp_telemetry::TelemetrySummary;
 use serde::Deserialize as _;
 use std::collections::BTreeMap;
@@ -24,22 +33,44 @@ use std::process::ExitCode;
 /// Sink drops tolerated before the check fails outright.
 const DEFAULT_MAX_DROPPED: u64 = 100;
 
+/// Time-series late/capacity drops tolerated: none — SimTime stamps are
+/// deterministic, so any late point is an instrumentation bug.
+const DEFAULT_MAX_LATE: u64 = 0;
+
+/// Extracts `--<name> N` from `args` (consuming both tokens), falling
+/// back to `default`. `Err` when the value is missing or non-numeric.
+fn flag_value(args: &mut Vec<String>, name: &str, default: u64) -> Result<u64, String> {
+    let Some(pos) = args.iter().position(|a| a == name) else {
+        return Ok(default);
+    };
+    let Some(value) = args.get(pos + 1).and_then(|v| v.parse().ok()) else {
+        return Err(format!("{name} requires an integer value"));
+    };
+    args.drain(pos..=pos + 1);
+    Ok(value)
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let mut max_dropped = DEFAULT_MAX_DROPPED;
-    if let Some(pos) = args.iter().position(|a| a == "--max-dropped") {
-        let Some(value) = args.get(pos + 1).and_then(|v| v.parse().ok()) else {
-            eprintln!("--max-dropped requires an integer value");
+    let max_dropped = match flag_value(&mut args, "--max-dropped", DEFAULT_MAX_DROPPED) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("{err}");
             return ExitCode::from(2);
-        };
-        max_dropped = value;
-        args.drain(pos..=pos + 1);
-    }
+        }
+    };
+    let max_late = match flag_value(&mut args, "--max-late", DEFAULT_MAX_LATE) {
+        Ok(v) => v,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::from(2);
+        }
+    };
     let [dir, experiment] = args.as_slice() else {
-        eprintln!("usage: telemetry_check <dir> <experiment> [--max-dropped N]");
+        eprintln!("usage: telemetry_check <dir> <experiment> [--max-dropped N] [--max-late N]");
         return ExitCode::from(2);
     };
-    match check(Path::new(dir), experiment, max_dropped) {
+    match check(Path::new(dir), experiment, max_dropped, max_late) {
         Ok(report) => {
             println!("{report}");
             ExitCode::SUCCESS
@@ -60,7 +91,7 @@ fn str_field(value: &serde::Value, name: &str) -> Result<String, serde::Error> {
     }
 }
 
-fn check(dir: &Path, experiment: &str, max_dropped: u64) -> Result<String, String> {
+fn check(dir: &Path, experiment: &str, max_dropped: u64, max_late: u64) -> Result<String, String> {
     let jsonl_path = dir.join(format!("{experiment}.jsonl"));
     let raw = std::fs::read_to_string(&jsonl_path)
         .map_err(|e| format!("{}: {e}", jsonl_path.display()))?;
@@ -156,6 +187,29 @@ fn check(dir: &Path, experiment: &str, max_dropped: u64) -> Result<String, Strin
             "\nwarning: sink dropped {} record(s) (limit {max_dropped}); \
              counters remain authoritative but the stream is incomplete",
             summary.sink_dropped
+        ));
+    }
+
+    // Time-series health, when the run produced a live store alongside
+    // the stream: SimTime stamps are deterministic, so late points and
+    // capacity rejections both mean lost observability data.
+    let ts_path = dir.join(format!("{experiment}_timeseries.json"));
+    if let Ok(raw) = std::fs::read_to_string(&ts_path) {
+        let value = serde_json::parse(&raw)
+            .map_err(|e| format!("{}: malformed timeseries export: {e}", ts_path.display()))?;
+        let export = TimeSeriesExport::from_value(&value)
+            .map_err(|e| format!("{}: not a TimeSeriesExport: {e}", ts_path.display()))?;
+        let lost = export.late_dropped + export.series_dropped;
+        if lost > max_late {
+            return Err(format!(
+                "time-series store lost {} point(s) ({} late, {} series at capacity), \
+                 above the --max-late limit of {max_late}",
+                lost, export.late_dropped, export.series_dropped
+            ));
+        }
+        report.push_str(&format!(
+            "\ntimeseries health ok: {} late drop(s), {} series rejected (limit {max_late})",
+            export.late_dropped, export.series_dropped
         ));
     }
     Ok(report)

@@ -35,6 +35,12 @@ pub struct EvalArgs {
     /// `<dir>/<experiment>_traces.json`, and
     /// `<dir>/<experiment>_alerts.json`. `None` leaves all three off.
     pub live: Option<String>,
+    /// Memory-attribution output directory: arms the
+    /// [`crp_telemetry::mem`] allocation-attribution layer for the run
+    /// and writes the final per-domain snapshot to
+    /// `<dir>/<experiment>_mem.json`. `None` leaves attribution
+    /// disarmed (its near-zero disabled path).
+    pub mem: Option<String>,
 }
 
 impl Default for EvalArgs {
@@ -50,6 +56,7 @@ impl Default for EvalArgs {
             profile: None,
             audit: None,
             live: None,
+            mem: None,
         }
     }
 }
@@ -63,7 +70,7 @@ impl EvalArgs {
             eprintln!(
                 "usage: [--seed N] [--clients N] [--candidates N] [--hours N] \
                  [--scale X] [--out DIR] [--telemetry DIR] [--profile DIR] [--audit DIR] \
-                 [--live DIR]"
+                 [--live DIR] [--mem DIR]"
             );
             std::process::exit(2)
         })
@@ -119,6 +126,7 @@ impl EvalArgs {
                 "profile" => out.profile = Some(v),
                 "audit" => out.audit = Some(v),
                 "live" => out.live = Some(v),
+                "mem" => out.mem = Some(v),
                 other => return Err(format!("unknown flag --{other}")),
             }
         }
@@ -145,7 +153,7 @@ mod tests {
     fn parses_all_flags() {
         let a = parse(
             "--seed 7 --clients 100 --candidates 30 --hours 12 --scale 0.5 --out /tmp/r \
-             --telemetry /tmp/t --profile /tmp/p --audit /tmp/a --live /tmp/l",
+             --telemetry /tmp/t --profile /tmp/p --audit /tmp/a --live /tmp/l --mem /tmp/m",
         );
         assert_eq!(a.seed, 7);
         assert_eq!(a.clients, Some(100));
@@ -157,6 +165,7 @@ mod tests {
         assert_eq!(a.profile.as_deref(), Some("/tmp/p"));
         assert_eq!(a.audit.as_deref(), Some("/tmp/a"));
         assert_eq!(a.live.as_deref(), Some("/tmp/l"));
+        assert_eq!(a.mem.as_deref(), Some("/tmp/m"));
     }
 
     #[test]
@@ -166,6 +175,7 @@ mod tests {
         assert_eq!(a.profile, None);
         assert_eq!(a.audit, None);
         assert_eq!(a.live, None);
+        assert_eq!(a.mem, None);
     }
 
     #[test]

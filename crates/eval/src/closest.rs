@@ -124,6 +124,7 @@ pub struct ClosestRun {
 /// Runs the full closest-node experiment.
 pub fn run_closest(cfg: &ClosestConfig) -> ClosestRun {
     crp_telemetry::profile_scope!("eval.run_closest");
+    crp_telemetry::mem_domain!("eval.closest");
     let scenario = Scenario::build(ScenarioConfig {
         seed: cfg.seed,
         candidate_servers: cfg.candidates,

@@ -99,6 +99,7 @@ impl ClusterExpData {
 /// Runs the clustering experiment.
 pub fn run_clustering(cfg: &ClusterExpConfig) -> ClusterExpData {
     crp_telemetry::profile_scope!("eval.run_clustering");
+    crp_telemetry::mem_domain!("eval.cluster");
     let scenario = Scenario::build(ScenarioConfig {
         seed: cfg.seed,
         candidate_servers: 0,

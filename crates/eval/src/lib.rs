@@ -16,6 +16,14 @@
 //! can be re-run cheaply (`--clients 200 --candidates 60`) or at full
 //! paper scale (the defaults).
 
+/// Every binary linking this crate (the experiment bins, `run_all`, and
+/// `crp-bench`'s `bench_all`) gets the counting global allocator, so
+/// `--mem` attribution and per-iteration allocation pressure report
+/// real numbers. Disarmed cost is two relaxed counter bumps per
+/// allocation; the armed tax only applies while `--mem` is in effect.
+#[global_allocator]
+static ALLOC: crp_telemetry::profile::CountingAllocator = crp_telemetry::profile::CountingAllocator;
+
 pub mod audit;
 pub mod cli;
 pub mod closest;

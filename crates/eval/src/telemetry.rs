@@ -29,6 +29,15 @@
 //! `<dir>/<experiment>_traces.json`, and
 //! `<dir>/<experiment>_alerts.json`. All three are keyed on simulated
 //! time, so the same seeded run reproduces them byte-for-byte.
+//!
+//! With `--mem <dir>` the session arms the
+//! [`crp_telemetry::mem`] allocation-attribution layer for the whole
+//! run; on drop the final per-domain snapshot (live/peak/total bytes,
+//! allocation counts, size-class histograms) lands in
+//! `<dir>/<experiment>_mem.json`. Attribution counts wall-clock-side
+//! allocator traffic and never touches SimTime, so arming it cannot
+//! change experiment outputs (`tests/telemetry_determinism.rs` phase 12
+//! proves this).
 
 use crate::EvalArgs;
 use crp_core::explain::ExplainLog;
@@ -50,6 +59,7 @@ pub struct TelemetrySession {
     profile_dir: Option<PathBuf>,
     audit_dir: Option<PathBuf>,
     live_dir: Option<PathBuf>,
+    mem_dir: Option<PathBuf>,
     experiment: &'static str,
 }
 
@@ -62,6 +72,11 @@ impl TelemetrySession {
     /// The live-observability output directory, when `--live` was given.
     pub fn live_dir(&self) -> Option<&Path> {
         self.live_dir.as_deref()
+    }
+
+    /// The memory-attribution output directory, when `--mem` was given.
+    pub fn mem_dir(&self) -> Option<&Path> {
+        self.mem_dir.as_deref()
     }
 }
 
@@ -98,11 +113,16 @@ pub fn session(args: &EvalArgs, experiment: &'static str) -> TelemetrySession {
         timeseries::start(timeseries::TimeSeriesConfig::default());
         trace::start(trace::TraceConfig::default());
     }
+    let mem_dir = args.mem.as_ref().map(PathBuf::from);
+    if mem_dir.is_some() {
+        crp_telemetry::mem::start();
+    }
     TelemetrySession {
         dir,
         profile_dir,
         audit_dir,
         live_dir,
+        mem_dir,
         experiment,
     }
 }
@@ -224,6 +244,17 @@ impl Drop for TelemetrySession {
                 match write_live(dir, self.experiment, "traces", traces) {
                     Ok(path) => println!("  [wrote {}]", path.display()),
                     Err(err) => eprintln!("[telemetry] cannot write traces: {err}"),
+                }
+            }
+        }
+        // Memory attribution very last: everything the other layers
+        // allocate while flushing still lands in the snapshot (charged
+        // to "(unattributed)" — shutdown traffic, not experiment work).
+        if let Some(snap) = crp_telemetry::mem::finish() {
+            if let Some(dir) = &self.mem_dir {
+                match write_live(dir, self.experiment, "mem", &snap) {
+                    Ok(path) => println!("  [wrote {}]", path.display()),
+                    Err(err) => eprintln!("[telemetry] cannot write mem snapshot: {err}"),
                 }
             }
         }
@@ -350,5 +381,40 @@ mod tests {
         assert!(alerts.rule("ingest-latency-p99").is_some());
         assert!(alerts.firing().is_empty(), "one cheap sample cannot fire");
         let _ = fs::remove_dir_all(&ldir);
+
+        // Mem path: --mem arms allocation attribution and the drop
+        // writes the per-domain snapshot. This crate installs the
+        // counting allocator, so the snapshot carries real counts.
+        let mdir = std::env::temp_dir().join("crp-eval-mem-test");
+        let _ = fs::remove_dir_all(&mdir);
+        let args = EvalArgs {
+            mem: Some(mdir.to_string_lossy().into_owned()),
+            ..EvalArgs::default()
+        };
+        let s = session(&args, "t_mem");
+        assert!(crp_telemetry::mem::enabled());
+        assert!(
+            !crp_telemetry::enabled(),
+            "mem attribution must not enable telemetry"
+        );
+        assert_eq!(s.mem_dir(), Some(mdir.as_path()));
+        {
+            crp_telemetry::mem_domain!("eval.test_session");
+        }
+        drop(s);
+        assert!(!crp_telemetry::mem::enabled());
+        let raw = fs::read_to_string(mdir.join("t_mem_mem.json")).expect("mem snapshot written");
+        let value = serde_json::parse(&raw).expect("valid json");
+        let snap =
+            <crp_telemetry::MemSnapshot as serde::Deserialize>::from_value(&value).expect("shape");
+        assert!(
+            snap.domain("eval.test_session").is_some(),
+            "registered domain missing from snapshot: {snap:?}"
+        );
+        assert!(
+            snap.total_allocs() > 0,
+            "counting allocator saw no traffic while armed"
+        );
+        let _ = fs::remove_dir_all(&mdir);
     }
 }

@@ -226,6 +226,26 @@ impl AlertLog {
     }
 }
 
+impl crate::mem::MemFootprint for AlertLog {
+    fn mem_footprint(&self) -> usize {
+        crate::mem::vec_footprint(&self.rules)
+            + self
+                .rules
+                .iter()
+                .map(|r| {
+                    r.rule.name.capacity()
+                        + r.rule.metric.capacity()
+                        + r.final_state.capacity()
+                        + crate::mem::vec_footprint(&r.transitions)
+                        + r.transitions
+                            .iter()
+                            .map(|t| t.state.capacity())
+                            .sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+}
+
 /// Evaluates a rule set against a completed store.
 #[derive(Clone, Debug)]
 pub struct AlertEngine {

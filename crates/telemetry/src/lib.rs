@@ -53,6 +53,7 @@
 //! ```
 
 pub mod alert;
+pub mod mem;
 pub mod metrics;
 pub mod profile;
 pub mod record;
@@ -62,6 +63,7 @@ pub mod timeseries;
 pub mod trace;
 
 pub use alert::{AlertEngine, AlertLog, AlertRule};
+pub use mem::{DomainMem, MemFootprint, MemSnapshot};
 pub use metrics::{default_bounds, unit_bounds, Histogram, HistogramSummary};
 pub use record::{FieldValue, Record};
 pub use sink::{JsonlSink, MemorySink, NoopSink, Sink};

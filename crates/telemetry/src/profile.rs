@@ -392,6 +392,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
         if !ptr.is_null() {
             ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
             ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+            crate::mem::note_alloc(layout.size());
         }
         ptr
     }
@@ -401,12 +402,14 @@ unsafe impl GlobalAlloc for CountingAllocator {
         if !ptr.is_null() {
             ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
             ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+            crate::mem::note_alloc(layout.size());
         }
         ptr
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
+        crate::mem::note_dealloc(layout.size());
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
@@ -415,6 +418,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
             let grown = new_size.saturating_sub(layout.size());
             ALLOCATED_BYTES.fetch_add(grown as u64, Ordering::Relaxed);
             ALLOCATION_COUNT.fetch_add(1, Ordering::Relaxed);
+            crate::mem::note_realloc(layout.size(), new_size);
         }
         out
     }

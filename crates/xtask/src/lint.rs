@@ -70,6 +70,11 @@ pub enum Scope {
     /// Every classified non-harness file outside test regions —
     /// `crp-lint: allow` markers are audited wherever they appear.
     AllowMarkers,
+    /// Library and binary sources outside the sanctioned memory-domain
+    /// call sites ([`MEM_DOMAIN_FILES`]) and test regions. Allocation
+    /// attribution boundaries (`mem_domain!`) are reviewed subsystem
+    /// borders, not ad-hoc annotations.
+    MemDomain,
 }
 
 /// How a rule finds its violations.
@@ -252,6 +257,17 @@ pub const RULES: &[Rule] = &[
         message: "stale crp-lint allow marker: it suppresses no finding on \
                   the lines it covers; delete it or correct its rule list",
     },
+    Rule {
+        id: "CRP013",
+        check: Check::Patterns(&["mem_domain!"]),
+        scope: Scope::MemDomain,
+        severity: Severity::Error,
+        message: "memory-attribution domain opened outside the sanctioned \
+                  sites; mem_domain! boundaries are reviewed subsystem \
+                  borders (core kernels, the CDN answer path, the eval \
+                  experiment drivers) — add the file to MEM_DOMAIN_FILES \
+                  after review instead of scattering domains",
+    },
 ];
 
 /// Crates whose library code is a simulation path (CRP004, CRP011). The
@@ -306,6 +322,22 @@ const PROVENANCE_FILES: &[&str] = &[
     "crates/bench/src/bin/bench_all.rs",
 ];
 
+/// The sanctioned memory-attribution call sites (CRP013 exemption): the
+/// reviewed subsystem borders where `mem_domain!` opens an allocation
+/// domain — the core kernels and tracker ingest, the CDN answer path,
+/// the experiment drivers that own the outermost domains, and the mem
+/// module itself (macro definition and self-tests).
+const MEM_DOMAIN_FILES: &[&str] = &[
+    "crates/telemetry/src/mem.rs",
+    "crates/core/src/tracker.rs",
+    "crates/core/src/select.rs",
+    "crates/core/src/cluster.rs",
+    "crates/cdn/src/cdn.rs",
+    "crates/eval/src/closest.rs",
+    "crates/eval/src/clusterexp.rs",
+    "src/scenario.rs",
+];
+
 /// The declared hot-path set (CRP009): per file, the functions on the
 /// per-query or per-observation path once the tracker scales to the
 /// 100k–1M-host regime of ROADMAP item 1. Paths are workspace-relative
@@ -337,6 +369,14 @@ const HOT_PATHS: &[(&str, &[&str])] = &[
     (
         "crates/core/src/tracker.rs",
         &["record", "record_slice", "ratio_map", "prune_before"],
+    ),
+    (
+        "crates/cdn/src/cdn.rs",
+        &[
+            "authoritative_answer",
+            "shortlist_into",
+            "weighted_pick_into",
+        ],
     ),
 ];
 
@@ -401,6 +441,8 @@ struct FileClass {
     wall_clock_exempt: bool,
     /// Whether the file is on the [`PROVENANCE_FILES`] exemption list.
     provenance_exempt: bool,
+    /// Whether the file is on the [`MEM_DOMAIN_FILES`] exemption list.
+    mem_exempt: bool,
 }
 
 /// Directories never scanned.
@@ -414,6 +456,7 @@ fn classify(rel: &Path) -> Option<FileClass> {
     let joined = parts.join("/");
     let wall_clock_exempt = WALL_CLOCK_FILES.contains(&joined.as_str());
     let provenance_exempt = PROVENANCE_FILES.contains(&joined.as_str());
+    let mem_exempt = MEM_DOMAIN_FILES.contains(&joined.as_str());
     if parts
         .iter()
         .any(|p| matches!(*p, "tests" | "benches" | "examples"))
@@ -430,6 +473,7 @@ fn classify(rel: &Path) -> Option<FileClass> {
             joined,
             wall_clock_exempt,
             provenance_exempt,
+            mem_exempt,
         });
     }
     if parts.first() == Some(&"crates") {
@@ -448,6 +492,7 @@ fn classify(rel: &Path) -> Option<FileClass> {
             joined,
             wall_clock_exempt,
             provenance_exempt,
+            mem_exempt,
         });
     }
     if parts.first() == Some(&"src") {
@@ -457,6 +502,7 @@ fn classify(rel: &Path) -> Option<FileClass> {
             joined,
             wall_clock_exempt,
             provenance_exempt,
+            mem_exempt,
         });
     }
     None
@@ -498,6 +544,7 @@ fn rule_applies(rule: &Rule, class: &FileClass, in_test_region: bool) -> bool {
                 && SERVING_CRATES.contains(&class.crate_name.as_str())
         }
         Scope::AllowMarkers => class.kind != FileKind::Harness && !in_test_region,
+        Scope::MemDomain => class.kind != FileKind::Harness && !in_test_region && !class.mem_exempt,
     }
 }
 
@@ -1032,6 +1079,31 @@ mod tests {
                            crate::explain::record_inversion(r); }\n}\n";
         let diags = lint_source(&PathBuf::from("crates/core/src/ratio.rs"), test_region, &[]);
         assert!(diags.iter().all(|d| d.rule != "CRP008"), "{diags:?}");
+        assert!(lint_source(&PathBuf::from("tests/determinism.rs"), src, &[]).is_empty());
+    }
+
+    #[test]
+    fn mem_domains_flagged_outside_sanctioned_sites() {
+        let src = "fn f() { crp_telemetry::mem_domain!(\"rogue.domain\"); }\n";
+        // An unsanctioned module: CRP013 fires.
+        let diags = lint_source(&PathBuf::from("crates/core/src/ratio.rs"), src, &[]);
+        assert!(diags.iter().any(|d| d.rule == "CRP013"), "{diags:?}");
+        // Binaries are covered too — attribution boundaries are reviewed.
+        let bin = lint_source(&PathBuf::from("crates/eval/src/bin/fig4.rs"), src, &[]);
+        assert!(bin.iter().any(|d| d.rule == "CRP013"), "{bin:?}");
+        // The reviewed subsystem borders are exempt.
+        for sanctioned in MEM_DOMAIN_FILES {
+            let diags = lint_source(&PathBuf::from(sanctioned), src, &[]);
+            assert!(
+                diags.iter().all(|d| d.rule != "CRP013"),
+                "{sanctioned} should be mem-domain-sanctioned, got {diags:?}"
+            );
+        }
+        // Test regions and harness code stay exempt.
+        let test_region = "#[cfg(test)]\nmod tests {\n    fn t() { \
+                           crp_telemetry::mem_domain!(\"test.domain\"); }\n}\n";
+        let diags = lint_source(&PathBuf::from("crates/core/src/ratio.rs"), test_region, &[]);
+        assert!(diags.iter().all(|d| d.rule != "CRP013"), "{diags:?}");
         assert!(lint_source(&PathBuf::from("tests/determinism.rs"), src, &[]).is_empty());
     }
 

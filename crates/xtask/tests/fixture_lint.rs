@@ -29,6 +29,7 @@ const EXPECTED: &[(&str, usize, &str)] = &[
     ("crates/demo/src/lib.rs", 8, "CRP002"),
     ("crates/demo/src/lib.rs", 13, "CRP003"),
     ("crates/demo/src/lib.rs", 17, "CRP005"),
+    ("crates/demo/src/memdomain.rs", 4, "CRP013"),
     ("crates/demo/src/sinkio.rs", 5, "CRP006"),
     ("crates/demo/src/sinkio.rs", 10, "CRP006"),
     ("crates/demo/src/stale.rs", 12, "CRP012"),
@@ -98,7 +99,7 @@ fn severities_match_rule_definitions() {
 fn demotion_turns_every_fixture_error_into_a_warning() {
     let demoted: Vec<String> = [
         "CRP001", "CRP002", "CRP003", "CRP004", "CRP006", "CRP007", "CRP008", "CRP009", "CRP010",
-        "CRP011", "CRP012",
+        "CRP011", "CRP012", "CRP013",
     ]
     .iter()
     .map(|s| (*s).to_owned())
@@ -122,11 +123,11 @@ fn binary_exits_nonzero_on_fixture_tree() {
     let stdout = String::from_utf8_lossy(&output.stdout);
     for rule in [
         "CRP001", "CRP002", "CRP003", "CRP004", "CRP005", "CRP006", "CRP007", "CRP008", "CRP009",
-        "CRP010", "CRP011", "CRP012",
+        "CRP010", "CRP011", "CRP012", "CRP013",
     ] {
         assert!(stdout.contains(rule), "missing {rule} in output:\n{stdout}");
     }
-    assert!(stdout.contains("16 error(s), 1 warning(s)"), "{stdout}");
+    assert!(stdout.contains("17 error(s), 1 warning(s)"), "{stdout}");
 }
 
 #[test]
@@ -193,7 +194,7 @@ fn json_report_carries_diagnostics_and_ratchet_rows() {
     let text = std::fs::read_to_string(&report_path).expect("report written");
     let _ = std::fs::remove_file(&report_path);
     let doc = crp_xtask::json::parse(&text).expect("report parses");
-    assert_eq!(doc.get("errors").and_then(|v| v.as_u64()), Some(16));
+    assert_eq!(doc.get("errors").and_then(|v| v.as_u64()), Some(17));
     assert_eq!(doc.get("warnings").and_then(|v| v.as_u64()), Some(1));
     let diags = match doc.get("diagnostics") {
         Some(crp_xtask::json::Value::Arr(items)) => items.len(),

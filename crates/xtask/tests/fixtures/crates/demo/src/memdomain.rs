@@ -1,0 +1,13 @@
+//! Fixture: a memory-domain boundary outside the sanctioned sites.
+
+pub fn rogue() {
+    crp_telemetry::mem_domain!("demo.rogue");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn domains_in_tests_are_fine() {
+        crp_telemetry::mem_domain!("demo.test");
+    }
+}

@@ -87,6 +87,7 @@ impl Scenario {
     /// Panics if the config is degenerate (no customer names, invalid
     /// mapping config, non-positive CDN scale).
     pub fn build(cfg: ScenarioConfig) -> Scenario {
+        crp_telemetry::mem_domain!("scenario.build");
         assert!(!cfg.customer_names.is_empty(), "need at least one CDN name");
         let mut net = NetworkBuilder::new(cfg.seed).build();
         let candidates = net.add_population(&PopulationSpec::planetlab(cfg.candidate_servers));
@@ -158,6 +159,7 @@ impl Scenario {
         metric: SimilarityMetric,
     ) -> CrpService<HostId, ReplicaId> {
         crp_telemetry::profile_scope!("scenario.observe");
+        crp_telemetry::mem_domain!("scenario.observe");
         let mut service = CrpService::new(window, metric);
         let campaign = crp_telemetry::span(start.as_millis(), "scenario.observe");
         for &host in hosts {
@@ -182,6 +184,19 @@ impl Scenario {
             }
         }
         campaign.end(end.as_millis());
+        if crp_telemetry::timeseries::enabled() {
+            use crp_telemetry::MemFootprint;
+            crp_telemetry::observe_at(
+                end.as_millis(),
+                "mem.footprint.core.service",
+                service.mem_footprint() as f64,
+            );
+            crp_telemetry::observe_at(
+                end.as_millis(),
+                "mem.footprint.cdn.tables",
+                self.cdn.mem_footprint() as f64,
+            );
+        }
         service
     }
 

@@ -180,4 +180,37 @@ fn telemetry_never_perturbs_results_and_is_itself_deterministic() {
     // Phase 11: everything off again — the baseline still reproduces.
     assert!(!crp_telemetry::trace::enabled());
     assert_eq!(campaign_fingerprint(), baseline);
+
+    // Phase 12: allocation attribution (the --mem layer) armed. It taps
+    // the global allocator on the wall-clock side — the one observer
+    // that sees *every* allocation the experiment makes — so the purity
+    // bar matters most here: arming it must not change a byte of
+    // output. (This test binary installs no counting allocator, so the
+    // counters stay zero; what is under test is the armed code path
+    // riding along with every campaign allocation.)
+    crp_telemetry::mem::start();
+    let attributed = campaign_fingerprint();
+    let mem_a = crp_telemetry::mem::finish().expect("attribution armed");
+    assert_eq!(
+        baseline, attributed,
+        "memory attribution changed experiment output"
+    );
+    assert!(
+        mem_a.domain("scenario.observe").is_some() && mem_a.domain("core.tracker").is_some(),
+        "campaign domains not registered: {mem_a:?}"
+    );
+
+    // Phase 13: a second armed run serializes the identical snapshot —
+    // domain registration and ordering are deterministic, so the
+    // `<experiment>_mem.json` artifact is CI-diffable like the rest.
+    crp_telemetry::mem::start();
+    assert_eq!(campaign_fingerprint(), baseline);
+    let mem_b = crp_telemetry::mem::finish().expect("attribution armed");
+    assert_eq!(
+        serde_json::to_string(&mem_a).expect("serializable"),
+        serde_json::to_string(&mem_b).expect("serializable"),
+        "same seed must snapshot identical attribution"
+    );
+    assert!(!crp_telemetry::mem::enabled());
+    assert_eq!(campaign_fingerprint(), baseline);
 }
