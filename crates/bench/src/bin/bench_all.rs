@@ -330,6 +330,19 @@ fn register_all(runner: &mut Runner) {
     runner.run("macro/fig4_closest_smoke", 5, 1, fig4_row);
     runner.run("macro/fig6_clustering_smoke", 5, 1, fig6_row);
     runner.run("macro/observation_campaign_6h", 5, 1, campaign_row);
+
+    // --- workspace tooling: the lint pass (scope + call graph +
+    //     reachability) runs on every push, so its speed is gated too.
+    //     Reading the sources stays outside the timed closure.
+    let ws_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("bench sits two levels below the workspace root")
+        .to_path_buf();
+    let sources = crp_xtask::read_workspace_sources(&ws_root).expect("workspace sources readable");
+    runner.run("xtask/lint_workspace", 5, 1, || {
+        crp_xtask::lint_files(&sources, &[]).diagnostics.len()
+    });
 }
 
 fn cdn_fixture() -> (crp_cdn::Cdn, HostId, DomainName) {

@@ -380,6 +380,7 @@ impl Cdn {
             );
             let total: f64 = weights.iter().sum();
             crp_core::debug_invariant!(
+                // crp-lint: allow(CRP014) — debug-assertions-only invariant check; compiled out in release
                 crp_core::invariant::check_ratio_distribution(
                     weights.iter().map(|w| w / total).collect::<Vec<_>>().iter()
                 ),
@@ -435,6 +436,7 @@ impl Cdn {
                     self.remap_events.fetch_add(1, Ordering::Relaxed);
                     crp_telemetry::counter_add_at(now.as_millis(), "cdn.remap.events", 1);
                     if crp_telemetry::enabled() {
+                        // crp-lint: allow(CRP014) — remap event emission behind the telemetry enabled() gate
                         crp_telemetry::event(
                             now.as_millis(),
                             "cdn.remap",
@@ -536,6 +538,7 @@ impl AuthoritativeServer for Cdn {
                 now.as_millis(),
                 customer_idx as u64,
             ]);
+            // crp-lint: allow(CRP014) — trace mint allocates only for sampled traces, capped per trace
             crp_telemetry::trace::begin(id, now.as_millis(), "cdn.redirect");
         }
 
@@ -651,6 +654,7 @@ impl AuthoritativeServer for Cdn {
             Some(DnsResponse::new(
                 // crp-lint: allow(CRP009) — Arc-backed name clone: a refcount bump, not a heap copy
                 query.clone(),
+                // crp-lint: allow(CRP014) — answer assembly allocates the response it returns, bounded by answer_count
                 self.answer_records(customer, picked),
             ))
         })

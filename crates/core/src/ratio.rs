@@ -79,6 +79,7 @@ impl<K: Ord + Clone> RatioMap<K> {
             *v /= total;
         }
         crate::debug_invariant!(
+            // crp-lint: allow(CRP014) — debug-assertions-only invariant check; compiled out in release
             crate::invariant::check_ratio_distribution(entries.values()),
             "RatioMap::from_weights ({} entries)",
             entries.len()
@@ -149,6 +150,7 @@ impl<K: Ord + Clone> RatioMap<K> {
         // Norms are strictly positive by the construction invariant.
         let score = (self.dot(other) / denom).clamp(0.0, 1.0);
         crate::debug_invariant!(
+            // crp-lint: allow(CRP014) — debug-assertions-only invariant check; compiled out in release
             crate::invariant::check_unit_interval(score),
             "RatioMap::cosine_similarity"
         );

@@ -61,6 +61,7 @@ impl<K: Ord + Clone> RedirectionTracker<K> {
     /// Creates a tracker with unbounded history.
     pub fn new() -> Self {
         RedirectionTracker {
+            // crp-lint: allow(CRP014) — const empty constructor; nothing is allocated until the first push
             observations: VecDeque::new(),
             capacity: None,
         }

@@ -64,7 +64,10 @@ pub mod trace;
 
 pub use alert::{AlertEngine, AlertLog, AlertRule};
 pub use mem::{DomainMem, MemFootprint, MemSnapshot};
-pub use metrics::{default_bounds, unit_bounds, Histogram, HistogramSummary};
+pub use metrics::{
+    default_bounds, default_bounds_cached, unit_bounds, unit_bounds_cached, Histogram,
+    HistogramSummary,
+};
 pub use record::{FieldValue, Record};
 pub use sink::{JsonlSink, MemorySink, NoopSink, Sink};
 pub use summary::{CounterEntry, GaugeEntry, TelemetrySummary};
@@ -109,6 +112,7 @@ impl Collector {
         if let Some(v) = self.counters.get_mut(name) {
             *v = v.saturating_add(delta);
         } else {
+            // crp-lint: allow(CRP014) — first-touch counter registration; steady-state bumps take the get_mut arm
             self.counters.insert(name.to_owned(), delta);
         }
     }
@@ -138,8 +142,10 @@ impl Collector {
         if let Some(h) = self.histograms.get_mut(name) {
             h.record(value);
         } else {
+            // crp-lint: allow(CRP014) — first-touch histogram construction; steady-state records take the get_mut arm
             let mut h = Histogram::new(bounds);
             h.record(value);
+            // crp-lint: allow(CRP014) — first-touch histogram registration; steady-state records take the get_mut arm
             self.histograms.insert(name.to_owned(), h);
         }
     }
@@ -292,7 +298,7 @@ pub fn observe(name: &str, value: f64) {
         return;
     }
     if let Some(c) = collector_slot().as_mut() {
-        c.observe_with(name, &default_bounds(), value);
+        c.observe_with(name, default_bounds_cached(), value);
     }
 }
 
@@ -304,7 +310,7 @@ pub fn observe_unit(name: &str, value: f64) {
         return;
     }
     if let Some(c) = collector_slot().as_mut() {
-        c.observe_with(name, &unit_bounds(), value);
+        c.observe_with(name, unit_bounds_cached(), value);
     }
 }
 

@@ -7,6 +7,7 @@
 //! summaries iterate in name order.
 
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Default bucket upper bounds for [`crate::observe`]: powers of two
 /// from 2⁻¹⁰ (~0.001) to 2³⁰ (~10⁹), covering unit-interval scores,
@@ -20,6 +21,20 @@ pub fn default_bounds() -> Vec<f64> {
 /// scores, mapping strengths): twenty buckets of width 0.05.
 pub fn unit_bounds() -> Vec<f64> {
     (1..=20).map(|i| i as f64 * 0.05).collect()
+}
+
+/// Process-wide cached [`default_bounds`]: the bounds only matter on a
+/// histogram's first touch, so steady-state observations must not pay
+/// for rebuilding the vector.
+pub fn default_bounds_cached() -> &'static [f64] {
+    static CACHE: OnceLock<Vec<f64>> = OnceLock::new();
+    CACHE.get_or_init(default_bounds)
+}
+
+/// Process-wide cached [`unit_bounds`]; see [`default_bounds_cached`].
+pub fn unit_bounds_cached() -> &'static [f64] {
+    static CACHE: OnceLock<Vec<f64>> = OnceLock::new();
+    CACHE.get_or_init(unit_bounds)
 }
 
 /// A histogram over fixed, ascending bucket boundaries.
@@ -94,7 +109,11 @@ impl Histogram {
         } else {
             self.bounds.len()
         };
-        self.counts[idx] += 1;
+        // `idx <= bounds.len()` by construction and `counts` holds
+        // `bounds.len() + 1` buckets, so the slot always exists.
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
     }
 
     /// Total number of observations.

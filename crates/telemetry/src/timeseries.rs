@@ -103,7 +103,9 @@ impl Window {
             sum: 0.0,
             min: 0.0,
             max: 0.0,
+            // crp-lint: allow(CRP014) — bucket storage allocated at series/tier first touch only
             buckets: vec![0; n_buckets],
+            // crp-lint: allow(CRP014) — const empty vec; nothing is allocated until the first exemplar
             exemplars: Vec::new(),
         }
     }
@@ -135,6 +137,7 @@ impl Window {
             if let Some(slot) = self.exemplars.iter_mut().find(|(b, _)| *b == bucket) {
                 slot.1 = exemplar; // latest wins within a bucket
             } else if self.exemplars.len() < max_exemplars * self.buckets.len() {
+                // crp-lint: allow(CRP014) — exemplar append capped at max_exemplars per bucket
                 self.exemplars.push((bucket, exemplar));
             }
         }
@@ -204,6 +207,7 @@ impl Tier {
     fn new(spec: TierSpec, n_buckets: usize) -> Self {
         Tier {
             window_ms: spec.window_ms.max(1),
+            // crp-lint: allow(CRP014) — tier ring allocated once at series first touch; series count capped at max_series
             slots: vec![Window::empty(n_buckets); spec.slots.max(1)],
         }
     }
@@ -213,7 +217,9 @@ impl Tier {
     fn record(&mut self, time_ms: u64, value: f64, bucket: usize, ex: u64, max_ex: usize) -> bool {
         let start = time_ms - time_ms % self.window_ms;
         let idx = (time_ms / self.window_ms) as usize % self.slots.len();
-        let slot = &mut self.slots[idx];
+        let Some(slot) = self.slots.get_mut(idx) else {
+            return false;
+        };
         if slot.count == 0 && slot.start_ms == 0 {
             slot.reset(start);
         } else if slot.start_ms < start {
@@ -308,8 +314,11 @@ impl TimeSeriesStore {
                     .config
                     .tiers
                     .iter()
+                    // crp-lint: allow(CRP014) — first-touch tier construction, capped at max_series
                     .map(|spec| Tier::new(*spec, n_buckets))
+                    // crp-lint: allow(CRP014) — first-touch series creation, capped at max_series
                     .collect();
+                // crp-lint: allow(CRP014) — first-touch series creation, capped at max_series
                 self.series.entry(name.to_owned()).or_insert(Series {
                     total: Window::empty(n_buckets),
                     tiers,

@@ -367,6 +367,7 @@ pub fn stage_at(time_ms: u64, name: &'static str) {
     let max = store.config.max_spans_per_trace;
     if let Some(&idx) = store.index.get(&raw) {
         if let Some(t) = store.traces.get_mut(idx) {
+            // crp-lint: allow(CRP014) — span append into a buffer capped at max_spans_per_trace, sampled traces only
             t.push(time_ms, name, max);
         }
     }
@@ -388,9 +389,11 @@ pub fn resume(raw: u64, time_ms: u64, name: &'static str) {
     };
     let max = store.config.max_spans_per_trace;
     if let Some(t) = store.traces.get_mut(idx) {
+        // crp-lint: allow(CRP014) — span append into a buffer capped at max_spans_per_trace, sampled traces only
         t.push(time_ms, name, max);
     }
     if !store.query_set.contains(&idx) {
+        // crp-lint: allow(CRP014) — query set is bounded by the sampled-trace cap and cleared per query scope
         store.query_set.push(idx);
     }
     CURRENT.store(raw, Ordering::Relaxed);
@@ -420,8 +423,11 @@ pub fn query_stage(name: &'static str) {
     let max = store.config.max_spans_per_trace;
     let time = store.query_time_ms;
     for i in 0..store.query_set.len() {
-        let idx = store.query_set[i];
+        let Some(&idx) = store.query_set.get(i) else {
+            break;
+        };
         if let Some(t) = store.traces.get_mut(idx) {
+            // crp-lint: allow(CRP014) — span append into a buffer capped at max_spans_per_trace, sampled traces only
             t.push(time, name, max);
         }
     }

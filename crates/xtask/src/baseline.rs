@@ -227,6 +227,7 @@ mod tests {
             severity,
             pattern: "p",
             message: "m",
+            chain: String::new(),
         }
     }
 

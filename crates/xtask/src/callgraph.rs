@@ -1,0 +1,1262 @@
+//! The conservative workspace call graph.
+//!
+//! Call sites are extracted from the scoped token streams and resolved
+//! against the [`SymbolTable`]:
+//!
+//! - **Free and path calls** (`helper(..)`, `module::helper(..)`,
+//!   `Type::assoc(..)`) resolve by name, narrowed by explicit path
+//!   hints — `Self::`/`self::`/`crate::` stay in the file or crate,
+//!   `crp_foo::` jumps to that crate, a lowercase first segment that
+//!   matches a file stem lands in that file. Paths rooted at a known
+//!   std type or module are leaves (no edge, not unresolved).
+//! - **Method calls** (`recv.helper(..)`) resolve by receiver-name
+//!   heuristics: a `self` receiver prefers the same file then the same
+//!   crate; any other receiver is first checked against the known-std
+//!   method list (iterator adapters, collection ops, Option/Result
+//!   combinators, ...) and only then against workspace names.
+//!
+//! A call that resolves to several candidate functions links to **all**
+//! of them (over-approximation keeps the reachability rules sound); a
+//! call that resolves to none lands in the explicit unresolved bucket,
+//! which is reported — never silently dropped — and gated in CI via
+//! `--max-unresolved`.
+//!
+//! Known imprecision (documented in DESIGN §7): turbofish calls
+//! (`f::<T>(..)`), calls through function pointers/closures, and trait
+//! dispatch to impls whose method name shadows a std method are missed
+//! or under-resolved. The unresolved fraction makes the miss rate
+//! visible.
+
+use crate::engine::ScopedFile;
+use crate::lexer::TokenKind;
+use crate::symbols::{SourceFile, SymbolTable};
+
+/// One resolved caller→callee edge.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// Calling function (symbol id).
+    pub caller: usize,
+    /// Called function (symbol id).
+    pub callee: usize,
+    /// File index of the call site (always the caller's file).
+    pub file: usize,
+    /// 1-based line of the call site.
+    pub line: u32,
+    /// The callee name as written at the call site.
+    pub name: String,
+}
+
+/// One call the resolver could not map to any workspace function.
+#[derive(Clone, Debug)]
+pub struct UnresolvedCall {
+    /// File index of the call site.
+    pub file: usize,
+    /// 1-based line of the call site.
+    pub line: u32,
+    /// The called name.
+    pub name: String,
+    /// The receiver token for method calls (`self`, a variable, `)`
+    /// for chained calls), `None` for free calls.
+    pub receiver: Option<String>,
+}
+
+/// The workspace call graph.
+pub struct CallGraph {
+    /// All edges, in (file, token) discovery order — deterministic.
+    pub edges: Vec<Edge>,
+    /// Calls that resolved to no workspace function and no std leaf.
+    pub unresolved: Vec<UnresolvedCall>,
+    /// Call sites that produced at least one edge.
+    pub resolved_calls: usize,
+    /// Call sites recognized as std leaves (no edge needed).
+    pub std_calls: usize,
+    /// Outgoing edge indices per symbol.
+    pub out: Vec<Vec<usize>>,
+    /// Incoming edge indices per symbol.
+    pub incoming: Vec<Vec<usize>>,
+}
+
+/// Statement keywords that can syntactically precede `(` without the
+/// preceding identifier being a call.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "match", "loop", "return", "break", "continue", "in", "as",
+    "move", "let", "mut", "ref", "await", "where", "impl", "dyn", "fn", "unsafe", "pub", "use",
+    "struct", "enum", "union", "trait", "type", "const", "static", "crate", "mod", "box", "yield",
+];
+
+/// Path roots that are std (or vendored stand-in) types and modules:
+/// a path call rooted here is a leaf, not a workspace edge.
+const STD_PATH_ROOTS: &[&str] = &[
+    // Core containers and smart pointers.
+    "Vec",
+    "VecDeque",
+    "String",
+    "Box",
+    "Rc",
+    "Arc",
+    "Cell",
+    "RefCell",
+    "Mutex",
+    "RwLock",
+    "BTreeMap",
+    "BTreeSet",
+    "HashMap",
+    "HashSet",
+    "BinaryHeap",
+    "Cow",
+    "Option",
+    "Result",
+    "Some",
+    "None",
+    "Ok",
+    "Err",
+    "Ordering",
+    "Reverse",
+    "Range",
+    "Wrapping",
+    "Saturating",
+    "PhantomData",
+    "Pin",
+    "ManuallyDrop",
+    "MaybeUninit",
+    "NonZeroU64",
+    "NonZeroUsize",
+    "Weak",
+    "OnceLock",
+    "LazyLock",
+    "Entry",
+    // Atomics and sync.
+    "AtomicBool",
+    "AtomicU8",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "AtomicI64",
+    "Condvar",
+    "Barrier",
+    "Once",
+    // Time, I/O, OS.
+    "Instant",
+    "SystemTime",
+    "Duration",
+    "UNIX_EPOCH",
+    "File",
+    "OpenOptions",
+    "BufReader",
+    "BufWriter",
+    "PathBuf",
+    "Path",
+    "OsStr",
+    "OsString",
+    "Command",
+    "Stdio",
+    "ExitCode",
+    "ExitStatus",
+    "Child",
+    // Primitives.
+    "bool",
+    "char",
+    "str",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "isize",
+    "f32",
+    "f64",
+    // Std module roots.
+    "std",
+    "core",
+    "alloc",
+];
+
+/// Lowercase std module names resolvable as a bare path root
+/// (`mem::swap(..)`, `cmp::min(..)`). Consulted only after file-stem
+/// matching fails, so a workspace module of the same name wins.
+const STD_MODULES: &[&str] = &[
+    "mem",
+    "cmp",
+    "fmt",
+    "iter",
+    "slice",
+    "array",
+    "ptr",
+    "ops",
+    "convert",
+    "borrow",
+    "hash",
+    "num",
+    "char",
+    "ascii",
+    "f32",
+    "f64",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "isize",
+    "fs",
+    "io",
+    "env",
+    "process",
+    "thread",
+    "time",
+    "collections",
+    "sync",
+    "atomic",
+    "panic",
+    "hint",
+    "any",
+    "marker",
+    "task",
+    "future",
+    "string",
+];
+
+/// Methods assumed to be std (or primitive) when the receiver is not
+/// `self`: iterator adapters, collection and string ops, Option/Result
+/// combinators, numeric helpers, atomics. A call to one of these is a
+/// leaf — body-local sink patterns catch the ones that matter (e.g.
+/// `.push(` as an allocation sink).
+const STD_METHODS: &[&str] = &[
+    // Iterator protocol and adapters.
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "map",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "flatten",
+    "fold",
+    "try_fold",
+    "sum",
+    "product",
+    "count",
+    "enumerate",
+    "zip",
+    "chain",
+    "rev",
+    "skip",
+    "take",
+    "skip_while",
+    "take_while",
+    "step_by",
+    "peekable",
+    "peek",
+    "nth",
+    "last",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "any",
+    "all",
+    "find",
+    "find_map",
+    "position",
+    "collect",
+    "copied",
+    "cloned",
+    "inspect",
+    "by_ref",
+    "windows",
+    "chunks",
+    "pairs",
+    "cycle",
+    "unzip",
+    "partition",
+    "scan",
+    "reduce",
+    // Collections and slices.
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "push_back",
+    "push_front",
+    "pop_back",
+    "pop_front",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "get_or_insert_with",
+    "contains",
+    "contains_key",
+    "entry",
+    "or_insert",
+    "or_insert_with",
+    "or_default",
+    "keys",
+    "values",
+    "values_mut",
+    "first",
+    "last",
+    "first_mut",
+    "last_mut",
+    "clear",
+    "truncate",
+    "resize",
+    "reserve",
+    "shrink_to_fit",
+    "extend",
+    "extend_from_slice",
+    "drain",
+    "retain",
+    "dedup",
+    "dedup_by_key",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "binary_search",
+    "binary_search_by",
+    "binary_search_by_key",
+    "partition_point",
+    "split_at",
+    "split_first",
+    "split_last",
+    "swap",
+    "swap_remove",
+    "fill",
+    "concat",
+    "join",
+    "append",
+    "range",
+    "front",
+    "back",
+    "capacity",
+    "make_contiguous",
+    // Option / Result.
+    "unwrap",
+    "expect",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok",
+    "err",
+    "ok_or",
+    "ok_or_else",
+    "and_then",
+    "or_else",
+    "map_err",
+    "map_or",
+    "map_or_else",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "is_some_and",
+    "is_none_or",
+    "is_ok_and",
+    "unwrap_err",
+    "take",
+    "replace",
+    "get_or_insert",
+    "filter",
+    "zip",
+    "flatten",
+    "as_deref",
+    "as_deref_mut",
+    "transpose",
+    // Conversions and borrows.
+    "clone",
+    "to_vec",
+    "to_owned",
+    "to_string",
+    "to_path_buf",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_slice",
+    "as_mut_slice",
+    "as_bytes",
+    "as_os_str",
+    "as_path",
+    "borrow",
+    "borrow_mut",
+    "into",
+    "try_into",
+    "from",
+    "try_from",
+    "parse",
+    "display",
+    "to_str",
+    "to_string_lossy",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "leak",
+    "deref",
+    "deref_mut",
+    "cast",
+    "as_u64",
+    // Comparison, hashing, formatting.
+    "cmp",
+    "partial_cmp",
+    "total_cmp",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "hash",
+    "then",
+    "then_with",
+    "reverse",
+    "clamp",
+    "fmt",
+    "write_str",
+    "write_fmt",
+    "write_char",
+    // Strings.
+    "chars",
+    "bytes",
+    "lines",
+    "trim",
+    "trim_start",
+    "trim_end",
+    "trim_end_matches",
+    "trim_start_matches",
+    "starts_with",
+    "ends_with",
+    "strip_prefix",
+    "strip_suffix",
+    "split",
+    "splitn",
+    "rsplit",
+    "rsplitn",
+    "split_whitespace",
+    "split_terminator",
+    "rsplit_once",
+    "split_once",
+    "replace",
+    "replacen",
+    "to_lowercase",
+    "to_uppercase",
+    "to_ascii_lowercase",
+    "to_ascii_uppercase",
+    "push_str",
+    "insert_str",
+    "find",
+    "rfind",
+    "matches",
+    "char_indices",
+    "repeat",
+    "escape_debug",
+    // Numeric helpers.
+    "abs",
+    "sqrt",
+    "powi",
+    "powf",
+    "ln",
+    "log2",
+    "log10",
+    "exp",
+    "floor",
+    "ceil",
+    "round",
+    "trunc",
+    "fract",
+    "signum",
+    "recip",
+    "hypot",
+    "min",
+    "max",
+    "midpoint",
+    "rem_euclid",
+    "div_euclid",
+    "to_bits",
+    "from_bits",
+    "is_nan",
+    "is_finite",
+    "is_infinite",
+    "is_sign_negative",
+    "is_sign_positive",
+    "mul_add",
+    "saturating_add",
+    "saturating_sub",
+    "saturating_mul",
+    "wrapping_add",
+    "wrapping_sub",
+    "wrapping_mul",
+    "checked_add",
+    "checked_sub",
+    "checked_mul",
+    "checked_div",
+    "checked_rem",
+    "overflowing_add",
+    "overflowing_sub",
+    "pow",
+    "isqrt",
+    "leading_zeros",
+    "trailing_zeros",
+    "count_ones",
+    "rotate_left",
+    "rotate_right",
+    "swap_bytes",
+    "to_le_bytes",
+    "to_be_bytes",
+    "to_ne_bytes",
+    // Atomics, locks, channels, processes, time, I/O.
+    "load",
+    "store",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_max",
+    "fetch_min",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_update",
+    "lock",
+    "read",
+    "write",
+    "read_to_string",
+    "read_line",
+    "write_all",
+    "flush",
+    "send",
+    "recv",
+    "try_recv",
+    "join",
+    "spawn",
+    "wait",
+    "try_wait",
+    "kill",
+    "elapsed",
+    "duration_since",
+    "checked_duration_since",
+    "as_secs",
+    "as_millis",
+    "as_micros",
+    "as_nanos",
+    "as_secs_f64",
+    "subsec_nanos",
+    "status",
+    "output",
+    "arg",
+    "args",
+    "stdout",
+    "stderr",
+    "stdin",
+    "current_dir",
+    "envs",
+    "success",
+    "code",
+    "exists",
+    "is_file",
+    "is_dir",
+    "file_name",
+    "file_stem",
+    "extension",
+    "components",
+    "ancestors",
+    "to_owned",
+    "canonicalize",
+    "metadata",
+    "read_dir",
+    "path",
+    "file_type",
+];
+
+/// Ubiquitous trait-method names whose `TypeName::assoc(..)` spelling
+/// must not resolve across crates by bare name: most impls are derived
+/// (no `fn` item in the source), so a workspace-wide match lands on an
+/// unrelated type's hand-written impl instead.
+const TRAIT_DISPATCH_NAMES: &[&str] = &[
+    "default",
+    "clone",
+    "from",
+    "into",
+    "fmt",
+    "eq",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "next",
+    "drop",
+    "to_string",
+];
+
+impl CallGraph {
+    /// Extracts and resolves every call site in `files`.
+    pub fn build(files: &[SourceFile<'_, '_>], symbols: &SymbolTable) -> CallGraph {
+        let mut graph = CallGraph {
+            edges: Vec::new(),
+            unresolved: Vec::new(),
+            resolved_calls: 0,
+            std_calls: 0,
+            out: vec![Vec::new(); symbols.fns.len()],
+            incoming: vec![Vec::new(); symbols.fns.len()],
+        };
+        for (fi, file) in files.iter().enumerate() {
+            extract_file(&mut graph, files, symbols, fi, file.scoped);
+        }
+        graph
+    }
+
+    /// The fraction of call sites that resolved to nothing. Std leaves
+    /// count as resolved — they are understood, just not edges.
+    pub fn unresolved_fraction(&self) -> f64 {
+        let total = self.resolved_calls + self.std_calls + self.unresolved.len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.unresolved.len() as f64 / total as f64
+    }
+
+    /// Symbols from which some seed symbol is reachable over enabled
+    /// edges (reverse reachability; seeds themselves are included).
+    /// Cycle-safe: each symbol is visited once.
+    pub fn tainted(&self, seeds: &[bool], edge_enabled: &[bool]) -> Vec<bool> {
+        let mut mark = seeds.to_vec();
+        let mut queue: Vec<usize> = (0..mark.len()).filter(|&s| mark[s]).collect();
+        while let Some(s) = queue.pop() {
+            for &e in &self.incoming[s] {
+                if !edge_enabled[e] {
+                    continue;
+                }
+                let c = self.edges[e].caller;
+                if !mark[c] {
+                    mark[c] = true;
+                    queue.push(c);
+                }
+            }
+        }
+        mark
+    }
+
+    /// Symbols reachable from any seed over enabled edges (forward
+    /// reachability; seeds themselves are included).
+    pub fn reachable(&self, seeds: &[bool], edge_enabled: &[bool]) -> Vec<bool> {
+        let mut mark = seeds.to_vec();
+        let mut queue: Vec<usize> = (0..mark.len()).filter(|&s| mark[s]).collect();
+        while let Some(s) = queue.pop() {
+            for &e in &self.out[s] {
+                if !edge_enabled[e] {
+                    continue;
+                }
+                let c = self.edges[e].callee;
+                if !mark[c] {
+                    mark[c] = true;
+                    queue.push(c);
+                }
+            }
+        }
+        mark
+    }
+
+    /// The shortest enabled edge path from `from` to any symbol in
+    /// `targets`, as edge indices. `None` when unreachable. BFS over
+    /// out-edges in insertion order, so ties break deterministically.
+    pub fn shortest_path(
+        &self,
+        from: usize,
+        targets: &[bool],
+        edge_enabled: &[bool],
+    ) -> Option<Vec<usize>> {
+        if targets[from] {
+            return Some(Vec::new());
+        }
+        let mut prev: Vec<Option<usize>> = vec![None; self.out.len()];
+        let mut seen = vec![false; self.out.len()];
+        seen[from] = true;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(from);
+        while let Some(s) = queue.pop_front() {
+            for &e in &self.out[s] {
+                if !edge_enabled[e] {
+                    continue;
+                }
+                let c = self.edges[e].callee;
+                if seen[c] {
+                    continue;
+                }
+                seen[c] = true;
+                prev[c] = Some(e);
+                if targets[c] {
+                    // Walk the parent chain back to `from`.
+                    let mut path = Vec::new();
+                    let mut cur = c;
+                    while let Some(pe) = prev[cur] {
+                        path.push(pe);
+                        cur = self.edges[pe].caller;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(c);
+            }
+        }
+        None
+    }
+}
+
+/// Scans one file's token stream for call sites and resolves them.
+fn extract_file(
+    graph: &mut CallGraph,
+    files: &[SourceFile<'_, '_>],
+    symbols: &SymbolTable,
+    fi: usize,
+    scoped: &ScopedFile<'_>,
+) {
+    let toks = &scoped.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.token.kind != TokenKind::Ident {
+            continue;
+        }
+        if toks.get(i + 1).map(|n| n.token.text) != Some("(") {
+            continue;
+        }
+        // Calls in test regions and outside any `fn` body (const
+        // initializers, statics) produce no edges.
+        if t.in_test {
+            continue;
+        }
+        let Some(caller) = t.fn_scope.and_then(|id| symbols.sym_of(fi, id as usize)) else {
+            continue;
+        };
+        let prev = i.checked_sub(1).map(|p| toks[p].token.text);
+        let name = t.token.text;
+        if prev == Some("fn") || CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+
+        let resolution = if prev == Some(".") {
+            // Method call: `recv.name(..)`.
+            let receiver = i.checked_sub(2).map(|p| toks[p].token.text);
+            resolve_method(files, symbols, fi, name, receiver)
+        } else if prev == Some(":") && i >= 2 && toks[i - 2].token.text == ":" {
+            // Path call: walk `seg :: seg :: name` backwards.
+            let mut segments = vec![name];
+            let mut j = i;
+            while j >= 3
+                && toks[j - 1].token.text == ":"
+                && toks[j - 2].token.text == ":"
+                && toks[j - 3].token.kind == TokenKind::Ident
+            {
+                segments.insert(0, toks[j - 3].token.text);
+                j -= 3;
+            }
+            resolve_path(files, symbols, fi, &segments)
+        } else {
+            // Bare call: `name(..)`. Uppercase initials are tuple
+            // structs or enum variants, not functions.
+            if name.chars().next().is_some_and(char::is_uppercase) {
+                continue;
+            }
+            resolve_bare(files, symbols, fi, name)
+        };
+
+        match resolution {
+            Resolution::Std => graph.std_calls += 1,
+            Resolution::Edges(targets) => {
+                graph.resolved_calls += 1;
+                for callee in targets {
+                    let e = graph.edges.len();
+                    graph.edges.push(Edge {
+                        caller,
+                        callee,
+                        file: fi,
+                        line: t.token.line,
+                        name: name.to_string(),
+                    });
+                    graph.out[caller].push(e);
+                    graph.incoming[callee].push(e);
+                }
+            }
+            Resolution::Unresolved(receiver) => graph.unresolved.push(UnresolvedCall {
+                file: fi,
+                line: t.token.line,
+                name: name.to_string(),
+                receiver,
+            }),
+        }
+    }
+}
+
+enum Resolution {
+    /// A std/primitive leaf: understood, no edge.
+    Std,
+    /// Resolved to these workspace symbols (all candidates linked).
+    Edges(Vec<usize>),
+    /// Not resolvable; reported in the unresolved bucket.
+    Unresolved(Option<String>),
+}
+
+/// Name-tier resolution: same file, then same crate, then workspace.
+fn tiers(files: &[SourceFile<'_, '_>], symbols: &SymbolTable, fi: usize, name: &str) -> Vec<usize> {
+    let same_file = symbols.in_file(name, fi);
+    if !same_file.is_empty() {
+        return same_file;
+    }
+    let same_crate = symbols.in_crate(name, files, &files[fi].crate_name);
+    if !same_crate.is_empty() {
+        return same_crate;
+    }
+    symbols.anywhere(name)
+}
+
+fn resolve_method(
+    files: &[SourceFile<'_, '_>],
+    symbols: &SymbolTable,
+    fi: usize,
+    name: &str,
+    receiver: Option<&str>,
+) -> Resolution {
+    if receiver == Some("self") {
+        // `self.helper(..)`: methods of the same type overwhelmingly
+        // live in the same file; fall back to the crate.
+        let same_file = symbols.in_file(name, fi);
+        if !same_file.is_empty() {
+            return Resolution::Edges(same_file);
+        }
+        let same_crate = symbols.in_crate(name, files, &files[fi].crate_name);
+        if !same_crate.is_empty() {
+            return Resolution::Edges(same_crate);
+        }
+        if STD_METHODS.contains(&name) {
+            return Resolution::Std;
+        }
+        return Resolution::Unresolved(Some("self".to_string()));
+    }
+    // Non-self receiver (a local, a field, or a chained `)`): std
+    // methods first — iterator adapters and collection calls dominate —
+    // then workspace names.
+    if STD_METHODS.contains(&name) {
+        return Resolution::Std;
+    }
+    let found = tiers(files, symbols, fi, name);
+    if !found.is_empty() {
+        return Resolution::Edges(found);
+    }
+    Resolution::Unresolved(Some(receiver.unwrap_or("?").to_string()))
+}
+
+fn resolve_bare(
+    files: &[SourceFile<'_, '_>],
+    symbols: &SymbolTable,
+    fi: usize,
+    name: &str,
+) -> Resolution {
+    let found = tiers(files, symbols, fi, name);
+    if !found.is_empty() {
+        return Resolution::Edges(found);
+    }
+    // `drop(x)` is the one std free function called bare everywhere.
+    if name == "drop" {
+        return Resolution::Std;
+    }
+    Resolution::Unresolved(None)
+}
+
+fn resolve_path(
+    files: &[SourceFile<'_, '_>],
+    symbols: &SymbolTable,
+    fi: usize,
+    segments: &[&str],
+) -> Resolution {
+    let name = segments[segments.len() - 1];
+    // Enum variants and tuple structs at the end of a path are
+    // constructors, not calls worth an edge.
+    if name.chars().next().is_some_and(char::is_uppercase) {
+        return Resolution::Std;
+    }
+    let root = segments[0];
+
+    if STD_PATH_ROOTS.contains(&root) {
+        return Resolution::Std;
+    }
+
+    if root == "Self" || root == "self" {
+        let same_file = symbols.in_file(name, fi);
+        if !same_file.is_empty() {
+            return Resolution::Edges(same_file);
+        }
+        let same_crate = symbols.in_crate(name, files, &files[fi].crate_name);
+        if !same_crate.is_empty() {
+            return Resolution::Edges(same_crate);
+        }
+        return Resolution::Unresolved(Some(root.to_string()));
+    }
+
+    // Crate-qualified paths: `crate::mod::f`, `crp_telemetry::trace::f`,
+    // `crp::f`.
+    let target_crate = if root == "crate" {
+        Some(files[fi].crate_name.clone())
+    } else if let Some(tail) = root.strip_prefix("crp_") {
+        Some(tail.to_string())
+    } else if root == "crp" {
+        Some("crp".to_string())
+    } else {
+        None
+    };
+    if let Some(crate_name) = target_crate {
+        // An intermediate segment matching a file stem pins the file.
+        for seg in &segments[1..segments.len() - 1] {
+            if let Some(tfi) = files
+                .iter()
+                .position(|f| f.crate_name == crate_name && f.stem == *seg)
+            {
+                let in_file = symbols.in_file(name, tfi);
+                if !in_file.is_empty() {
+                    return Resolution::Edges(in_file);
+                }
+            }
+        }
+        let in_crate = symbols.in_crate(name, files, &crate_name);
+        if !in_crate.is_empty() {
+            return Resolution::Edges(in_crate);
+        }
+        return Resolution::Unresolved(None);
+    }
+
+    if root.chars().next().is_some_and(char::is_lowercase) {
+        // `module::f(..)`: a file stem in the same crate wins, then any
+        // unique stem workspace-wide, then the std module list.
+        if let Some(tfi) = files
+            .iter()
+            .position(|f| f.crate_name == files[fi].crate_name && f.stem == root)
+        {
+            let in_file = symbols.in_file(name, tfi);
+            if !in_file.is_empty() {
+                return Resolution::Edges(in_file);
+            }
+        }
+        let stem_matches: Vec<usize> = files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.stem == root)
+            .map(|(k, _)| k)
+            .collect();
+        if stem_matches.len() == 1 {
+            let in_file = symbols.in_file(name, stem_matches[0]);
+            if !in_file.is_empty() {
+                return Resolution::Edges(in_file);
+            }
+        }
+        if STD_MODULES.contains(&root) {
+            return Resolution::Std;
+        }
+        let found = tiers(files, symbols, fi, name);
+        if !found.is_empty() {
+            return Resolution::Edges(found);
+        }
+        return Resolution::Unresolved(None);
+    }
+
+    // `TypeName::assoc(..)` for a workspace type: by name, tiered.
+    // Ubiquitous trait methods stop at the crate boundary — a derived
+    // impl (`#[derive(Default)]`) has no `fn` item of its own, so
+    // workspace-wide name matching would link `TtlCache::default()` to
+    // whatever unrelated hand-written `default` exists elsewhere. Past
+    // the crate the call is a derive/trait leaf, not an edge.
+    if TRAIT_DISPATCH_NAMES.contains(&name) {
+        let same_file = symbols.in_file(name, fi);
+        if !same_file.is_empty() {
+            return Resolution::Edges(same_file);
+        }
+        let same_crate = symbols.in_crate(name, files, &files[fi].crate_name);
+        if !same_crate.is_empty() {
+            return Resolution::Edges(same_crate);
+        }
+        return Resolution::Std;
+    }
+    let found = tiers(files, symbols, fi, name);
+    if !found.is_empty() {
+        return Resolution::Edges(found);
+    }
+    Resolution::Unresolved(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::SymbolTable;
+
+    struct Fixture {
+        scoped: Vec<(String, String, ScopedFile<'static>)>,
+    }
+
+    fn build(
+        files: &[(&str, &str, &'static str)],
+    ) -> (Vec<SourceFile<'static, 'static>>, SymbolTable, CallGraph) {
+        // Leak the sources: test-only, keeps lifetimes simple.
+        let fixture = Fixture {
+            scoped: files
+                .iter()
+                .map(|(joined, krate, src)| {
+                    (
+                        (*joined).to_string(),
+                        (*krate).to_string(),
+                        ScopedFile::parse(src),
+                    )
+                })
+                .collect(),
+        };
+        let fixture: &'static Fixture = Box::leak(Box::new(fixture));
+        let sources: Vec<SourceFile<'static, 'static>> = fixture
+            .scoped
+            .iter()
+            .map(|(joined, krate, scoped)| SourceFile::new(joined.clone(), krate.clone(), scoped))
+            .collect();
+        let symbols = SymbolTable::build(&sources);
+        let graph = CallGraph::build(&sources, &symbols);
+        (sources, symbols, graph)
+    }
+
+    fn edge_names(graph: &CallGraph, symbols: &SymbolTable) -> Vec<(String, String)> {
+        graph
+            .edges
+            .iter()
+            .map(|e| {
+                (
+                    symbols.fns[e.caller].name.clone(),
+                    symbols.fns[e.callee].name.clone(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cross_file_free_call_resolves_by_name() {
+        let (_, symbols, graph) = build(&[
+            (
+                "crates/core/src/a.rs",
+                "core",
+                "pub fn entry() { helper(1); }\n",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "core",
+                "pub fn helper(_x: u32) {}\n",
+            ),
+        ]);
+        assert_eq!(
+            edge_names(&graph, &symbols),
+            vec![("entry".to_string(), "helper".to_string())]
+        );
+        assert!(graph.unresolved.is_empty());
+    }
+
+    #[test]
+    fn module_path_call_pins_the_stem_file() {
+        let (_, symbols, graph) = build(&[
+            (
+                "crates/core/src/a.rs",
+                "core",
+                "pub fn entry() { util::go(); }\n",
+            ),
+            ("crates/core/src/util.rs", "core", "pub fn go() {}\n"),
+            // A same-named fn in another crate must not absorb the edge.
+            ("crates/cdn/src/other.rs", "cdn", "pub fn go() {}\n"),
+        ]);
+        let names = edge_names(&graph, &symbols);
+        assert_eq!(names, vec![("entry".to_string(), "go".to_string())]);
+        assert_eq!(symbols.fns[graph.edges[0].callee].file, 1);
+    }
+
+    #[test]
+    fn derived_trait_calls_do_not_jump_crates() {
+        let (_, symbols, graph) = build(&[
+            (
+                "crates/dns/src/cache.rs",
+                "dns",
+                "pub fn fresh() -> Cache { Cache::default() }\n",
+            ),
+            // A hand-written `default` in another crate must not absorb
+            // the derived impl's call.
+            (
+                "crates/telemetry/src/profile.rs",
+                "telemetry",
+                "impl Default for Profiler { fn default() -> Self { Self::new() } }\n\
+                 pub fn new() -> Profiler { Profiler {} }\n",
+            ),
+        ]);
+        assert!(edge_names(&graph, &symbols)
+            .iter()
+            .all(|(_, callee)| callee != "default"));
+        assert!(graph.unresolved.is_empty());
+        // Within the defining crate the link stands.
+        let (_, symbols, graph) = build(&[(
+            "crates/telemetry/src/profile.rs",
+            "telemetry",
+            "pub fn fresh() -> Profiler { Profiler::default() }\n\
+             impl Default for Profiler { fn default() -> Self { Self::new() } }\n",
+        )]);
+        assert!(
+            edge_names(&graph, &symbols).contains(&("fresh".to_string(), "default".to_string()))
+        );
+    }
+
+    #[test]
+    fn crp_crate_path_jumps_crates() {
+        let (_, symbols, graph) = build(&[
+            (
+                "crates/cdn/src/cdn.rs",
+                "cdn",
+                "pub fn answer() { crp_core::ratio::normalize(); }\n",
+            ),
+            (
+                "crates/core/src/ratio.rs",
+                "core",
+                "pub fn normalize() {}\n",
+            ),
+        ]);
+        assert_eq!(
+            edge_names(&graph, &symbols),
+            vec![("answer".to_string(), "normalize".to_string())]
+        );
+    }
+
+    #[test]
+    fn self_method_prefers_same_file_over_std_list() {
+        // `get` is on the std-method list, but `self.get(..)` must bind
+        // to the type's own `get` in the same file.
+        let (_, symbols, graph) = build(&[(
+            "crates/core/src/ratio.rs",
+            "core",
+            "impl R { pub fn outer(&self) { self.get(1); } pub fn get(&self, _k: u32) {} }\n",
+        )]);
+        assert_eq!(
+            edge_names(&graph, &symbols),
+            vec![("outer".to_string(), "get".to_string())]
+        );
+    }
+
+    #[test]
+    fn non_self_std_method_is_a_leaf_not_unresolved() {
+        let (_, _, graph) = build(&[(
+            "crates/core/src/a.rs",
+            "core",
+            "pub fn f(v: &[u32]) -> usize { v.iter().map(|x| x + 1).count() }\n",
+        )]);
+        assert!(graph.edges.is_empty());
+        assert!(graph.unresolved.is_empty());
+        assert!(graph.std_calls >= 3);
+    }
+
+    #[test]
+    fn unknown_method_lands_in_the_unresolved_bucket() {
+        let (_, _, graph) = build(&[(
+            "crates/core/src/a.rs",
+            "core",
+            "pub fn f(w: &W) { w.frobnicate(); }\n",
+        )]);
+        assert!(graph.edges.is_empty());
+        assert_eq!(graph.unresolved.len(), 1);
+        assert_eq!(graph.unresolved[0].name, "frobnicate");
+        assert_eq!(graph.unresolved[0].receiver.as_deref(), Some("w"));
+        assert!(graph.unresolved_fraction() > 0.0);
+    }
+
+    #[test]
+    fn ambiguous_names_link_all_candidates() {
+        let (_, symbols, graph) = build(&[
+            (
+                "crates/core/src/a.rs",
+                "core",
+                "pub fn entry(m: &M) { m.score(); }\n",
+            ),
+            ("crates/core/src/b.rs", "core", "pub fn score() {}\n"),
+            ("crates/core/src/c.rs", "core", "pub fn score() {}\n"),
+        ]);
+        let names = edge_names(&graph, &symbols);
+        assert_eq!(names.len(), 2, "both candidates linked: {names:?}");
+        // One call site, two edges — resolved once.
+        assert_eq!(graph.resolved_calls, 1);
+    }
+
+    #[test]
+    fn recursion_and_cycles_terminate() {
+        let (_, symbols, graph) = build(&[(
+            "crates/core/src/a.rs",
+            "core",
+            "pub fn ping() { pong(); }\npub fn pong() { ping(); }\npub fn leaf() { sink_here(); }\npub fn sink_here() {}\n",
+        )]);
+        let n = symbols.fns.len();
+        let sink = symbols.anywhere("sink_here")[0];
+        let mut seeds = vec![false; n];
+        seeds[sink] = true;
+        let enabled = vec![true; graph.edges.len()];
+        let tainted = graph.tainted(&seeds, &enabled);
+        // ping/pong cycle never reaches the sink; leaf does.
+        let leaf = symbols.anywhere("leaf")[0];
+        let ping = symbols.anywhere("ping")[0];
+        assert!(tainted[leaf]);
+        assert!(!tainted[ping]);
+        // Forward reachability over the cycle also terminates.
+        let mut roots = vec![false; n];
+        roots[ping] = true;
+        let reach = graph.reachable(&roots, &enabled);
+        assert!(reach[symbols.anywhere("pong")[0]]);
+    }
+
+    #[test]
+    fn shortest_path_walks_the_chain() {
+        let (_, symbols, graph) = build(&[(
+            "crates/core/src/a.rs",
+            "core",
+            "pub fn a() { b(); }\npub fn b() { c(); }\npub fn c() {}\n",
+        )]);
+        let n = symbols.fns.len();
+        let a = symbols.anywhere("a")[0];
+        let c = symbols.anywhere("c")[0];
+        let mut targets = vec![false; n];
+        targets[c] = true;
+        let enabled = vec![true; graph.edges.len()];
+        let path = graph
+            .shortest_path(a, &targets, &enabled)
+            .expect("reachable");
+        assert_eq!(path.len(), 2);
+        assert_eq!(graph.edges[path[0]].caller, a);
+        assert_eq!(graph.edges[path[1]].callee, c);
+        // Disabling the first hop severs the path.
+        let mut cut = enabled.clone();
+        cut[path[0]] = false;
+        assert!(graph.shortest_path(a, &targets, &cut).is_none());
+    }
+
+    #[test]
+    fn test_region_calls_produce_no_edges() {
+        let (_, _, graph) = build(&[(
+            "crates/core/src/a.rs",
+            "core",
+            "pub fn helper() {}\n#[cfg(test)]\nmod tests {\n    fn t() { super::helper(); }\n}\n",
+        )]);
+        assert!(graph.edges.is_empty());
+    }
+
+    #[test]
+    fn macros_and_declarations_are_not_calls() {
+        let (_, _, graph) = build(&[(
+            "crates/core/src/a.rs",
+            "core",
+            "pub fn f() { let v = vec![1]; format!(\"x\"); }\npub fn g(h: fn(u32)) {}\n",
+        )]);
+        assert!(graph.edges.is_empty());
+        assert!(graph.unresolved.is_empty());
+    }
+}

@@ -30,6 +30,13 @@ pub struct FnScope<'a> {
     pub name: &'a str,
     /// Enclosing `fn`, for nested functions.
     pub parent: Option<u32>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Token-index range of the body: `[open, close)` where `open` is
+    /// the index of the `{` token and `close` the index of the matching
+    /// `}` (or one past the last token for unterminated files). Tokens
+    /// strictly between the bounds are the body.
+    pub body: (u32, u32),
 }
 
 /// A file's significant tokens with scope annotations, plus the line
@@ -74,7 +81,7 @@ impl<'a> ScopedFile<'a> {
 /// What the scope builder is waiting to attach to the next `{`.
 #[derive(Clone, Debug)]
 enum Pending<'a> {
-    Fn(&'a str),
+    Fn(&'a str, u32),
     CfgTest,
 }
 
@@ -112,7 +119,7 @@ fn build_scopes(raw: Vec<Token<'_>>) -> ScopedFile<'_> {
                 if let Some(next) = sig.get(i + 1) {
                     if next.kind == TokenKind::Ident {
                         let name = next.text.strip_prefix("r#").unwrap_or(next.text);
-                        pending.push(Pending::Fn(name));
+                        pending.push(Pending::Fn(name, tok.line));
                     }
                 }
             }
@@ -139,9 +146,15 @@ fn build_scopes(raw: Vec<Token<'_>>) -> ScopedFile<'_> {
                 if group_depth == 0 && !pending.is_empty() {
                     for p in pending.drain(..) {
                         match p {
-                            Pending::Fn(name) => {
+                            Pending::Fn(name, line) => {
                                 let parent = innermost_fn(&stack);
-                                fns.push(FnScope { name, parent });
+                                let open = tokens.len() as u32;
+                                fns.push(FnScope {
+                                    name,
+                                    parent,
+                                    line,
+                                    body: (open, u32::MAX),
+                                });
                                 stack.push(ScopeEntry::Fn {
                                     id: (fns.len() - 1) as u32,
                                     open_depth: brace_depth,
@@ -164,8 +177,14 @@ fn build_scopes(raw: Vec<Token<'_>>) -> ScopedFile<'_> {
                     if open_depth != brace_depth {
                         break;
                     }
-                    if let Some(ScopeEntry::CfgTest { start_line, .. }) = stack.pop() {
-                        test_line_spans.push((start_line, tok.line));
+                    match stack.pop() {
+                        Some(ScopeEntry::CfgTest { start_line, .. }) => {
+                            test_line_spans.push((start_line, tok.line));
+                        }
+                        Some(ScopeEntry::Fn { id, .. }) => {
+                            fns[id as usize].body.1 = tokens.len() as u32;
+                        }
+                        None => {}
                     }
                 }
                 brace_depth = brace_depth.saturating_sub(1);
@@ -183,10 +202,16 @@ fn build_scopes(raw: Vec<Token<'_>>) -> ScopedFile<'_> {
         i += 1;
     }
 
-    // Unterminated `#[cfg(test)]` regions (truncated files) run to EOF.
+    // Unterminated `#[cfg(test)]` regions and `fn` bodies (truncated
+    // files) run to EOF.
     for entry in stack {
-        if let ScopeEntry::CfgTest { start_line, .. } = entry {
-            test_line_spans.push((start_line, u32::MAX));
+        match entry {
+            ScopeEntry::CfgTest { start_line, .. } => {
+                test_line_spans.push((start_line, u32::MAX));
+            }
+            ScopeEntry::Fn { id, .. } => {
+                fns[id as usize].body.1 = tokens.len() as u32;
+            }
         }
     }
 
@@ -441,6 +466,39 @@ mod tests {
         assert!(file.in_fn_named(at("tail"), &["outer"]));
         assert!(!file.in_fn_named(at("tail"), &["nested"]));
         assert!(file.in_fn_named(at("x"), &["other"]));
+    }
+
+    #[test]
+    fn fn_spans_record_decl_line_and_body_range() {
+        let src = "fn a() {\n    one();\n}\nfn b() { two(); }";
+        let file = ScopedFile::parse(src);
+        assert_eq!(file.fns.len(), 2);
+        let a = &file.fns[0];
+        assert_eq!(a.line, 1);
+        assert_eq!(file.tokens[a.body.0 as usize].token.text, "{");
+        assert_eq!(file.tokens[a.body.1 as usize].token.text, "}");
+        let one = file
+            .tokens
+            .iter()
+            .position(|t| t.token.text == "one")
+            .expect("token present") as u32;
+        assert!(a.body.0 < one && one < a.body.1);
+        let b = &file.fns[1];
+        assert_eq!(b.line, 4);
+        let two = file
+            .tokens
+            .iter()
+            .position(|t| t.token.text == "two")
+            .expect("token present") as u32;
+        assert!(b.body.0 < two && two < b.body.1);
+        assert!(one < b.body.0 || one > b.body.1);
+    }
+
+    #[test]
+    fn unterminated_fn_body_runs_to_eof() {
+        let file = ScopedFile::parse("fn a() {\n    one();\n");
+        assert_eq!(file.fns.len(), 1);
+        assert_eq!(file.fns[0].body.1 as usize, file.tokens.len());
     }
 
     #[test]

@@ -48,6 +48,14 @@ impl Value {
         }
     }
 
+    /// The numeric value, when this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
     /// The string contents, when this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

@@ -11,7 +11,13 @@
 //! ([`lexer`]) feeds a scope pass ([`engine`]) that tracks `fn` items
 //! and `#[cfg(test)]` regions, and rules match token sequences in that
 //! annotated stream, so comments and string literals can never
-//! false-positive.
+//! false-positive. On top of the token engine sits an interprocedural
+//! layer: a workspace symbol table ([`symbols`]) and a conservative
+//! call graph ([`callgraph`]) power the transitive reachability rules —
+//! hot paths must not *reach* allocation (CRP014), serving entry points
+//! must not reach panics (CRP015), and wall-clock reads must not leak
+//! out of the sanctioned perf layer through any call chain (CRP016) —
+//! with the offending chain printed on each finding.
 //!
 //! Every diagnostic carries a rule ID (`CRP001`..`CRP012`), a severity,
 //! and a `file:line` location. A finding can be suppressed at the site
@@ -23,11 +29,16 @@
 //! debt lands green while new debt fails.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod engine;
 pub mod json;
 pub mod lexer;
 pub mod lint;
 pub mod scrub;
+pub mod symbols;
 
 pub use baseline::{Baseline, RatchetOutcome};
-pub use lint::{lint_root, lint_source, Diagnostic, Rule, Severity, RULES};
+pub use lint::{
+    lint_files, lint_root, lint_root_report, lint_source, read_workspace_sources, Diagnostic,
+    GraphReport, LintReport, Rule, Severity, RULES,
+};

@@ -9,8 +9,11 @@
 //! function" (CRP009) or "this `HashMap` is iterated without sorting"
 //! (CRP011) are token/scope questions, not line questions.
 
+use crate::callgraph::CallGraph;
 use crate::engine::{self, ScopedFile};
 use crate::lexer::{self, TokenKind};
+use crate::symbols::{SourceFile, SymbolTable};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -89,6 +92,24 @@ pub enum Check {
     UnorderedIteration,
     /// `crp-lint: allow` markers that no longer suppress anything.
     StaleAllow,
+    /// Transitive reachability over the workspace call graph: the rule
+    /// fires when a root function *reaches* a sink through one or more
+    /// call edges, with the offending chain printed. Body-local sinks
+    /// in the roots themselves stay the business of the corresponding
+    /// body-local rule (CRP009/CRP010/CRP007).
+    Reachability(Reach),
+}
+
+/// What a reachability rule taints on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Reach {
+    /// Allocation sinks reached from the declared hot paths (CRP014).
+    Alloc,
+    /// Panic-capable sinks reached from serving entry points (CRP015).
+    Panic,
+    /// Wall-clock reads reached from outside the sanctioned perf layer
+    /// (CRP016).
+    Clock,
 }
 
 /// A static-analysis rule: an ID, how it detects violations, and where
@@ -268,6 +289,104 @@ pub const RULES: &[Rule] = &[
                   experiment drivers) — add the file to MEM_DOMAIN_FILES \
                   after review instead of scattering domains",
     },
+    Rule {
+        id: "CRP014",
+        check: Check::Reachability(Reach::Alloc),
+        scope: Scope::HotPath,
+        severity: Severity::Error,
+        message: "declared hot-path function reaches an allocating helper \
+                  through the call graph; hoist the allocation, pass a \
+                  scratch buffer down the chain, or justify with \
+                  crp-lint: allow(CRP014)",
+    },
+    Rule {
+        id: "CRP015",
+        check: Check::Reachability(Reach::Panic),
+        scope: Scope::Serving,
+        severity: Severity::Error,
+        message: "serving entry point reaches a panic-capable construct \
+                  through the call graph; convert the chain to Result/get \
+                  variants or justify with crp-lint: allow(CRP015)",
+    },
+    Rule {
+        id: "CRP016",
+        check: Check::Reachability(Reach::Clock),
+        scope: Scope::WallClock,
+        severity: Severity::Error,
+        message: "function outside the sanctioned wall-clock set reaches \
+                  Instant::now/SystemTime::now through the call graph; keep \
+                  timing inside crp-bench/crp-eval/telemetry::profile or \
+                  justify with crp-lint: allow(CRP016)",
+    },
+];
+
+/// Pattern labels for the reachability findings; the concrete chain is
+/// carried in [`Diagnostic::chain`].
+const ALLOC_REACH_PATTERN: &str = "alloc-reachable";
+const PANIC_REACH_PATTERN: &str = "panic-reachable";
+const CLOCK_REACH_PATTERN: &str = "clock-reachable";
+
+/// Allocation sinks for CRP014: the CRP009 pattern list plus the
+/// growth calls a body-local rule cannot see behind (`push`, `extend`,
+/// `resize`, ...). Like CRP009, turbofish spellings
+/// (`collect::<Vec<_>>()`) are not matched — a documented miss.
+const ALLOC_SINK_PATTERNS: &[&str] = &[
+    ".clone()",
+    ".cloned()",
+    ".to_vec()",
+    ".to_owned()",
+    ".to_string()",
+    ".collect(",
+    "format!",
+    "vec!",
+    "String::from",
+    "String::new",
+    "String::with_capacity",
+    "Box::new",
+    "Vec::new",
+    "Vec::with_capacity",
+    "VecDeque::new",
+    "HashMap::new",
+    "HashSet::new",
+    "BTreeMap::new",
+    "BTreeSet::new",
+    ".push(",
+    ".push_back(",
+    ".extend(",
+    ".extend_from_slice(",
+    ".resize(",
+    ".reserve(",
+    ".to_path_buf(",
+];
+
+/// Panic-capable sinks for CRP015 (bracket-indexing is detected
+/// separately, exactly as in CRP010).
+const PANIC_SINK_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!"];
+
+/// Wall-clock sinks for CRP016.
+const CLOCK_SINK_PATTERNS: &[&str] = &["Instant::now", "SystemTime::now"];
+
+/// The public serving entry points (CRP015 roots): the `CrpService`
+/// surface and the ranking/select API it delegates to. Everything a
+/// future `crp-serve` frontend would call lands here first.
+const SERVING_ENTRIES: &[(&str, &[&str])] = &[
+    (
+        "crates/core/src/service.rs",
+        &[
+            "record",
+            "ratio_map",
+            "similarity",
+            "closest",
+            "relative",
+            "cluster",
+            "prune_stale",
+            "remove_node",
+        ],
+    ),
+    (
+        "crates/core/src/select.rs",
+        &["rank", "top", "top_k", "score_of"],
+    ),
 ];
 
 /// Crates whose library code is a simulation path (CRP004, CRP011). The
@@ -403,6 +522,10 @@ pub struct Diagnostic {
     pub pattern: &'static str,
     /// Rule explanation.
     pub message: &'static str,
+    /// For reachability findings (CRP014–016): the offending call
+    /// chain, rendered `root (file:line) -> hop (file:line) -> `sink`
+    /// (file:line)`. Empty for body-local findings.
+    pub chain: String,
 }
 
 impl fmt::Display for Diagnostic {
@@ -416,7 +539,11 @@ impl fmt::Display for Diagnostic {
             self.rule,
             self.pattern,
             self.message
-        )
+        )?;
+        if !self.chain.is_empty() {
+            write!(f, "\n    call chain: {}", self.chain)?;
+        }
+        Ok(())
     }
 }
 
@@ -655,16 +782,32 @@ struct Candidate {
     pattern: &'static str,
 }
 
-/// Lints one file's source text. `rel` is the path used in diagnostics
-/// and for scope classification; `demoted` lists rule IDs reduced to
-/// warnings.
-pub fn lint_source(rel: &Path, source: &str, demoted: &[String]) -> Vec<Diagnostic> {
-    let Some(class) = classify(rel) else {
-        return Vec::new();
-    };
-    let file = ScopedFile::parse(source);
-    let markers = parse_markers(source);
+/// One classified input file, lexed and scope-annotated once and shared
+/// by the body-local rules and the interprocedural pass.
+struct Unit<'a> {
+    /// Index into the `inputs` slice — diagnostics report the original
+    /// path exactly as given.
+    input: usize,
+    class: FileClass,
+    scoped: ScopedFile<'a>,
+    markers: Vec<Marker>,
+}
 
+/// A reachability finding before assembly: the offending call-site line
+/// in a unit, plus the rendered chain.
+struct ChainFinding {
+    unit: usize,
+    line: usize,
+    rule_idx: usize,
+    pattern: &'static str,
+    chain: String,
+}
+
+/// Body-local candidates for one unit — every rule except the
+/// stale-marker audit and the reachability checks — pre-suppression.
+fn body_candidates(unit: &Unit<'_>) -> Vec<Candidate> {
+    let class = &unit.class;
+    let file = &unit.scoped;
     let mut candidates: Vec<Candidate> = Vec::new();
     for (rule_idx, rule) in RULES.iter().enumerate() {
         let mut hits: Vec<(usize, &'static str)> = Vec::new();
@@ -673,26 +816,29 @@ pub fn lint_source(rel: &Path, source: &str, demoted: &[String]) -> Vec<Diagnost
                 for pat in pats {
                     let toks = engine::pattern_tokens(pat);
                     let prefix = pat.ends_with('_');
-                    for idx in engine::find_pattern_matches(&file, &toks, prefix) {
+                    for idx in engine::find_pattern_matches(file, &toks, prefix) {
                         hits.push((idx, pat));
                     }
                 }
                 if matches!(rule.check, Check::PanicFree(_)) {
-                    for idx in engine::find_index_exprs(&file) {
+                    for idx in engine::find_index_exprs(file) {
                         hits.push((idx, INDEXING_PATTERN));
                     }
                 }
             }
             Check::UnorderedIteration => {
-                for idx in engine::find_unordered_iterations(&file) {
+                for idx in engine::find_unordered_iterations(file) {
                     hits.push((idx, HASH_ITER_PATTERN));
                 }
             }
             Check::StaleAllow => {}
+            // Reachability rules run on the workspace call graph, not
+            // on single-file token streams.
+            Check::Reachability(_) => {}
         }
         for (idx, pattern) in hits {
             let tok = &file.tokens[idx];
-            if !rule_applies(rule, &class, tok.in_test) {
+            if !rule_applies(rule, class, tok.in_test) {
                 continue;
             }
             if rule.scope == Scope::HotPath {
@@ -719,48 +865,493 @@ pub fn lint_source(rel: &Path, source: &str, demoted: &[String]) -> Vec<Diagnost
             });
         }
     }
+    candidates
+}
+
+/// One function node of the exported call graph.
+#[derive(Clone, Debug)]
+pub struct GraphNode {
+    /// Function name.
+    pub name: String,
+    /// Workspace-relative `/`-joined path.
+    pub file: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// One resolved call edge of the exported call graph.
+#[derive(Clone, Debug)]
+pub struct GraphEdge {
+    /// Caller node index.
+    pub caller: usize,
+    /// Callee node index.
+    pub callee: usize,
+    /// File holding the call site.
+    pub file: String,
+    /// 1-based call-site line.
+    pub line: u32,
+    /// The callee name as written at the call site.
+    pub name: String,
+}
+
+/// One unresolved call site of the exported call graph.
+#[derive(Clone, Debug)]
+pub struct GraphUnresolved {
+    /// File holding the call site.
+    pub file: String,
+    /// 1-based call-site line.
+    pub line: u32,
+    /// The called name as written.
+    pub name: String,
+    /// The receiver name for method calls, when one was visible.
+    pub receiver: Option<String>,
+}
+
+/// The interprocedural summary behind CRP014–016, exported as
+/// `results/callgraph.json` by `lint --graph`.
+#[derive(Clone, Debug, Default)]
+pub struct GraphReport {
+    /// Every non-harness `fn` item, in (file, declaration) order.
+    pub nodes: Vec<GraphNode>,
+    /// Every resolved call edge.
+    pub edges: Vec<GraphEdge>,
+    /// Call sites the conservative resolver could not place — reported,
+    /// never silently dropped.
+    pub unresolved: Vec<GraphUnresolved>,
+    /// Call sites resolved to workspace functions.
+    pub resolved_calls: usize,
+    /// Call sites classified as std/leaf calls.
+    pub std_calls: usize,
+    /// `unresolved / (resolved + std + unresolved)`; the CI gate
+    /// (`--max-unresolved`) fails when this grows past the committed
+    /// threshold.
+    pub unresolved_fraction: f64,
+}
+
+/// The full result of a workspace lint pass.
+pub struct LintReport {
+    /// All findings, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The call-graph summary the reachability rules ran on.
+    pub graph: GraphReport,
+}
+
+/// Lints a set of files as one workspace: body-local rules per file,
+/// then the interprocedural reachability rules (CRP014–016) over the
+/// call graph spanning all of them, then the stale-marker audit
+/// (CRP012) with transitive liveness taken into account. `demoted`
+/// lists rule IDs reduced to warnings.
+pub fn lint_files(inputs: &[(PathBuf, String)], demoted: &[String]) -> LintReport {
+    let mut units: Vec<Unit<'_>> = Vec::new();
+    for (i, (rel, source)) in inputs.iter().enumerate() {
+        let Some(class) = classify(rel) else {
+            continue;
+        };
+        units.push(Unit {
+            input: i,
+            class,
+            scoped: ScopedFile::parse(source),
+            markers: parse_markers(source),
+        });
+    }
+
+    let candidates: Vec<Vec<Candidate>> = units.iter().map(body_candidates).collect();
+
+    // The interprocedural layer: non-harness units form the graph.
+    let graph_units: Vec<usize> = (0..units.len())
+        .filter(|&u| units[u].class.kind != FileKind::Harness)
+        .collect();
+    let sources: Vec<SourceFile<'_, '_>> = graph_units
+        .iter()
+        .map(|&u| {
+            SourceFile::new(
+                units[u].class.joined.clone(),
+                units[u].class.crate_name.clone(),
+                &units[u].scoped,
+            )
+        })
+        .collect();
+    let table = SymbolTable::build(&sources);
+    let graph = CallGraph::build(&sources, &table);
+
+    let mut findings: Vec<ChainFinding> = Vec::new();
+    let mut live: Vec<BTreeSet<(&'static str, usize)>> = vec![BTreeSet::new(); units.len()];
+    for (rule_idx, rule) in RULES.iter().enumerate() {
+        if let Check::Reachability(reach) = rule.check {
+            run_reachability(
+                reach,
+                rule_idx,
+                &units,
+                &graph_units,
+                &sources,
+                &table,
+                &graph,
+                &mut findings,
+                &mut live,
+            );
+        }
+    }
+
+    let graph_report = GraphReport {
+        nodes: table
+            .fns
+            .iter()
+            .map(|s| GraphNode {
+                name: s.name.clone(),
+                file: sources[s.file].joined.clone(),
+                line: s.line,
+            })
+            .collect(),
+        edges: graph
+            .edges
+            .iter()
+            .map(|e| GraphEdge {
+                caller: e.caller,
+                callee: e.callee,
+                file: sources[e.file].joined.clone(),
+                line: e.line,
+                name: e.name.clone(),
+            })
+            .collect(),
+        unresolved: graph
+            .unresolved
+            .iter()
+            .map(|u| GraphUnresolved {
+                file: sources[u.file].joined.clone(),
+                line: u.line,
+                name: u.name.clone(),
+                receiver: u.receiver.clone(),
+            })
+            .collect(),
+        resolved_calls: graph.resolved_calls,
+        std_calls: graph.std_calls,
+        unresolved_fraction: graph.unresolved_fraction(),
+    };
 
     let mut diagnostics = Vec::new();
-    for c in &candidates {
-        let rule = &RULES[c.rule_idx];
-        if suppressed(&markers, c.line, rule.id) {
+    for (u, unit) in units.iter().enumerate() {
+        let rel = &inputs[unit.input].0;
+        for c in &candidates[u] {
+            let rule = &RULES[c.rule_idx];
+            if suppressed(&unit.markers, c.line, rule.id) {
+                continue;
+            }
+            diagnostics.push(make_diagnostic(rel, c.line, rule, c.pattern, demoted));
+        }
+
+        // CRP012: markers that cover no candidate of any rule they list
+        // are stale. Usage is judged against pre-suppression candidates
+        // (so an unjustified marker sitting on a real violation is not
+        // *also* reported as stale — the violation itself already
+        // fires), and against the raw transitive-live lines for the
+        // reachability rules — a marker justifying CRP014/015/016 is
+        // live when any chain lands on a line it covers, not just a
+        // body-local token.
+        if let Some(stale_rule) = RULES.iter().find(|r| matches!(r.check, Check::StaleAllow)) {
+            for m in &unit.markers {
+                if !rule_applies(
+                    stale_rule,
+                    &unit.class,
+                    unit.scoped.line_in_test(m.line as u32),
+                ) {
+                    continue;
+                }
+                if m.rules.iter().any(|r| r == stale_rule.id) {
+                    // `allow(CRP012)` in the list marks the marker as
+                    // intentionally kept.
+                    continue;
+                }
+                let used = candidates[u]
+                    .iter()
+                    .any(|c| m.covers(c.line) && m.rules.iter().any(|r| r == RULES[c.rule_idx].id))
+                    || live[u]
+                        .iter()
+                        .any(|(rid, line)| m.covers(*line) && m.rules.iter().any(|r| r == rid));
+                if used || suppressed(&unit.markers, m.line, stale_rule.id) {
+                    continue;
+                }
+                diagnostics.push(make_diagnostic(
+                    rel,
+                    m.line,
+                    stale_rule,
+                    STALE_ALLOW_PATTERN,
+                    demoted,
+                ));
+            }
+        }
+    }
+
+    for f in &findings {
+        let unit = &units[f.unit];
+        let rel = &inputs[unit.input].0;
+        let mut d = make_diagnostic(rel, f.line, &RULES[f.rule_idx], f.pattern, demoted);
+        d.chain = f.chain.clone();
+        diagnostics.push(d);
+    }
+
+    diagnostics.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then(a.line.cmp(&b.line))
+            .then(a.rule.cmp(b.rule))
+    });
+    LintReport {
+        diagnostics,
+        graph: graph_report,
+    }
+}
+
+/// Runs one reachability rule over the call graph, appending chain
+/// findings and registering transitive-live lines for the CRP012 audit.
+#[allow(clippy::too_many_arguments)]
+fn run_reachability(
+    reach: Reach,
+    rule_idx: usize,
+    units: &[Unit<'_>],
+    graph_units: &[usize],
+    sources: &[SourceFile<'_, '_>],
+    table: &SymbolTable,
+    graph: &CallGraph,
+    findings: &mut Vec<ChainFinding>,
+    live: &mut [BTreeSet<(&'static str, usize)>],
+) {
+    let rule = &RULES[rule_idx];
+    let (patterns, label) = match reach {
+        Reach::Alloc => (ALLOC_SINK_PATTERNS, ALLOC_REACH_PATTERN),
+        Reach::Panic => (PANIC_SINK_PATTERNS, PANIC_REACH_PATTERN),
+        Reach::Clock => (CLOCK_SINK_PATTERNS, CLOCK_REACH_PATTERN),
+    };
+    let nsym = table.fns.len();
+
+    // Sink sites. A justified allow marker for this rule on a sink line
+    // sanctions that sink for every chain — suppression happens before
+    // taint, at the sink or at any call edge on the way.
+    let mut sink_enabled = vec![false; nsym];
+    let mut sink_raw = vec![false; nsym];
+    let mut sink_sites: Vec<Vec<(usize, &'static str)>> = vec![Vec::new(); nsym];
+    let mut raw_sites: Vec<(usize, usize, usize)> = Vec::new();
+    for (gi, _) in sources.iter().enumerate() {
+        let unit = &units[graph_units[gi]];
+        let scoped = &unit.scoped;
+        let mut hits: Vec<(usize, &'static str)> = Vec::new();
+        for pat in patterns {
+            let toks = engine::pattern_tokens(pat);
+            let prefix = pat.ends_with('_');
+            for idx in engine::find_pattern_matches(scoped, &toks, prefix) {
+                hits.push((idx, pat));
+            }
+        }
+        if reach == Reach::Panic {
+            for idx in engine::find_index_exprs(scoped) {
+                hits.push((idx, INDEXING_PATTERN));
+            }
+        }
+        for (idx, pat) in hits {
+            let tok = &scoped.tokens[idx];
+            if tok.in_test {
+                continue;
+            }
+            let Some(fn_id) = tok.fn_scope else {
+                continue;
+            };
+            let Some(sym) = table.sym_of(gi, fn_id as usize) else {
+                continue;
+            };
+            let line = tok.token.line as usize;
+            sink_raw[sym] = true;
+            raw_sites.push((gi, sym, line));
+            if !suppressed(&unit.markers, line, rule.id) {
+                sink_enabled[sym] = true;
+                sink_sites[sym].push((line, pat));
+            }
+        }
+    }
+
+    // Roots.
+    let mut is_root = vec![false; nsym];
+    match reach {
+        Reach::Alloc => {
+            for (gi, src) in sources.iter().enumerate() {
+                let Some(fns) = hot_fns(&src.joined) else {
+                    continue;
+                };
+                mark_named_roots(table, gi, fns, &mut is_root);
+            }
+        }
+        Reach::Panic => {
+            for (gi, src) in sources.iter().enumerate() {
+                let Some(fns) = SERVING_ENTRIES
+                    .iter()
+                    .find(|(path, _)| *path == src.joined)
+                    .map(|(_, fns)| *fns)
+                else {
+                    continue;
+                };
+                mark_named_roots(table, gi, fns, &mut is_root);
+            }
+        }
+        Reach::Clock => {
+            for (sym_id, sym) in table.fns.iter().enumerate() {
+                if sym.is_test {
+                    continue;
+                }
+                let src = &sources[sym.file];
+                let sanctioned = WALL_CLOCK_CRATES.contains(&src.crate_name.as_str())
+                    || WALL_CLOCK_FILES.contains(&src.joined.as_str());
+                if !sanctioned {
+                    is_root[sym_id] = true;
+                }
+            }
+        }
+    }
+
+    // Call edges disabled by a justified marker for this rule don't
+    // propagate taint and produce no finding.
+    let edge_enabled: Vec<bool> = graph
+        .edges
+        .iter()
+        .map(|e| {
+            let unit = &units[graph_units[e.file]];
+            !suppressed(&unit.markers, e.line as usize, rule.id)
+        })
+        .collect();
+
+    let tainted = graph.tainted(&sink_enabled, &edge_enabled);
+
+    // Frontier emission: a finding lands on a root's own call sites
+    // only. For CRP014/015, edges into another root are skipped — the
+    // callee root reports its own chains, so one deep chain does not
+    // cascade into a finding per ancestor. For CRP016 every
+    // unsanctioned function is a root, so the frontier is instead the
+    // deepest unsanctioned call site: an edge fires only when the
+    // callee directly holds a sink or is sanctioned-and-tainted.
+    let mut emitted: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
+    for root in 0..nsym {
+        if !is_root[root] {
             continue;
         }
-        diagnostics.push(make_diagnostic(rel, c.line, rule, c.pattern, demoted));
-    }
-
-    // CRP012: markers that cover no candidate of any rule they list are
-    // stale. Usage is judged against pre-suppression candidates, so an
-    // unjustified marker sitting on a real violation is not *also*
-    // reported as stale — the violation itself already fires.
-    if let Some(stale_rule) = RULES.iter().find(|r| matches!(r.check, Check::StaleAllow)) {
-        for m in &markers {
-            if !rule_applies(stale_rule, &class, file.line_in_test(m.line as u32)) {
+        for &e_idx in &graph.out[root] {
+            if !edge_enabled[e_idx] {
                 continue;
             }
-            if m.rules.iter().any(|r| r == stale_rule.id) {
-                // `allow(CRP012)` in the list marks the marker as
-                // intentionally kept.
+            let e = &graph.edges[e_idx];
+            if !tainted[e.callee] {
                 continue;
             }
-            let used = candidates
-                .iter()
-                .any(|c| m.covers(c.line) && m.rules.iter().any(|r| r == RULES[c.rule_idx].id));
-            if used || suppressed(&markers, m.line, stale_rule.id) {
+            let emit = match reach {
+                Reach::Alloc | Reach::Panic => !is_root[e.callee],
+                Reach::Clock => sink_enabled[e.callee] || !is_root[e.callee],
+            };
+            if !emit {
                 continue;
             }
-            diagnostics.push(make_diagnostic(
-                rel,
-                m.line,
-                stale_rule,
-                STALE_ALLOW_PATTERN,
-                demoted,
-            ));
+            let unit = graph_units[e.file];
+            let line = e.line as usize;
+            if !emitted.insert((unit, line, rule_idx)) {
+                continue;
+            }
+            let chain = render_chain(
+                root,
+                e_idx,
+                &sink_enabled,
+                &sink_sites,
+                &edge_enabled,
+                sources,
+                table,
+                graph,
+            );
+            findings.push(ChainFinding {
+                unit,
+                line,
+                rule_idx,
+                pattern: label,
+                chain,
+            });
         }
     }
 
-    diagnostics.sort_by(|a, b| a.line.cmp(&b.line).then(a.rule.cmp(b.rule)));
-    diagnostics
+    // Transitive liveness for CRP012, on the RAW graph (no marker
+    // filtering): a marker justifying this rule is live wherever a
+    // chain from some root could land — a sink line reached from a
+    // root, or a call edge with a root-reachable caller and a tainted
+    // callee. Computing this on the filtered graph would make every
+    // effective marker look stale, because the very chains it disables
+    // would vanish.
+    let all_edges = vec![true; graph.edges.len()];
+    let raw_tainted = graph.tainted(&sink_raw, &all_edges);
+    let raw_reach = graph.reachable(&is_root, &all_edges);
+    for &(gi, sym, line) in &raw_sites {
+        if raw_reach[sym] {
+            live[graph_units[gi]].insert((rule.id, line));
+        }
+    }
+    for e in &graph.edges {
+        if raw_reach[e.caller] && raw_tainted[e.callee] {
+            live[graph_units[e.file]].insert((rule.id, e.line as usize));
+        }
+    }
+}
+
+/// Marks the non-test functions of file `gi` whose names appear in
+/// `fns` as roots.
+fn mark_named_roots(table: &SymbolTable, gi: usize, fns: &[&str], is_root: &mut [bool]) {
+    for &sym_id in &table.fn_map[gi] {
+        let sym = &table.fns[sym_id];
+        if !sym.is_test && fns.contains(&sym.name.as_str()) {
+            is_root[sym_id] = true;
+        }
+    }
+}
+
+/// Renders the offending chain for a finding: the root, each hop down
+/// the shortest enabled path to a sink holder, and the concrete sink.
+#[allow(clippy::too_many_arguments)]
+fn render_chain(
+    root: usize,
+    first_edge: usize,
+    sink_enabled: &[bool],
+    sink_sites: &[Vec<(usize, &'static str)>],
+    edge_enabled: &[bool],
+    sources: &[SourceFile<'_, '_>],
+    table: &SymbolTable,
+    graph: &CallGraph,
+) -> String {
+    let e0 = &graph.edges[first_edge];
+    let mut path = vec![first_edge];
+    if let Some(rest) = graph.shortest_path(e0.callee, sink_enabled, edge_enabled) {
+        path.extend(rest);
+    }
+    let rsym = &table.fns[root];
+    let mut out = format!(
+        "{} ({}:{})",
+        rsym.name, sources[rsym.file].joined, rsym.line
+    );
+    let mut last = root;
+    for &ei in &path {
+        let e = &graph.edges[ei];
+        let c = &table.fns[e.callee];
+        out.push_str(&format!(
+            " -> {} ({}:{})",
+            c.name, sources[c.file].joined, c.line
+        ));
+        last = e.callee;
+    }
+    if let Some(&(line, pat)) = sink_sites[last].iter().min() {
+        out.push_str(&format!(
+            " -> `{}` ({}:{})",
+            pat, sources[table.fns[last].file].joined, line
+        ));
+    }
+    out
+}
+
+/// Lints one file's source text. `rel` is the path used in diagnostics
+/// and for scope classification; `demoted` lists rule IDs reduced to
+/// warnings. The reachability rules still run — over the single-file
+/// call graph.
+pub fn lint_source(rel: &Path, source: &str, demoted: &[String]) -> Vec<Diagnostic> {
+    let inputs = [(rel.to_path_buf(), source.to_string())];
+    lint_files(&inputs, demoted).diagnostics
 }
 
 fn make_diagnostic(
@@ -782,26 +1373,48 @@ fn make_diagnostic(
         severity,
         pattern,
         message: rule.message,
+        chain: String::new(),
     }
 }
 
-/// Recursively lints every `.rs` file under `root`, skipping
-/// `target/`, `vendor/`, `.git/`, and `fixtures/` directories.
-/// Diagnostics are sorted by path, then line.
+/// Reads every `.rs` file under `root` into memory, skipping
+/// `target/`, `vendor/`, `.git/`, and `fixtures/` directories. Paths
+/// are root-relative and sorted.
+///
+/// # Errors
+///
+/// Returns an error when a directory or file cannot be read.
+pub fn read_workspace_sources(root: &Path) -> std::io::Result<Vec<(PathBuf, String)>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        out.push((rel, source));
+    }
+    Ok(out)
+}
+
+/// Recursively lints every `.rs` file under `root` as one workspace,
+/// returning the findings plus the call-graph summary. Diagnostics are
+/// sorted by path, then line.
+///
+/// # Errors
+///
+/// Returns an error when a directory or file cannot be read.
+pub fn lint_root_report(root: &Path, demoted: &[String]) -> std::io::Result<LintReport> {
+    let inputs = read_workspace_sources(root)?;
+    Ok(lint_files(&inputs, demoted))
+}
+
+/// [`lint_root_report`], findings only.
 ///
 /// # Errors
 ///
 /// Returns an error when a directory or file cannot be read.
 pub fn lint_root(root: &Path, demoted: &[String]) -> std::io::Result<Vec<Diagnostic>> {
-    let mut files = Vec::new();
-    collect_rs_files(root, root, &mut files)?;
-    files.sort();
-    let mut diagnostics = Vec::new();
-    for rel in files {
-        let source = std::fs::read_to_string(root.join(&rel))?;
-        diagnostics.extend(lint_source(&rel, &source, demoted));
-    }
-    Ok(diagnostics)
+    Ok(lint_root_report(root, demoted)?.diagnostics)
 }
 
 fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -6,6 +6,7 @@
 //! cargo run -p crp-xtask -- lint [--root <dir>] [--warn <RULE>]... [--quiet]
 //!                               [--json <path>] [--baseline <path>]
 //!                               [--no-baseline] [--update-baseline]
+//!                               [--graph [<path>]] [--max-unresolved <frac>]
 //! cargo run -p crp-xtask -- rules
 //! ```
 //!
@@ -14,11 +15,15 @@
 //! the run. Without `--baseline`, `<root>/LINT_BASELINE.json` is used
 //! when it exists; `--no-baseline` forces strict mode (every error
 //! fails); `--update-baseline` rewrites the baseline to the current
-//! counts and exits green.
+//! counts and exits green. `--graph` exports the interprocedural call
+//! graph (nodes, edges, the unresolved bucket, and every CRP014–016
+//! chain) to `<root>/results/callgraph.json` or an explicit path;
+//! `--max-unresolved` fails the run when the unresolved-call fraction
+//! exceeds the given threshold.
 
 use crp_xtask::baseline::{error_counts, Baseline, DeltaRow};
 use crp_xtask::json::Value;
-use crp_xtask::{lint_root, Diagnostic, Severity, RULES};
+use crp_xtask::{lint_root_report, Diagnostic, GraphReport, Severity, RULES};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -47,7 +52,8 @@ fn main() -> ExitCode {
 fn usage() {
     eprintln!(
         "usage: crp-xtask lint [--root <dir>] [--warn <RULE>]... [--quiet] \
-         [--json <path>] [--baseline <path>] [--no-baseline] [--update-baseline]"
+         [--json <path>] [--baseline <path>] [--no-baseline] [--update-baseline] \
+         [--graph [<path>]] [--max-unresolved <frac>]"
     );
     eprintln!("       crp-xtask rules");
 }
@@ -60,6 +66,9 @@ struct LintOptions {
     baseline_path: Option<PathBuf>,
     no_baseline: bool,
     update_baseline: bool,
+    graph: bool,
+    graph_path: Option<PathBuf>,
+    max_unresolved: Option<f64>,
 }
 
 fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
@@ -71,8 +80,11 @@ fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
         baseline_path: None,
         no_baseline: false,
         update_baseline: false,
+        graph: false,
+        graph_path: None,
+        max_unresolved: None,
     };
-    let mut it = args.iter();
+    let mut it = args.iter().peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--root" => match it.next() {
@@ -93,6 +105,20 @@ fn parse_lint_args(args: &[String]) -> Result<LintOptions, String> {
             },
             "--no-baseline" => opts.no_baseline = true,
             "--update-baseline" => opts.update_baseline = true,
+            "--graph" => {
+                opts.graph = true;
+                if let Some(next) = it.peek() {
+                    if !next.starts_with("--") {
+                        opts.graph_path = Some(PathBuf::from(it.next().unwrap()));
+                    }
+                }
+            }
+            "--max-unresolved" => match it.next().map(|s| s.parse::<f64>()) {
+                Some(Ok(frac)) if (0.0..=1.0).contains(&frac) => {
+                    opts.max_unresolved = Some(frac);
+                }
+                _ => return Err("--max-unresolved requires a fraction in [0, 1]".to_string()),
+            },
             "--quiet" => opts.quiet = true,
             other => return Err(format!("unknown lint option `{other}`")),
         }
@@ -123,13 +149,53 @@ fn lint_command(args: &[String]) -> ExitCode {
         }
     }
 
-    let diagnostics = match lint_root(&opts.root, &opts.demoted) {
-        Ok(d) => d,
+    let report = match lint_root_report(&opts.root, &opts.demoted) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("lint failed to read {}: {e}", opts.root.display());
             return ExitCode::FAILURE;
         }
     };
+    let diagnostics = report.diagnostics;
+    let graph = report.graph;
+
+    if opts.graph {
+        let graph_path = opts
+            .graph_path
+            .clone()
+            .unwrap_or_else(|| opts.root.join("results").join("callgraph.json"));
+        if let Some(parent) = graph_path.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("cannot create {}: {e}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = write_graph_json(&graph_path, &graph, &diagnostics) {
+            eprintln!("cannot write {}: {e}", graph_path.display());
+            return ExitCode::FAILURE;
+        }
+        if !opts.quiet {
+            println!(
+                "crp-xtask lint: call graph at {} ({} node(s), {} edge(s), \
+                 {} unresolved, fraction {:.4})",
+                graph_path.display(),
+                graph.nodes.len(),
+                graph.edges.len(),
+                graph.unresolved.len(),
+                graph.unresolved_fraction
+            );
+        }
+    }
+
+    if let Some(max) = opts.max_unresolved {
+        if graph.unresolved_fraction > max {
+            eprintln!(
+                "crp-xtask lint: unresolved-call fraction {:.4} exceeds --max-unresolved {max}",
+                graph.unresolved_fraction
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
     let baseline_path = opts
         .baseline_path
@@ -278,6 +344,7 @@ fn write_json_report(
                 ("severity".to_string(), Value::Str(d.severity.to_string())),
                 ("pattern".to_string(), Value::Str(d.pattern.to_string())),
                 ("message".to_string(), Value::Str(d.message.to_string())),
+                ("chain".to_string(), Value::Str(d.chain.clone())),
                 ("baselined".to_string(), Value::Bool(absorbed)),
             ])
         })
@@ -306,6 +373,90 @@ fn write_json_report(
         ("baselined".to_string(), Value::Num(baselined_total as f64)),
         ("diagnostics".to_string(), Value::Arr(diags)),
         ("ratchet".to_string(), Value::Arr(ratchet)),
+    ]);
+    std::fs::write(path, crp_xtask::json::to_pretty(&report))
+}
+
+/// Writes the interprocedural call graph: every node and resolved edge,
+/// the unresolved bucket (reported, never silently dropped), and each
+/// CRP014–016 chain — including ones the baseline ratchet absorbed, so
+/// downstream tooling sees the full reachability picture.
+fn write_graph_json(
+    path: &Path,
+    graph: &GraphReport,
+    diagnostics: &[Diagnostic],
+) -> std::io::Result<()> {
+    let nodes: Vec<Value> = graph
+        .nodes
+        .iter()
+        .map(|n| {
+            Value::Obj(vec![
+                ("name".to_string(), Value::Str(n.name.clone())),
+                ("file".to_string(), Value::Str(n.file.clone())),
+                ("line".to_string(), Value::Num(n.line as f64)),
+            ])
+        })
+        .collect();
+    let edges: Vec<Value> = graph
+        .edges
+        .iter()
+        .map(|e| {
+            Value::Obj(vec![
+                ("caller".to_string(), Value::Num(e.caller as f64)),
+                ("callee".to_string(), Value::Num(e.callee as f64)),
+                ("file".to_string(), Value::Str(e.file.clone())),
+                ("line".to_string(), Value::Num(e.line as f64)),
+                ("name".to_string(), Value::Str(e.name.clone())),
+            ])
+        })
+        .collect();
+    let unresolved: Vec<Value> = graph
+        .unresolved
+        .iter()
+        .map(|u| {
+            Value::Obj(vec![
+                ("file".to_string(), Value::Str(u.file.clone())),
+                ("line".to_string(), Value::Num(u.line as f64)),
+                ("name".to_string(), Value::Str(u.name.clone())),
+                (
+                    "receiver".to_string(),
+                    match &u.receiver {
+                        Some(r) => Value::Str(r.clone()),
+                        None => Value::Null,
+                    },
+                ),
+            ])
+        })
+        .collect();
+    let chains: Vec<Value> = diagnostics
+        .iter()
+        .filter(|d| !d.chain.is_empty())
+        .map(|d| {
+            Value::Obj(vec![
+                ("rule".to_string(), Value::Str(d.rule.to_string())),
+                (
+                    "file".to_string(),
+                    Value::Str(d.file.to_string_lossy().replace('\\', "/")),
+                ),
+                ("line".to_string(), Value::Num(d.line as f64)),
+                ("chain".to_string(), Value::Str(d.chain.clone())),
+            ])
+        })
+        .collect();
+    let report = Value::Obj(vec![
+        ("nodes".to_string(), Value::Arr(nodes)),
+        ("edges".to_string(), Value::Arr(edges)),
+        ("unresolved".to_string(), Value::Arr(unresolved)),
+        (
+            "resolved_calls".to_string(),
+            Value::Num(graph.resolved_calls as f64),
+        ),
+        ("std_calls".to_string(), Value::Num(graph.std_calls as f64)),
+        (
+            "unresolved_fraction".to_string(),
+            Value::Num(graph.unresolved_fraction),
+        ),
+        ("chains".to_string(), Value::Arr(chains)),
     ]);
     std::fs::write(path, crp_xtask::json::to_pretty(&report))
 }

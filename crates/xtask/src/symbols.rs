@@ -1,0 +1,201 @@
+//! The workspace symbol table: every `fn` item the scope pass found,
+//! tagged with its crate, file, declaration line, and body token span.
+//!
+//! The table is the name-resolution substrate for the call graph
+//! ([`crate::callgraph`]): lookups go by bare function name and are
+//! then narrowed by file, crate, or module hints at the call site.
+//! Functions inside `#[cfg(test)]` regions are indexed but marked, so
+//! resolution can exclude them as targets — test helpers shadowing
+//! production names must never absorb production call edges.
+
+use crate::engine::ScopedFile;
+use std::collections::BTreeMap;
+
+/// One analyzed source file, as the interprocedural pass sees it.
+pub struct SourceFile<'s, 'a> {
+    /// Workspace-relative path, `/`-joined (`crates/core/src/ratio.rs`).
+    pub joined: String,
+    /// Short crate name (`core`, `cdn`, ... or `crp` for root `src/`).
+    pub crate_name: String,
+    /// File stem (`ratio` for `ratio.rs`), the module-name hint used to
+    /// resolve `modname::func(...)` paths.
+    pub stem: String,
+    /// The lexed-and-scoped token stream.
+    pub scoped: &'s ScopedFile<'a>,
+}
+
+impl<'s, 'a> SourceFile<'s, 'a> {
+    /// Builds the descriptor from a joined workspace path.
+    pub fn new(joined: String, crate_name: String, scoped: &'s ScopedFile<'a>) -> Self {
+        let stem = joined
+            .rsplit('/')
+            .next()
+            .unwrap_or("")
+            .trim_end_matches(".rs")
+            .to_string();
+        SourceFile {
+            joined,
+            crate_name,
+            stem,
+            scoped,
+        }
+    }
+}
+
+/// One function symbol.
+#[derive(Clone, Debug)]
+pub struct FnSym {
+    /// Index into the [`SourceFile`] slice the table was built from.
+    pub file: usize,
+    /// Index into that file's [`ScopedFile::fns`].
+    pub fn_idx: usize,
+    /// The function's name (`r#` prefix already stripped).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Body token span, `[open_brace, close_brace)` indices.
+    pub body: (u32, u32),
+    /// Whether the function sits inside a `#[cfg(test)]` region.
+    pub is_test: bool,
+}
+
+/// The workspace-wide function index.
+pub struct SymbolTable {
+    /// All symbols, in (file, declaration) order — deterministic.
+    pub fns: Vec<FnSym>,
+    /// Per file, engine fn-id → symbol id (same ordering as
+    /// [`ScopedFile::fns`]).
+    pub fn_map: Vec<Vec<usize>>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Harvests every `fn` item from the given files.
+    pub fn build(files: &[SourceFile<'_, '_>]) -> SymbolTable {
+        let mut fns = Vec::new();
+        let mut fn_map = Vec::with_capacity(files.len());
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            let mut map = Vec::with_capacity(file.scoped.fns.len());
+            for (k, scope) in file.scoped.fns.iter().enumerate() {
+                let open = scope.body.0 as usize;
+                let is_test = file
+                    .scoped
+                    .tokens
+                    .get(open)
+                    .map(|t| t.in_test)
+                    .unwrap_or(false);
+                let id = fns.len();
+                fns.push(FnSym {
+                    file: fi,
+                    fn_idx: k,
+                    name: scope.name.to_string(),
+                    line: scope.line,
+                    body: scope.body,
+                    is_test,
+                });
+                by_name.entry(scope.name.to_string()).or_default().push(id);
+                map.push(id);
+            }
+            fn_map.push(map);
+        }
+        SymbolTable {
+            fns,
+            fn_map,
+            by_name,
+        }
+    }
+
+    /// All symbol ids sharing `name`, in declaration order.
+    pub fn lookup(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Non-test symbols named `name` in file `fi`.
+    pub fn in_file(&self, name: &str, fi: usize) -> Vec<usize> {
+        self.lookup(name)
+            .iter()
+            .copied()
+            .filter(|&s| self.fns[s].file == fi && !self.fns[s].is_test)
+            .collect()
+    }
+
+    /// Non-test symbols named `name` anywhere in crate `crate_name`.
+    pub fn in_crate(
+        &self,
+        name: &str,
+        files: &[SourceFile<'_, '_>],
+        crate_name: &str,
+    ) -> Vec<usize> {
+        self.lookup(name)
+            .iter()
+            .copied()
+            .filter(|&s| !self.fns[s].is_test && files[self.fns[s].file].crate_name == crate_name)
+            .collect()
+    }
+
+    /// All non-test symbols named `name`, workspace-wide.
+    pub fn anywhere(&self, name: &str) -> Vec<usize> {
+        self.lookup(name)
+            .iter()
+            .copied()
+            .filter(|&s| !self.fns[s].is_test)
+            .collect()
+    }
+
+    /// The symbol id for engine fn-id `fn_idx` of file `fi`.
+    pub fn sym_of(&self, fi: usize, fn_idx: usize) -> Option<usize> {
+        self.fn_map.get(fi).and_then(|m| m.get(fn_idx)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source_file<'s, 'a>(
+        joined: &str,
+        crate_name: &str,
+        scoped: &'s ScopedFile<'a>,
+    ) -> SourceFile<'s, 'a> {
+        SourceFile::new(joined.to_string(), crate_name.to_string(), scoped)
+    }
+
+    #[test]
+    fn table_indexes_fns_with_spans_and_test_flags() {
+        let scoped = ScopedFile::parse(
+            "pub fn alpha() { beta(); }\nfn beta() {}\n#[cfg(test)]\nmod tests {\n    fn beta() {}\n}\n",
+        );
+        let files = [source_file("crates/core/src/ratio.rs", "core", &scoped)];
+        let table = SymbolTable::build(&files);
+        assert_eq!(table.fns.len(), 3);
+        assert_eq!(table.lookup("beta").len(), 2);
+        // The test-region shadow is excluded from resolution tiers.
+        assert_eq!(table.in_file("beta", 0).len(), 1);
+        assert_eq!(table.anywhere("beta").len(), 1);
+        let alpha = &table.fns[table.in_file("alpha", 0)[0]];
+        assert_eq!(alpha.line, 1);
+        assert!(!alpha.is_test);
+    }
+
+    #[test]
+    fn crate_tier_narrowing_spans_files() {
+        let a = ScopedFile::parse("pub fn shared() {}\n");
+        let b = ScopedFile::parse("pub fn shared() {}\n");
+        let files = [
+            source_file("crates/core/src/ratio.rs", "core", &a),
+            source_file("crates/cdn/src/cdn.rs", "cdn", &b),
+        ];
+        let table = SymbolTable::build(&files);
+        assert_eq!(table.in_crate("shared", &files, "core"), vec![0]);
+        assert_eq!(table.in_crate("shared", &files, "cdn"), vec![1]);
+        assert_eq!(table.anywhere("shared").len(), 2);
+    }
+
+    #[test]
+    fn stem_is_derived_from_the_path() {
+        let scoped = ScopedFile::parse("fn f() {}\n");
+        let file = source_file("crates/core/src/similarity.rs", "core", &scoped);
+        assert_eq!(file.stem, "similarity");
+    }
+}

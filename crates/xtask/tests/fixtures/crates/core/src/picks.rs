@@ -1,0 +1,9 @@
+//! Fixture: a panic-capable helper with a justified body-local marker.
+//! The CRP010 debt is suppressed here, but the indexing still taints
+//! serving entry points that reach it (CRP015 in service.rs).
+
+/// Panics on empty input; serving callers hold the CRP015 finding.
+pub fn strongest(xs: &[u32]) -> u32 {
+    // crp-lint: allow(CRP010) — fixture: callers guarantee non-empty input
+    xs[0]
+}

@@ -23,6 +23,17 @@ pub fn rebuild(n: usize) -> Vec<u64> {
     fresh
 }
 
+/// Hot path reaching an allocating helper across files (CRP014).
+pub fn dot(n: usize) -> usize {
+    crate::scratch::grow(n).len()
+}
+
+/// Same chain with a justified edge (suppressed).
+pub fn l2_norm(n: usize) -> usize {
+    // crp-lint: allow(CRP014) — fixture: scratch reuse planned, chain reviewed
+    crate::scratch::grow(n).len()
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -1,0 +1,10 @@
+//! Fixture: an allocating helper with no hot path of its own. The
+//! CRP014 debt lands on the hot callers in ratio.rs that reach it
+//! through the call graph.
+
+/// Allocates a fresh buffer; hot callers hold the CRP014 finding.
+pub fn grow(n: usize) -> Vec<u64> {
+    let mut buf = Vec::new();
+    buf.resize(n, 0);
+    buf
+}

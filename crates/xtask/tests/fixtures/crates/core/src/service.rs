@@ -1,0 +1,14 @@
+//! Fixture: serving entry points reaching a panic-capable helper
+//! across a file boundary (CRP015). This relative path is on the real
+//! serving-entry list, so `closest`/`similarity` are CRP015 roots.
+
+/// Serving entry reaching the panicking helper in picks.rs (flagged).
+pub fn closest(xs: &[u32]) -> u32 {
+    crate::picks::strongest(xs)
+}
+
+/// Same chain with a documented allow (suppressed).
+pub fn similarity(xs: &[u32]) -> u32 {
+    // crp-lint: allow(CRP015) — fixture: chain reviewed, inputs validated upstream
+    crate::picks::strongest(xs)
+}

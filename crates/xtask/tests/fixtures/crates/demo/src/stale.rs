@@ -18,3 +18,10 @@ pub fn retained(v: Option<u32>) -> u32 {
     // crp-lint: allow(CRP001, CRP012) — kept for an upcoming change
     v.unwrap_or(1)
 }
+
+/// A transitive-rule marker covering neither a call edge nor a sink is
+/// just as stale as a body-local one (flagged).
+pub fn transitively_drifted(v: u32) -> u32 {
+    // crp-lint: allow(CRP014) — went stale: the helper no longer allocates
+    v + 1
+}

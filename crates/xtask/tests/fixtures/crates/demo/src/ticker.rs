@@ -1,0 +1,14 @@
+//! Fixture: wall-clock taint across files (CRP016) — `fetch` reaches
+//! `SystemTime::now` through wallclock.rs without touching the clock
+//! itself.
+
+/// Reaches the wall clock transitively (flagged).
+pub fn fetch() -> bool {
+    crate::wallclock::leak().elapsed().is_ok()
+}
+
+/// Same chain with a justified edge (suppressed).
+pub fn fetch_justified() -> bool {
+    // crp-lint: allow(CRP016) — fixture: reviewed wall-clock use, never enters sim state
+    crate::wallclock::leak().elapsed().is_ok()
+}
