@@ -9,7 +9,7 @@
 //! window-size sensitivity) and that YouLighter detects in the wild from
 //! clustering snapshots alone.
 //!
-//! Two modules:
+//! Three modules:
 //!
 //! * [`drift`] — re-interprets a [`CrpService`]'s observation history at
 //!   a ladder of SimTimes *after* the campaign, diffing consecutive
@@ -17,6 +17,13 @@
 //!   strongest-replica changes (remap events), and YouLighter-style
 //!   clustering distance. Emits `drift.*` telemetry events and returns a
 //!   serializable [`DriftTimeline`].
+//! * [`detect`] — the online layer above [`drift`]: a streaming
+//!   [`ChangeDetector`] that turns per-window, per-scope drift signals
+//!   into localized [`DetectedChange`] records (onset SimTime, affected
+//!   region/replica set, change-class taxonomy) with EWMA baselines,
+//!   warmup, and cooldowns for false-alarm control. The [`detect::scan`]
+//!   driver replays a recorded history through the detector and feeds
+//!   `detect.*` series to the crp-telemetry alert engine.
 //! * [`report`] — health verdicts ([`HealthVerdict`]) that the
 //!   `audit_report` generator in crp-eval joins with provenance records,
 //!   telemetry summaries, and bench baselines into
@@ -30,10 +37,17 @@
 //!
 //! [`CrpService`]: crp_core::CrpService
 //! [`DriftTimeline`]: drift::DriftTimeline
+//! [`ChangeDetector`]: detect::ChangeDetector
+//! [`DetectedChange`]: detect::DetectedChange
 //! [`HealthVerdict`]: report::HealthVerdict
 
+pub mod detect;
 pub mod drift;
 pub mod report;
 
+pub use detect::{
+    ChangeClass, ChangeDetector, DetectConfig, DetectWindow, DetectedChange, DetectionReport,
+    GroupWindow,
+};
 pub use drift::{DriftConfig, DriftTimeline, DriftWindow, RemapEvent};
 pub use report::HealthVerdict;

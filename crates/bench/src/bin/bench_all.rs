@@ -309,6 +309,44 @@ fn register_all(runner: &mut Runner) {
         cdn.authoritative_answer(&name, cdn_client, SimTime::from_millis(t_ms))
     });
 
+    // --- scripted infrastructure events (change-detection pipeline)
+    // Applying the standard event suite to a freshly deployed CDN: the
+    // per-build cost every change-detection scenario pays. The network
+    // is cloned from a prebuilt template so topology generation stays
+    // outside the measured path (deploy + stage + apply remain inside).
+    let event_net = NetworkBuilder::new(21)
+        .tier1_count(4)
+        .transit_per_region(2)
+        .stubs_per_region(12)
+        .build();
+    let suite = crp_cdn::EventScript::standard_suite(SimTime::from_hours(24));
+    runner.run("cdn/apply_event", 10, 1, || {
+        let mut cdn = crp_cdn::Cdn::deploy(
+            event_net.clone(),
+            &crp_cdn::DeploymentSpec::akamai_like(0.25),
+            crp_cdn::MappingConfig::default(),
+        );
+        suite.stage(&mut cdn);
+        suite.apply(&mut cdn).len()
+    });
+
+    // The online detector's scan over a recorded 12-hour history with a
+    // mid-run mass remap — the full snapshot/lag/group-stats pipeline.
+    let detect_service = detect_fixture();
+    let detect_hosts: Vec<(u32, String)> = (0..48u32)
+        .map(|h| (h, format!("region-{}", h % 4)))
+        .collect();
+    let detect_cfg = crp_audit::detect::DetectConfig::new(
+        SimTime::from_hours(1),
+        SimTime::from_hours(12),
+        crp_netsim::SimDuration::from_mins(30),
+    );
+    runner.run("audit/detect_scan", 10, 5, || {
+        crp_audit::detect::scan(&detect_service, &detect_hosts, &detect_cfg)
+            .windows
+            .len()
+    });
+
     // --- Meridian baseline query (the probing cost CRP avoids)
     let mut net = NetworkBuilder::new(8).build();
     let members = net.add_population(&PopulationSpec::planetlab(60));
@@ -343,6 +381,23 @@ fn register_all(runner: &mut Runner) {
     runner.run("xtask/lint_workspace", 5, 1, || {
         crp_xtask::lint_files(&sources, &[]).diagnostics.len()
     });
+}
+
+/// A 12-hour observation history for the detector scan: 48 hosts in 4
+/// scope groups probing every 10 minutes, with half of every group
+/// decisively remapping at hour 6 — enough churn that the scan row
+/// exercises the full detection path, not just the quiet one.
+fn detect_fixture() -> crp_core::CrpService<u32, u32> {
+    let mut svc = crp_core::CrpService::new(WindowPolicy::LastProbes(12), SimilarityMetric::Cosine);
+    for host in 0..48u32 {
+        for m in 0..72u64 {
+            let t = SimTime::from_mins(m * 10);
+            let flipped = host % 2 == 0 && t >= SimTime::from_hours(6);
+            let replica = if flipped { 100 + host % 4 } else { host % 8 };
+            svc.record(host, t, vec![replica, (host + 1) % 8]);
+        }
+    }
+    svc
 }
 
 fn cdn_fixture() -> (crp_cdn::Cdn, HostId, DomainName) {

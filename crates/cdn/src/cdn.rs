@@ -37,6 +37,16 @@ const TAG_FALLBACK: u64 = 0x33;
 const TAG_SUBSET: u64 = 0x34;
 const TAG_SCATTER: u64 = 0x35;
 
+/// Default bound on the `(resolver, customer)` remap-observer table.
+/// Far above any simulated population (1,000 clients × 2 customers);
+/// the cap exists so adversarial or runaway query mixes cannot grow
+/// observer state without bound.
+pub const DEFAULT_REMAP_OBSERVER_CAPACITY: usize = 1 << 16;
+
+/// An outage end meaning "never recovers" — used by event scripts to
+/// retire a replica permanently.
+pub(crate) const FOREVER: SimTime = SimTime::from_millis(u64::MAX);
+
 /// Aggregate counters describing the load the CDN has served.
 #[derive(Clone, Debug, Default)]
 pub struct CdnStats {
@@ -49,6 +59,10 @@ pub struct CdnStats {
     /// Detected remapping events: a `(resolver, customer)` pair whose
     /// best-measured replica changed across mapping epochs.
     pub remap_events: u64,
+    /// `(resolver, customer)` pairs the remap observer refused to track
+    /// because its table was at capacity. Nonzero means
+    /// [`CdnStats::remap_events`] undercounts ground truth.
+    pub remap_observer_dropped: u64,
 }
 
 /// The simulated CDN.
@@ -69,9 +83,23 @@ pub struct Cdn {
     // Last (epoch, best replica) seen per (resolver, customer) — pure
     // observer state for remap-event detection; answers never read it.
     epoch_best: RwLock<HashMap<(HostId, u32), (u64, ReplicaId)>>,
+    remap_observer_capacity: usize,
     outages: Vec<(ReplicaId, SimTime, SimTime)>,
+    // Per-replica activation time: `SimTime::ZERO` for the deployed
+    // fleet, `FOREVER` for dormant reserves until an event script
+    // activates them.
+    active_from: Vec<SimTime>,
+    // Dormant reserve pools per region index, consumed by event scripts.
+    reserves: Vec<Vec<ReplicaId>>,
+    // Scheduled load-balance pool-width changes, in schedule order.
+    lb_overrides: Vec<(SimTime, usize)>,
+    // Multiplicative measurement penalties (replica, from, until,
+    // factor) — the flash-crowd overload model: the mapping system sees
+    // the replica as slower and routes around it.
+    measure_penalties: Vec<(ReplicaId, SimTime, SimTime, f64)>,
     queries_answered: AtomicU64,
     remap_events: AtomicU64,
+    remap_observer_dropped: AtomicU64,
     fallback_answers: AtomicU64,
     scattered_answers: AtomicU64,
     per_replica_answers: Vec<AtomicU64>,
@@ -127,6 +155,7 @@ impl Cdn {
             fallbacks.push(id);
         }
         let per_replica_answers = (0..replicas.len()).map(|_| AtomicU64::new(0)).collect();
+        let active_from = vec![SimTime::ZERO; replicas.len()];
         Cdn {
             net,
             cfg,
@@ -137,13 +166,158 @@ impl Cdn {
             edge_zone: "g.akamai-sim.net".parse().expect("static name is valid"), // crp-lint: allow(CRP001) — static zone name is a valid domain
             shortlists: RwLock::new(HashMap::new()),
             epoch_best: RwLock::new(HashMap::new()),
+            remap_observer_capacity: DEFAULT_REMAP_OBSERVER_CAPACITY,
             outages: Vec::new(),
+            active_from,
+            reserves: Region::ALL.iter().map(|_| Vec::new()).collect(),
+            lb_overrides: Vec::new(),
+            measure_penalties: Vec::new(),
             queries_answered: AtomicU64::new(0),
             remap_events: AtomicU64::new(0),
+            remap_observer_dropped: AtomicU64::new(0),
             fallback_answers: AtomicU64::new(0),
             scattered_answers: AtomicU64::new(0),
             per_replica_answers,
         }
+    }
+
+    /// Deploys `count` *dormant* reserve replicas in `region` and parks
+    /// them in the region's reserve pool. Reserves join customer
+    /// eligibility subsets and shortlists like any edge replica, but
+    /// serve no traffic until an event script activates them (regional
+    /// pool flips, footprint expansions).
+    ///
+    /// Must run before customers are registered so eligibility and
+    /// shortlists see the full fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any customer is already registered.
+    pub fn deploy_reserve(&mut self, region: Region, count: usize) -> Vec<ReplicaId> {
+        assert!(
+            self.customers.is_empty(),
+            "reserves must be deployed before customers register"
+        );
+        let mut ids = Vec::with_capacity(count);
+        for _ in 0..count {
+            let id = ReplicaId::from_index(self.replicas.len() as u32);
+            let host = self.net.add_host_with_spread(
+                region,
+                (0.1, 0.8),
+                format!("replica-{}", self.replicas.len()),
+                Some(100.0),
+            );
+            self.replicas.push(ReplicaServer::new(id, host, false));
+            self.active_from.push(FOREVER);
+            self.per_replica_answers.push(AtomicU64::new(0));
+            ids.push(id);
+        }
+        self.reserves[region.index() as usize].extend_from_slice(&ids); // crp-lint: allow(CRP010) — one reserve pool per Region; index < Region::ALL.len() by construction
+        ids
+    }
+
+    /// Takes up to `count` dormant reserves from `region`'s pool, in
+    /// deployment order.
+    pub fn take_reserves(&mut self, region: Region, count: usize) -> Vec<ReplicaId> {
+        let pool = &mut self.reserves[region.index() as usize]; // crp-lint: allow(CRP010) — one reserve pool per Region; index < Region::ALL.len() by construction
+        let n = count.min(pool.len());
+        pool.drain(..n).collect()
+    }
+
+    /// Dormant reserves remaining in `region`'s pool.
+    pub fn reserve_count(&self, region: Region) -> usize {
+        self.reserves[region.index() as usize].len() // crp-lint: allow(CRP010) — one reserve pool per Region; index < Region::ALL.len() by construction
+    }
+
+    /// Activates a dormant replica: it starts serving at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica id is unknown or already active.
+    pub fn activate_replica(&mut self, replica: ReplicaId, at: SimTime) {
+        assert!(replica.index() < self.replicas.len(), "unknown replica");
+        assert_eq!(
+            self.active_from[replica.index()], // crp-lint: allow(CRP010) — bounds asserted above; control-plane path
+            FOREVER,
+            "replica {replica:?} is already active"
+        );
+        self.active_from[replica.index()] = at; // crp-lint: allow(CRP010) — bounds asserted above; control-plane path
+    }
+
+    /// Retires a replica permanently from `at` on — a pool flip's
+    /// outgoing half. Implemented as an outage that never ends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica id is not deployed.
+    pub fn retire_replica(&mut self, replica: ReplicaId, at: SimTime) {
+        self.schedule_outage(replica, at, FOREVER);
+    }
+
+    /// Schedules a load-balance pool-width change: answers for
+    /// well-covered resolvers rotate among `pool` candidates from `from`
+    /// on (until a later override).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool` is zero.
+    pub fn set_load_balance_pool(&mut self, from: SimTime, pool: usize) {
+        assert!(pool > 0, "load-balance pool must be non-empty");
+        self.lb_overrides.push((from, pool));
+    }
+
+    /// Applies a multiplicative penalty to the CDN's internal latency
+    /// measurements of `replica` during `[from, until)` — the
+    /// flash-crowd model: an overloaded replica measures slower, so the
+    /// mapping system shifts traffic off it for the duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replica id is unknown, the interval is empty, or
+    /// the factor is not positive.
+    pub fn add_measurement_penalty(
+        &mut self,
+        replica: ReplicaId,
+        from: SimTime,
+        until: SimTime,
+        factor: f64,
+    ) {
+        assert!(replica.index() < self.replicas.len(), "unknown replica");
+        assert!(until > from, "empty penalty interval");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "penalty factor must be positive"
+        );
+        self.measure_penalties.push((replica, from, until, factor));
+    }
+
+    /// The load-balance pool width in effect at `t` (the last scheduled
+    /// override at or before `t`, else the configured default).
+    fn effective_lb_pool(&self, t: SimTime) -> usize {
+        self.lb_overrides
+            .iter()
+            .filter(|(at, _)| *at <= t)
+            .next_back()
+            .map_or(self.cfg.load_balance_pool, |(_, pool)| *pool)
+    }
+
+    /// Non-fallback replicas homed in `region` that are serving at `t`
+    /// (activated, not down), in deployment order.
+    pub fn serving_region_replicas(&self, region: Region, t: SimTime) -> Vec<ReplicaId> {
+        self.replicas
+            .iter()
+            .filter(|r| !r.is_cdn_owned())
+            .filter(|r| self.net.host(r.host()).region() == region)
+            .map(ReplicaServer::id)
+            .filter(|id| self.replica_is_up(*id, t))
+            .collect()
+    }
+
+    /// The region a replica is homed in.
+    pub fn replica_region(&self, replica: ReplicaId) -> Region {
+        // crp-lint: allow(CRP010) — ReplicaIds are only minted by this Cdn; always in range
+        let host = self.replicas[replica.index()].host();
+        self.net.host(host).region()
     }
 
     /// Registers a customer name served by a deterministic ~70% subset of
@@ -219,12 +393,14 @@ impl Cdn {
         self.outages.push((replica, from, until));
     }
 
-    /// Whether `replica` is serving at time `t`.
+    /// Whether `replica` is serving at time `t`: activated (dormant
+    /// reserves are not), and not inside a scheduled outage.
     pub fn replica_is_up(&self, replica: ReplicaId, t: SimTime) -> bool {
-        !self
-            .outages
-            .iter()
-            .any(|(r, from, until)| *r == replica && t >= *from && t < *until)
+        t >= self.active_from[replica.index()] // crp-lint: allow(CRP010) — ReplicaIds are only minted by this Cdn; always in range
+            && !self
+                .outages
+                .iter()
+                .any(|(r, from, until)| *r == replica && t >= *from && t < *until)
     }
 
     /// The network the CDN (and everything else) runs on.
@@ -267,7 +443,47 @@ impl Cdn {
             fallback_answers: self.fallback_answers.load(Ordering::Relaxed),
             scattered_answers: self.scattered_answers.load(Ordering::Relaxed),
             remap_events: self.remap_events.load(Ordering::Relaxed),
+            remap_observer_dropped: self.remap_observer_dropped.load(Ordering::Relaxed),
         }
+    }
+
+    /// `(resolver, customer)` pairs the remap observer currently tracks.
+    pub fn remap_observer_len(&self) -> usize {
+        self.epoch_best
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .len()
+    }
+
+    /// The remap-observer table bound in effect.
+    pub fn remap_observer_capacity(&self) -> usize {
+        self.remap_observer_capacity
+    }
+
+    /// Overrides the remap-observer table bound (default
+    /// [`DEFAULT_REMAP_OBSERVER_CAPACITY`]). Pairs beyond the bound are
+    /// not tracked and count into
+    /// [`CdnStats::remap_observer_dropped`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_remap_observer_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "remap observer capacity must be positive");
+        self.remap_observer_capacity = capacity;
+    }
+
+    /// Deep size of the remap-observer table alone — the capacity gauge
+    /// behind `mem.footprint.cdn.remap_observer`.
+    pub fn remap_observer_footprint(&self) -> usize {
+        let epoch_best = self
+            .epoch_best
+            .read()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        crp_telemetry::mem::hash_map_footprint(
+            epoch_best.len(),
+            std::mem::size_of::<(HostId, u32)>() + std::mem::size_of::<(u64, ReplicaId)>(),
+        )
     }
 
     /// Answers served by each replica, indexed by replica id.
@@ -306,7 +522,13 @@ impl Cdn {
             replica.key(),
             epoch,
         ]) * self.cfg.measurement_noise_sigma;
-        truth * (1.0 + eps).max(0.1)
+        let mut load = 1.0;
+        for (r, from, until, factor) in &self.measure_penalties {
+            if *r == replica && t >= *from && t < *until {
+                load *= factor;
+            }
+        }
+        truth * load * (1.0 + eps).max(0.1)
     }
 
     /// The static shortlist of candidate replicas for `(resolver,
@@ -452,10 +674,19 @@ impl Cdn {
                 _ => {}
             }
         }
-        self.epoch_best
+        let mut table = self
+            .epoch_best
             .write()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .insert(key, (epoch, best));
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // Bounded table: known pairs always update; new pairs are only
+        // admitted below capacity, so observer memory cannot grow with
+        // an unbounded resolver mix. Refusals are counted — a nonzero
+        // drop count flags the remap ground truth as partial.
+        if table.contains_key(&key) || table.len() < self.remap_observer_capacity {
+            table.insert(key, (epoch, best));
+        } else {
+            self.remap_observer_dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn answer_records(&self, customer: &Customer, picked: &[ReplicaId]) -> Vec<ResourceRecord> {
@@ -573,7 +804,7 @@ impl AuthoritativeServer for Cdn {
 
             if well_covered {
                 crp_telemetry::counter_add_at(now.as_millis(), "cdn.answers.load_balanced", 1);
-                let pool = &ranked[..ranked.len().min(self.cfg.load_balance_pool)];
+                let pool = &ranked[..ranked.len().min(self.effective_lb_pool(now))];
                 self.weighted_pick_into(
                     pool,
                     self.cfg.answers_per_response,
@@ -629,8 +860,7 @@ impl AuthoritativeServer for Cdn {
                     }));
                     scattered.sort_by(|a, b| a.0.total_cmp(&b.0));
                     let width = self
-                        .cfg
-                        .load_balance_pool
+                        .effective_lb_pool(now)
                         .saturating_mul(self.cfg.scatter_factor)
                         .min(scattered.len());
                     self.weighted_pick_into(
@@ -907,6 +1137,132 @@ mod tests {
         let (mut cdn, _, _) = build_cdn(21);
         let id = cdn.replicas()[0].id();
         cdn.schedule_outage(id, SimTime::from_mins(5), SimTime::from_mins(5));
+    }
+
+    #[test]
+    fn reserves_are_dormant_until_activated() {
+        let mut net = NetworkBuilder::new(30)
+            .tier1_count(4)
+            .transit_per_region(2)
+            .stubs_per_region(6)
+            .build();
+        let clients = net.add_population(&PopulationSpec::dns_servers(4));
+        let mut cdn = Cdn::deploy(
+            net,
+            &DeploymentSpec::akamai_like(0.2),
+            MappingConfig::default(),
+        );
+        let ids = cdn.deploy_reserve(Region::Europe, 3);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(cdn.reserve_count(Region::Europe), 3);
+        let name = cdn.add_customer("us.i1.yimg.com").unwrap();
+        // Dormant: never up, never in answers.
+        for &id in &ids {
+            assert!(!cdn.replica_is_up(id, SimTime::from_hours(5)));
+            assert_eq!(cdn.replica_region(id), Region::Europe);
+        }
+        let taken = cdn.take_reserves(Region::Europe, 2);
+        assert_eq!(taken, ids[..2].to_vec());
+        assert_eq!(cdn.reserve_count(Region::Europe), 1);
+        let wake = SimTime::from_hours(2);
+        for &id in &taken {
+            cdn.activate_replica(id, wake);
+            assert!(!cdn.replica_is_up(id, SimTime::from_hours(1)));
+            assert!(cdn.replica_is_up(id, SimTime::from_hours(3)));
+        }
+        // Activated reserves can serve; dormant ones never appear.
+        let dormant = ids[2];
+        for i in 0..30u64 {
+            if let Some(resp) = cdn.authoritative_answer(&name, clients[0], SimTime::from_mins(i)) {
+                assert!(!resp.a_addresses().contains(&dormant.ip()));
+            }
+        }
+    }
+
+    #[test]
+    fn reserves_after_customers_panic() {
+        let (mut cdn, _, _) = build_cdn(31);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = cdn.deploy_reserve(Region::Europe, 1);
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn lb_pool_override_widens_rotation() {
+        let (mut cdn, clients, name) = build_cdn(32);
+        let change_at = SimTime::from_hours(2);
+        cdn.set_load_balance_pool(change_at, 6);
+        assert_eq!(cdn.effective_lb_pool(SimTime::from_hours(1)), 2);
+        assert_eq!(cdn.effective_lb_pool(SimTime::from_hours(3)), 6);
+        let distinct_in = |cdn: &Cdn, base: SimTime| {
+            let mut seen = std::collections::BTreeSet::new();
+            for i in 0..60u64 {
+                let t = base + SimDuration::from_secs(i * 30);
+                if let Some(resp) = cdn.authoritative_answer(&name, clients[0], t) {
+                    seen.extend(resp.a_addresses());
+                }
+            }
+            seen.len()
+        };
+        let before = distinct_in(&cdn, SimTime::ZERO);
+        let after = distinct_in(&cdn, SimTime::from_hours(3));
+        assert!(
+            after > before,
+            "wider pool should rotate more replicas: before={before} after={after}"
+        );
+    }
+
+    #[test]
+    fn measurement_penalty_routes_around_replica() {
+        let (mut cdn, clients, name) = build_cdn(33);
+        let first = cdn
+            .authoritative_answer(&name, clients[0], SimTime::ZERO)
+            .expect("answered")
+            .a_addresses();
+        let victim = ReplicaId::from_ip(first[0]).expect("replica ip");
+        cdn.add_measurement_penalty(victim, SimTime::from_hours(1), SimTime::from_hours(2), 50.0);
+        // During the penalty the victim measures 50x slower, so the
+        // load balancer stops handing it out.
+        for i in 0..20u64 {
+            let t = SimTime::from_hours(1) + SimDuration::from_mins(i * 3);
+            if let Some(resp) = cdn.authoritative_answer(&name, clients[0], t) {
+                assert!(
+                    !resp.a_addresses().contains(&victim.ip()),
+                    "overloaded replica still served at {t}"
+                );
+            }
+        }
+        // After it subsides (same route epoch, so the baseline ranking
+        // still holds) the replica serves again.
+        let after: Vec<_> = (0..40u64)
+            .filter_map(|i| {
+                let t = SimTime::from_hours(2) + SimDuration::from_mins(i * 3);
+                cdn.authoritative_answer(&name, clients[0], t)
+            })
+            .flat_map(|r| r.a_addresses())
+            .collect();
+        assert!(after.contains(&victim.ip()), "replica never recovered");
+    }
+
+    #[test]
+    fn remap_observer_capacity_bounds_table() {
+        let (mut cdn, clients, name) = build_cdn(34);
+        cdn.set_remap_observer_capacity(2);
+        for i in 0..4u64 {
+            let t = SimTime::from_mins(i * 2);
+            for &client in &clients {
+                let _ = cdn.authoritative_answer(&name, client, t);
+            }
+        }
+        assert_eq!(cdn.remap_observer_len(), 2);
+        assert_eq!(cdn.remap_observer_capacity(), 2);
+        let stats = cdn.stats();
+        assert!(
+            stats.remap_observer_dropped > 0,
+            "pairs beyond capacity must be counted: {stats:?}"
+        );
+        assert!(cdn.remap_observer_footprint() > 0);
     }
 
     #[test]

@@ -42,11 +42,13 @@
 pub mod cdn;
 pub mod customer;
 pub mod deployment;
+pub mod events;
 pub mod mapping;
 pub mod replica;
 
 pub use cdn::{Cdn, CdnStats};
 pub use customer::Customer;
 pub use deployment::DeploymentSpec;
+pub use events::{EventClass, EventKind, EventLog, EventRecord, EventScript, EventSpec};
 pub use mapping::MappingConfig;
 pub use replica::{ReplicaId, ReplicaServer};

@@ -2,7 +2,7 @@
 
 use crp_cdn::{Cdn, DeploymentSpec, MappingConfig, ReplicaId};
 use crp_dns::AuthoritativeServer;
-use crp_netsim::{NetworkBuilder, PopulationSpec, SimTime};
+use crp_netsim::{NetworkBuilder, PopulationSpec, Region, SimTime};
 use proptest::prelude::*;
 
 fn build_world(seed: u64, clients: usize) -> (Cdn, Vec<crp_netsim::HostId>, crp_dns::DomainName) {
@@ -102,5 +102,85 @@ proptest! {
     fn replica_ip_mapping_is_bijective(index in 0u32..100_000) {
         let id = ReplicaId::from_index(index);
         prop_assert_eq!(ReplicaId::from_ip(id.ip()), Some(id));
+    }
+
+    // DeploymentSpec::custom is now load-bearing for event scripting
+    // (reserve staging derives region pools from it), so its accounting
+    // identities get property coverage: totals are sums, `count_in`
+    // honors duplicate entries, and zero-fallback specs are legal.
+
+    #[test]
+    fn custom_spec_accounting_identities(
+        entries in prop::collection::vec((0usize..8, 0usize..40), 1..12),
+        fallback in 0usize..20,
+    ) {
+        let per_region: Vec<(Region, usize)> = entries
+            .iter()
+            .map(|(r, n)| (Region::ALL[*r], *n))
+            .collect();
+        let edge_total: usize = per_region.iter().map(|(_, n)| n).sum();
+        prop_assume!(edge_total > 0);
+        let spec = DeploymentSpec::custom(per_region.clone(), fallback);
+        // Total is the sum of all entries plus fallbacks.
+        prop_assert_eq!(spec.total(), edge_total + fallback);
+        prop_assert_eq!(spec.fallback_count(), fallback);
+        // count_in sums duplicate entries for the same region...
+        for region in Region::ALL {
+            let expect: usize = per_region
+                .iter()
+                .filter(|(r, _)| *r == region)
+                .map(|(_, n)| n)
+                .sum();
+            prop_assert_eq!(spec.count_in(region), expect);
+        }
+        // ...and the per-region counts partition the edge total.
+        let partition: usize = Region::ALL.iter().map(|r| spec.count_in(*r)).sum();
+        prop_assert_eq!(partition, edge_total);
+    }
+
+    #[test]
+    fn custom_spec_rejects_all_zero_entries(
+        regions in prop::collection::vec(0usize..8, 0..6),
+        fallback in 0usize..20,
+    ) {
+        // Any mix of zero-count entries (or none at all) must panic, no
+        // matter how many fallbacks: fallbacks alone are not a fleet.
+        let per_region: Vec<(Region, usize)> =
+            regions.iter().map(|r| (Region::ALL[*r], 0)).collect();
+        let outcome = std::panic::catch_unwind(|| DeploymentSpec::custom(per_region, fallback));
+        prop_assert!(outcome.is_err());
+    }
+
+    #[test]
+    fn zero_fallback_spec_deploys_and_answers(seed in 0u64..6) {
+        // Edge case: no fallbacks at all. Every answer must then be an
+        // edge replica, even for poorly covered clients.
+        let mut net = NetworkBuilder::new(seed)
+            .tier1_count(3)
+            .transit_per_region(1)
+            .stubs_per_region(3)
+            .build();
+        let hosts = net.add_population(&PopulationSpec::dns_servers(3));
+        let spec = DeploymentSpec::custom(
+            vec![
+                (Region::NorthAmerica, 6),
+                (Region::NorthAmerica, 2), // duplicate-region entry
+                (Region::Europe, 4),
+            ],
+            0,
+        );
+        prop_assert_eq!(spec.count_in(Region::NorthAmerica), 8);
+        prop_assert_eq!(spec.total(), 12);
+        let mut cdn = Cdn::deploy(net, &spec, MappingConfig::default());
+        prop_assert_eq!(cdn.replicas().len(), 12);
+        prop_assert!(cdn.replicas().iter().all(|r| !r.is_cdn_owned()));
+        let name = cdn.add_customer("us.i1.yimg.com").expect("valid name");
+        for i in 0..6u64 {
+            if let Some(resp) = cdn.authoritative_answer(&name, hosts[0], SimTime::from_mins(i * 3)) {
+                for ip in resp.a_addresses() {
+                    prop_assert!(!cdn.ip_is_cdn_owned(ip));
+                }
+            }
+        }
     }
 }

@@ -51,6 +51,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation_passive_bootstrap",
     "ablation_cluster_stability",
     "ablation_baselines",
+    "change_detection",
 ];
 
 /// Wall-clock accounting for one completed experiment.

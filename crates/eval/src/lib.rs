@@ -25,6 +25,7 @@
 static ALLOC: crp_telemetry::profile::CountingAllocator = crp_telemetry::profile::CountingAllocator;
 
 pub mod audit;
+pub mod changedetect;
 pub mod cli;
 pub mod closest;
 pub mod clusterexp;

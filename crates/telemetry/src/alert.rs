@@ -167,6 +167,35 @@ pub fn default_rules() -> Vec<AlertRule> {
                 long_windows: 6,
             },
         },
+        // Change-detector verdicts: the audit detect scan reports how
+        // many localized changes each window raised; any window with a
+        // raised change is an infrastructure event worth paging on.
+        AlertRule {
+            name: "change-detected".to_owned(),
+            metric: "detect.changes_raised".to_owned(),
+            window_ms: 3_600_000,
+            for_windows: 1,
+            kind: RuleKind::Threshold {
+                stat: Stat::Max,
+                op: Op::Above,
+                value: 0.0,
+            },
+        },
+        // Mass-remap pressure: the detector's global strongest-changed
+        // fraction sustained above 30% across two hourly windows means
+        // the CDN is continuously re-mapping the population — ratio
+        // maps (and any clustering built on them) are stale on arrival.
+        AlertRule {
+            name: "detect-remap-pressure".to_owned(),
+            metric: "detect.remap_fraction".to_owned(),
+            window_ms: 3_600_000,
+            for_windows: 2,
+            kind: RuleKind::Threshold {
+                stat: Stat::Mean,
+                op: Op::Above,
+                value: 0.3,
+            },
+        },
     ]
 }
 
@@ -449,7 +478,7 @@ mod tests {
     fn rule_with_no_data_stays_resolved() {
         let s = store();
         let log = AlertEngine::new(default_rules()).evaluate(&s);
-        assert_eq!(log.rules.len(), 3);
+        assert_eq!(log.rules.len(), 5);
         for r in &log.rules {
             assert_eq!(r.final_state, "resolved");
             assert_eq!(r.evaluated_windows, 0);

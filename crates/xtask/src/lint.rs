@@ -433,6 +433,10 @@ const PROVENANCE_FILES: &[&str] = &[
     "crates/core/src/tracker.rs",
     "crates/core/src/service.rs",
     "crates/cdn/src/cdn.rs",
+    // Scripted infrastructure events mint one causal trace per applied
+    // event (behind trace::enabled()), so detection-latency evaluation
+    // can tie a DetectedChange back to the event that caused it.
+    "crates/cdn/src/events.rs",
     "crates/telemetry/src/timeseries.rs",
     "crates/eval/src/audit.rs",
     "crates/eval/src/telemetry.rs",
@@ -448,6 +452,10 @@ const PROVENANCE_FILES: &[&str] = &[
 /// module itself (macro definition and self-tests).
 const MEM_DOMAIN_FILES: &[&str] = &[
     "crates/telemetry/src/mem.rs",
+    // The change-detector scan is a subsystem border of its own: it
+    // walks every recorded history, so its allocations are attributed
+    // separately from the audit drift layer.
+    "crates/audit/src/detect.rs",
     "crates/core/src/tracker.rs",
     "crates/core/src/select.rs",
     "crates/core/src/cluster.rs",

@@ -1,0 +1,6 @@
+//! Fixture: a memory-domain boundary at the sanctioned change-detector
+//! scan (no CRP013 — the scan is a reviewed subsystem border).
+
+pub fn scan() {
+    crp_telemetry::mem_domain!("audit.detect");
+}

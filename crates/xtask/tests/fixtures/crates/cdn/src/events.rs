@@ -1,0 +1,7 @@
+//! Fixture: trace hooks at the sanctioned scripted-event site (no
+//! CRP008 — applied events mint causal traces by design).
+
+pub fn apply(t: u64) {
+    let id = crp_telemetry::trace::mint(&[t]);
+    crp_telemetry::trace::begin(id, t, "cdn.event");
+}

@@ -9,11 +9,12 @@
 //! host set) lives in exactly one place.
 
 use crate::probe::CdnProbe;
-use crp_cdn::{Cdn, DeploymentSpec, MappingConfig, ReplicaId};
+use crp_cdn::{Cdn, DeploymentSpec, EventLog, EventScript, MappingConfig, ReplicaId};
 use crp_core::{CrpService, ObservationSource, SimilarityMetric, WindowPolicy};
 use crp_dns::DomainName;
 use crp_netsim::{
-    HostId, KingConfig, KingEstimator, NetworkBuilder, PopulationSpec, Rtt, SimDuration, SimTime,
+    HostId, KingConfig, KingEstimator, LatencyConfig, NetworkBuilder, PopulationSpec, Rtt,
+    SimDuration, SimTime,
 };
 
 /// Parameters of a scenario. The defaults reproduce the paper's scale:
@@ -42,6 +43,15 @@ pub struct ScenarioConfig {
     pub broad_clients: bool,
     /// Enable the §VI CDN-owned-address filter on every probe.
     pub filter_cdn_owned: bool,
+    /// Scripted infrastructure events applied to the CDN at build time
+    /// (reserves staged before customers register, timeline applied
+    /// after). The resulting ground-truth [`EventLog`] is kept on the
+    /// scenario for detection evaluation.
+    pub events: Option<EventScript>,
+    /// Latency-model override; `None` uses [`LatencyConfig::default`].
+    /// Tests that need a static metric space (e.g. exact remap ground
+    /// truth) pass [`LatencyConfig::static_network`].
+    pub latency: Option<LatencyConfig>,
 }
 
 impl Default for ScenarioConfig {
@@ -56,6 +66,8 @@ impl Default for ScenarioConfig {
             deployment: None,
             broad_clients: false,
             filter_cdn_owned: false,
+            events: None,
+            latency: None,
         }
     }
 }
@@ -67,6 +79,7 @@ pub struct Scenario {
     clients: Vec<HostId>,
     names: Vec<DomainName>,
     filter_cdn_owned: bool,
+    event_log: EventLog,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -89,7 +102,11 @@ impl Scenario {
     pub fn build(cfg: ScenarioConfig) -> Scenario {
         crp_telemetry::mem_domain!("scenario.build");
         assert!(!cfg.customer_names.is_empty(), "need at least one CDN name");
-        let mut net = NetworkBuilder::new(cfg.seed).build();
+        let mut builder = NetworkBuilder::new(cfg.seed);
+        if let Some(latency) = cfg.latency.clone() {
+            builder = builder.latency(latency);
+        }
+        let mut net = builder.build();
         let candidates = net.add_population(&PopulationSpec::planetlab(cfg.candidate_servers));
         let client_spec = if cfg.broad_clients {
             PopulationSpec::broad_dns_servers(cfg.clients)
@@ -101,17 +118,30 @@ impl Scenario {
             .deployment
             .unwrap_or_else(|| DeploymentSpec::akamai_like(cfg.cdn_scale));
         let mut cdn = Cdn::deploy(net, &deployment, cfg.mapping);
+        // Dormant reserves must exist before customers register (the
+        // customer's eligible set and shortlists freeze at that point),
+        // while the timeline itself only mutates SimTime-keyed state
+        // and so can be applied once the fleet is fully wired.
+        if let Some(script) = &cfg.events {
+            script.stage(&mut cdn);
+        }
         let names = cfg
             .customer_names
             .iter()
             .map(|n| cdn.add_customer(n).expect("customer names are valid")) // crp-lint: allow(CRP001) — customer names come from the validated config
             .collect();
+        let event_log = cfg
+            .events
+            .as_ref()
+            .map(|script| script.apply(&mut cdn))
+            .unwrap_or_default();
         Scenario {
             cdn,
             candidates,
             clients,
             names,
             filter_cdn_owned: cfg.filter_cdn_owned,
+            event_log,
         }
     }
 
@@ -123,6 +153,14 @@ impl Scenario {
     /// The simulated CDN.
     pub fn cdn(&self) -> &Cdn {
         &self.cdn
+    }
+
+    /// Ground truth for the scripted infrastructure events applied at
+    /// build time (empty when the config carried no script). Detection
+    /// evaluation matches the audit layer's `DetectedChange` records
+    /// against this log.
+    pub fn event_log(&self) -> &EventLog {
+        &self.event_log
     }
 
     /// Candidate-server hosts (the selection targets in Figs. 4–5).
@@ -195,6 +233,14 @@ impl Scenario {
                 end.as_millis(),
                 "mem.footprint.cdn.tables",
                 self.cdn.mem_footprint() as f64,
+            );
+            // Occupancy of the bounded remap-event observer, so
+            // live_report charts how close the campaign came to the
+            // capacity at which remap ground truth starts dropping.
+            crp_telemetry::observe_at(
+                end.as_millis(),
+                "mem.footprint.cdn.remap_observer",
+                self.cdn.remap_observer_footprint() as f64,
             );
         }
         service
@@ -342,6 +388,44 @@ mod tests {
             sa.ratio_map(&a.clients()[0], now).ok(),
             sb.ratio_map(&b.clients()[0], now).ok()
         );
+    }
+
+    #[test]
+    fn scripted_events_apply_at_build_and_keep_ground_truth() {
+        use crp_cdn::{EventClass, EventKind, EventScript};
+        use crp_netsim::Region;
+        let script = EventScript::new().with_reserve(Region::NorthAmerica, 4).at(
+            SimTime::from_hours(2),
+            EventKind::RegionalPoolFlip {
+                region: Region::NorthAmerica,
+                fraction: 0.5,
+            },
+        );
+        let s = Scenario::build(ScenarioConfig {
+            seed: 11,
+            candidate_servers: 10,
+            clients: 5,
+            cdn_scale: 0.25,
+            events: Some(script),
+            ..ScenarioConfig::default()
+        });
+        assert_eq!(s.event_log().len(), 1);
+        let record = &s.event_log().records[0];
+        assert_eq!(record.class, EventClass::RegionalPoolFlip);
+        assert_eq!(record.at_ms, SimTime::from_hours(2).as_millis());
+        assert!(!record.replicas.is_empty());
+        // The world still observes normally with the script in place.
+        let service = s.observe_hosts(
+            &s.clients()[..2],
+            SimTime::ZERO,
+            SimTime::from_hours(1),
+            SimDuration::from_mins(10),
+            WindowPolicy::All,
+            SimilarityMetric::Cosine,
+        );
+        assert!(service.node_count() >= 1);
+        // No script → empty log.
+        assert!(tiny().event_log().is_empty());
     }
 
     #[test]

@@ -213,4 +213,80 @@ fn telemetry_never_perturbs_results_and_is_itself_deterministic() {
     );
     assert!(!crp_telemetry::mem::enabled());
     assert_eq!(campaign_fingerprint(), baseline);
+
+    // Phase 14: the online change detector. It reads the recorded
+    // service history after the fact, so the purity bar is the same as
+    // for every observer above: a campaign whose history is scanned
+    // must produce byte-identical experiment output to one that is not.
+    let detector_off = event_campaign_fingerprint(false);
+    let detector_on = event_campaign_fingerprint(true);
+    assert_eq!(
+        detector_off.0, detector_on.0,
+        "change detection changed experiment output"
+    );
+    let report = detector_on.1.expect("detector ran");
+    assert!(!report.windows.is_empty(), "scan saw no windows");
+
+    // Phase 15: a second detector-on replay serializes the identical
+    // detection report — the artifact the change-detect CI smoke diffs.
+    let report_b = event_campaign_fingerprint(true).1.expect("detector ran");
+    assert_eq!(
+        serde_json::to_string(&report).expect("serializable"),
+        serde_json::to_string(&report_b).expect("serializable"),
+        "same seed must scan to an identical detection report"
+    );
+}
+
+/// Runs a small fixed-seed campaign over a scripted-event world and
+/// returns its fingerprint, plus the change-detection report when
+/// `scan` is set. The fingerprint must not depend on whether the
+/// detector ran.
+fn event_campaign_fingerprint(scan: bool) -> (String, Option<crp_audit::detect::DetectionReport>) {
+    use crp_cdn::{EventKind, EventScript};
+    use crp_netsim::Region;
+    let horizon = SimTime::from_hours(4);
+    let script = EventScript::new().with_reserve(Region::Europe, 4).at(
+        SimTime::from_hours(2),
+        EventKind::RegionalPoolFlip {
+            region: Region::Europe,
+            fraction: 0.5,
+        },
+    );
+    let scenario = Scenario::build(ScenarioConfig {
+        seed: 7,
+        candidate_servers: 0,
+        clients: 6,
+        cdn_scale: 0.25,
+        broad_clients: true,
+        events: Some(script),
+        ..ScenarioConfig::default()
+    });
+    let service = scenario.observe_hosts(
+        scenario.clients(),
+        SimTime::ZERO,
+        horizon,
+        SimDuration::from_mins(10),
+        WindowPolicy::LastProbes(10),
+        SimilarityMetric::Cosine,
+    );
+    let mut out = String::new();
+    for &host in scenario.clients() {
+        if let Ok(map) = service.ratio_map(&host, horizon) {
+            let _ = writeln!(out, "map {host}: {map:?}");
+        }
+    }
+    let report = scan.then(|| {
+        let hosts: Vec<_> = scenario
+            .clients()
+            .iter()
+            .map(|&h| (h, scenario.network().host(h).region().slug().to_owned()))
+            .collect();
+        let cfg = crp_audit::detect::DetectConfig::new(
+            SimTime::from_hours(1),
+            horizon,
+            SimDuration::from_mins(30),
+        );
+        crp_audit::detect::scan(&service, &hosts, &cfg)
+    });
+    (out, report)
 }
